@@ -1,0 +1,628 @@
+(* Benchmark harness: regenerates every figure of the paper and measures
+   the system (EXPERIMENTS.md documents the mapping).
+
+   The paper (ICDCS'98) has no quantitative tables — its evaluation is
+   the language demonstrated on three applications (Figs 1-9). The
+   harness therefore has two parts:
+
+   Part 1 — figure regeneration: one-shot deterministic runs printing
+   the rows/series each figure corresponds to (orderings, outcomes,
+   compensation counts, mark timing) plus scaling sweeps in virtual
+   (simulated) time, including the engine-vs-baseline fault ablation.
+
+   Part 2 — Bechamel micro/macro benchmarks (wall-clock): one benchmark
+   per figure plus ablations for the language front end, the transaction
+   substrate, and dynamic reconfiguration. *)
+
+open Bechamel
+open Toolkit
+
+(* --- shared setup helpers --- *)
+
+let order_inputs = [ ("order", Value.obj ~cls:"Order" (Value.Str "order-1")) ]
+
+let user_inputs = [ ("user", Value.obj ~cls:"User" (Value.Str "fred")) ]
+
+let alarm_inputs = [ ("alarmsSource", Value.obj ~cls:"AlarmsSource" (Value.Str "feed")) ]
+
+let seed_inputs = [ ("seed", Value.obj ~cls:"Data" (Value.Int 21)) ]
+
+let must = function
+  | Ok v -> v
+  | Error e -> failwith e
+
+let run_on_testbed ?engine_config ~register ~script ~root ~inputs () =
+  let tb = Testbed.make ?engine_config () in
+  register tb.Testbed.registry;
+  let _, status = must (Testbed.launch_and_run tb ~script ~root ~inputs) in
+  (tb, status)
+
+let status_output = function
+  | Wstate.Wf_done { output; _ } -> output
+  | Wstate.Wf_running -> "(running)"
+  | Wstate.Wf_failed reason -> "failed: " ^ reason
+
+(* Instance completion time in virtual us, read from the engine trace —
+   Sim.now after a full drain includes harmless 30s watchdog no-ops. *)
+let completion_at tb =
+  match Trace.find (Engine.trace tb.Testbed.engine) ~kind:"instance" with
+  | e :: _ -> e.Trace.at
+  | [] -> -1
+
+(* ==================================================================== *)
+(* Part 1: figure regeneration                                          *)
+(* ==================================================================== *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let fig1 () =
+  header "F1 (Fig 1): inter-task dependencies — t2,t3 after t1; t4 after both";
+  let tb, status =
+    run_on_testbed ~register:(Impls.register_quickstart ?work:None)
+      ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root ~inputs:seed_inputs ()
+  in
+  Printf.printf "outcome: %s\n" (status_output status);
+  let trace = Engine.trace tb.Testbed.engine in
+  let interesting (e : Trace.entry) = e.Trace.kind = "start" || e.Trace.kind = "complete" in
+  List.iter
+    (fun (e : Trace.entry) ->
+      if interesting e then
+        Printf.printf "  %8d us  %-8s  %s\n" e.Trace.at e.Trace.kind e.Trace.detail)
+    (Trace.entries trace);
+  print_endline "";
+  print_string (Gantt.render trace)
+
+let fig2 () =
+  header "F2 (Fig 2): input sets and ordered alternative sources";
+  let script, root = Workloads.alternatives ~k:4 ~alive:3 in
+  let tb, status =
+    run_on_testbed
+      ~register:(Workloads.register ?work:None)
+      ~script ~root ~inputs:Workloads.seed_inputs ()
+  in
+  Printf.printf "4 alternative sources, producers 1,2,4 dead, producer 3 alive -> %s\n"
+    (status_output status);
+  match Engine.instances tb.Testbed.engine with
+  | [ iid ] -> (
+    match Engine.task_state tb.Testbed.engine iid ~path:[ "alt"; "consumer" ] with
+    | Some (Wstate.Done _) ->
+      print_endline "consumer ran from the only live alternative (3rd in the list)"
+    | _ -> print_endline "consumer did not run (unexpected)")
+  | _ -> ()
+
+let fig3 () =
+  header "F3 (Fig 3): task transitions — repeat outcomes and automatic restarts";
+  let tb, status =
+    run_on_testbed
+      ~register:
+        (Impls.register_business_trip ?work:None
+           ~scenario:{ Impls.trip_smooth with Impls.hotel_inner_retries = 2 })
+      ~script:Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root
+      ~inputs:user_inputs ()
+  in
+  let trace = Engine.trace tb.Testbed.engine in
+  Printf.printf "hotelReservation used its repeat outcome %d time(s); final outcome: %s\n"
+    (List.length (Trace.find trace ~kind:"repeat"))
+    (status_output status)
+
+let fig4 () =
+  header "F4 (Fig 4): architecture — repository + execution service over the ORB";
+  let tb = Testbed.make ~nodes:[ "engine"; "repository" ] () in
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  let repo = Repository.create ~rpc:tb.Testbed.rpc ~node:(Testbed.node tb "repository") in
+  let client = Repo_client.create ~rpc:tb.Testbed.rpc ~src:"engine" ~repo_node:"repository" in
+  ignore (must (Repository.store repo ~name:"order" ~source:Paper_scripts.process_order));
+  let result = ref None in
+  Repo_client.launch client ~engine:tb.Testbed.engine ~name:"order"
+    ~root:Paper_scripts.process_order_root ~inputs:order_inputs (fun r -> result := Some r);
+  Testbed.run tb;
+  (match !result with
+  | Some (Ok iid) ->
+    Printf.printf "stored, fetched over RPC, executed: instance %s -> %s\n" iid
+      (match Engine.status tb.Testbed.engine iid with Some s -> status_output s | None -> "?")
+  | _ -> print_endline "repository launch failed");
+  Printf.printf "messages on the simulated ORB: %d sent / %d delivered\n"
+    (Network.sent_total tb.Testbed.net)
+    (Network.delivered_total tb.Testbed.net)
+
+let fig5 () =
+  header "F5 (Fig 5): compound task nesting — virtual-time cost per level";
+  Printf.printf "%8s %14s %12s\n" "depth" "makespan(us)" "dispatches";
+  List.iter
+    (fun depth ->
+      let script, root = Workloads.nested ~depth in
+      let tb, _ =
+        run_on_testbed
+          ~register:(Workloads.register ?work:None)
+          ~script ~root ~inputs:Workloads.seed_inputs ()
+      in
+      Printf.printf "%8d %14d %12d\n" depth (completion_at tb)
+        (Engine.dispatches_total tb.Testbed.engine))
+    [ 1; 2; 4; 8; 16 ]
+
+let fig6 () =
+  header "F6 (Sec 5.1): service impact application — every outcome";
+  List.iter
+    (fun (label, scenario) ->
+      let _, status =
+        run_on_testbed
+          ~register:(Impls.register_service_impact ?work:None ~scenario)
+          ~script:Paper_scripts.service_impact ~root:Paper_scripts.service_impact_root
+          ~inputs:alarm_inputs ()
+      in
+      Printf.printf "  %-26s -> %s\n" label (status_output status))
+    [
+      ("resolved", Impls.Impact_resolved);
+      ("no resolution", Impls.Impact_not_resolved);
+      ("correlator failure", Impls.Impact_correlator_fails);
+    ]
+
+let fig7 () =
+  header "F7 (Sec 5.2): process order application — every outcome";
+  List.iter
+    (fun (label, scenario) ->
+      let _, status =
+        run_on_testbed
+          ~register:(Impls.register_process_order ?work:None ~scenario)
+          ~script:Paper_scripts.process_order ~root:Paper_scripts.process_order_root
+          ~inputs:order_inputs ()
+      in
+      Printf.printf "  %-26s -> %s\n" label (status_output status))
+    [
+      ("happy path", Impls.order_ok);
+      ("not authorised", { Impls.order_ok with Impls.authorised = false });
+      ("out of stock", { Impls.order_ok with Impls.in_stock = false });
+      ("dispatch aborts", { Impls.order_ok with Impls.dispatch_ok = false });
+    ]
+
+let fig8_9 () =
+  header "F8/F9 (Sec 5.3): business trip — marks, compensation, retry loop";
+  List.iter
+    (fun (label, scenario) ->
+      let tb, status =
+        run_on_testbed
+          ~register:(Impls.register_business_trip ?work:None ~scenario)
+          ~script:Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root
+          ~inputs:user_inputs ()
+      in
+      let trace = Engine.trace tb.Testbed.engine in
+      let marks = List.length (Trace.find trace ~kind:"mark") in
+      let repeats = List.length (Trace.find trace ~kind:"repeat") in
+      Printf.printf "  %-34s -> %-10s (marks: %d, repeats: %d)\n" label (status_output status)
+        marks repeats)
+    [
+      ("smooth", Impls.trip_smooth);
+      ("hotel fails once, compensated", { Impls.trip_smooth with Impls.hotel_fails_rounds = 1 });
+      ("hotel fails twice", { Impls.trip_smooth with Impls.hotel_fails_rounds = 2 });
+      ("no flight", { Impls.trip_smooth with Impls.flights_found = (false, false, false) });
+    ]
+
+(* --- scaling sweeps (virtual time) --- *)
+
+let sweep_chain () =
+  header "S1: pipeline scaling (chain of n tasks, 1ms work each) — virtual time";
+  Printf.printf "%8s %14s %12s\n" "n" "makespan(us)" "dispatches";
+  List.iter
+    (fun n ->
+      let script, root = Workloads.chain ~n in
+      let tb, _ =
+        run_on_testbed
+          ~register:(Workloads.register ?work:None)
+          ~script ~root ~inputs:Workloads.seed_inputs ()
+      in
+      Printf.printf "%8d %14d %12d\n" n (completion_at tb)
+        (Engine.dispatches_total tb.Testbed.engine))
+    [ 4; 16; 64; 128 ]
+
+let sweep_fanout () =
+  header "S2: fan-out scaling (1 source, w parallel workers, 1 join) — virtual time";
+  Printf.printf "%8s %14s %12s\n" "width" "makespan(us)" "dispatches";
+  List.iter
+    (fun width ->
+      let script, root = Workloads.fanout ~width in
+      let tb, _ =
+        run_on_testbed
+          ~register:(Workloads.register ?work:None)
+          ~script ~root ~inputs:Workloads.seed_inputs ()
+      in
+      Printf.printf "%8d %14d %12d\n" width (completion_at tb)
+        (Engine.dispatches_total tb.Testbed.engine))
+    [ 2; 8; 32; 64 ]
+
+let a1_fault_ablation () =
+  header "A1: fault-tolerance ablation — engine (persistent) vs baseline (volatile)";
+  print_endline
+    "workload: chain of 12 tasks, 10ms work each; node crashes periodically (20ms down)";
+  Printf.printf "%14s | %12s %11s | %12s %11s %9s\n" "crash period" "engine(us)" "dispatches"
+    "baseline(us)" "executions" "restarts";
+  let work = Sim.ms 10 in
+  let script, root = Workloads.chain ~n:12 in
+  let engine_run period =
+    let engine_config =
+      { Engine.default_config with Engine.default_deadline = Sim.ms 60; system_max_attempts = 100 }
+    in
+    let tb = Testbed.make ~engine_config () in
+    Workloads.register ~work tb.Testbed.registry;
+    (match period with
+    | None -> ()
+    | Some p ->
+      Fault.apply tb.Testbed.sim
+        (Fault.periodic_crashes ~node:"n0" ~period:p ~down_for:(Sim.ms 20) ~count:60)
+        ~on:(function
+          | Fault.Crash n -> Testbed.crash tb n
+          | Fault.Restart n -> Testbed.recover tb n
+          | Fault.Partition_on _ | Fault.Partition_off _ -> ()));
+    let _, status =
+      must
+        (Testbed.launch_and_run ~until:(Sim.sec 60) tb ~script ~root ~inputs:Workloads.seed_inputs)
+    in
+    match status with
+    | Wstate.Wf_done _ -> Some (completion_at tb, Engine.dispatches_total tb.Testbed.engine)
+    | Wstate.Wf_running | Wstate.Wf_failed _ -> None
+  in
+  let baseline_run period =
+    let sim = Sim.create ~seed:42L () in
+    let net = Network.create sim in
+    let node = Network.add_node net ~id:"n0" in
+    let registry = Registry.create () in
+    Workloads.register ~work registry;
+    let baseline = Baseline.create ~sim ~node ~registry in
+    (match period with
+    | None -> ()
+    | Some p ->
+      Fault.apply sim
+        (Fault.periodic_crashes ~node:"n0" ~period:p ~down_for:(Sim.ms 20) ~count:60)
+        ~on:(function
+          | Fault.Crash _ -> Node.crash node
+          | Fault.Restart _ -> Node.recover node
+          | Fault.Partition_on _ | Fault.Partition_off _ -> ()));
+    let finished = ref None in
+    Baseline.on_any_complete baseline (fun _ status ->
+        if !finished = None then
+          match status with Wstate.Wf_done _ -> finished := Some (Sim.now sim) | _ -> ());
+    ignore (must (Baseline.launch baseline ~script ~root ~inputs:Workloads.seed_inputs));
+    Sim.run ~until:(Sim.sec 60) sim;
+    Option.map
+      (fun at -> (at, Baseline.tasks_executed_total baseline, Baseline.restarts_total baseline))
+      !finished
+  in
+  List.iter
+    (fun (label, period) ->
+      let e = engine_run period in
+      let b = baseline_run period in
+      Printf.printf "%14s | %12s %11s | %12s %11s %9s\n" label
+        (match e with Some (t, _) -> string_of_int t | None -> "timeout")
+        (match e with Some (_, d) -> string_of_int d | None -> "-")
+        (match b with Some (t, _, _) -> string_of_int t | None -> "timeout")
+        (match b with Some (_, x, _) -> string_of_int x | None -> "-")
+        (match b with Some (_, _, r) -> string_of_int r | None -> "-"))
+    [
+      ("none", None);
+      ("400 ms", Some (Sim.ms 400));
+      ("200 ms", Some (Sim.ms 200));
+      ("100 ms", Some (Sim.ms 100));
+      ("60 ms", Some (Sim.ms 60));
+    ]
+
+
+let a6_loss_sweep () =
+  header "A6: message-loss sweep — order processing across 3 nodes (virtual time)";
+  Printf.printf "%8s %14s %10s %10s\n" "loss" "makespan(us)" "sent" "dropped";
+  List.iter
+    (fun loss ->
+      let config = { Network.default_config with Network.loss } in
+      let tb = Testbed.make ~config ~seed:7L ~nodes:[ "hq"; "bank"; "warehouse" ] () in
+      Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+      let placed =
+        let place code node src =
+          let marker = Printf.sprintf "implementation { \"code\" is %S }" code in
+          let replacement =
+            Printf.sprintf "implementation { \"code\" is %S, \"location\" is %S }" code node
+          in
+          let ml = String.length marker in
+          let rec go s i =
+            if i + ml > String.length s then s
+            else if String.sub s i ml = marker then
+              String.sub s 0 i ^ replacement ^ String.sub s (i + ml) (String.length s - i - ml)
+            else go s (i + 1)
+          in
+          go src 0
+        in
+        Paper_scripts.process_order
+        |> place "refPaymentAuthorisation" "bank"
+        |> place "refCheckStock" "warehouse"
+        |> place "refDispatch" "warehouse"
+        |> place "refPaymentCapture" "bank"
+      in
+      match
+        Testbed.launch_and_run ~until:(Sim.sec 120) tb ~script:placed
+          ~root:Paper_scripts.process_order_root ~inputs:order_inputs
+      with
+      | Ok (_, Wstate.Wf_done _) ->
+        Printf.printf "%7.0f%% %14d %10d %10d\n" (loss *. 100.) (completion_at tb)
+          (Network.sent_total tb.Testbed.net)
+          (Network.dropped_total tb.Testbed.net)
+      | Ok _ | Error _ -> Printf.printf "%7.0f%% %14s\n" (loss *. 100.) "timeout")
+    [ 0.0; 0.1; 0.2; 0.3; 0.4 ]
+
+let a2_reconfig () =
+  header "A2: dynamic reconfiguration — add a task to a running instance (Sec 3's t5)";
+  let tb = Testbed.make () in
+  Impls.register_quickstart ~work:(Sim.ms 50) tb.Testbed.registry;
+  Registry.bind tb.Testbed.registry ~code:"quickstart.audit" (Registry.const "audited" []);
+  let iid =
+    must
+      (Engine.launch tb.Testbed.engine ~script:Paper_scripts.quickstart
+         ~root:Paper_scripts.quickstart_root ~inputs:seed_inputs)
+  in
+  Sim.run ~until:(Sim.ms 20) tb.Testbed.sim;
+  let before = Sim.now tb.Testbed.sim in
+  let decl =
+    "task t5 of taskclass Audit { implementation { \"code\" is \"quickstart.audit\" }; inputs { \
+     input main { notification from { task t2 if output transformed } } } }"
+  in
+  let applied = ref None in
+  Engine.reconfigure tb.Testbed.engine iid
+    ~transform:(fun ast ->
+      let cls =
+        Parser.script
+          "taskclass Audit { inputs { input main { } }; outputs { outcome audited { } } }"
+      in
+      Reconfig.add_constituent ~scope:[ "diamond" ] ~decl (cls @ ast))
+    (fun r -> applied := Some (r, Sim.now tb.Testbed.sim));
+  Testbed.run tb;
+  (match !applied with
+  | Some (Ok (), at) ->
+    Printf.printf "reconfiguration committed after %d us of virtual time (transactional)\n"
+      (at - before)
+  | Some (Error e, _) -> Printf.printf "failed: %s\n" e
+  | None -> print_endline "never completed");
+  match Engine.task_state tb.Testbed.engine iid ~path:[ "diamond"; "t5" ] with
+  | Some (Wstate.Done _) -> print_endline "t5 (added mid-run) executed and completed"
+  | _ -> print_endline "t5 did not run"
+
+let a3_alternatives () =
+  header "A3: alternative input sources mask failed producers — virtual time";
+  Printf.printf "%16s %14s\n" "k alternatives" "makespan(us)";
+  List.iter
+    (fun k ->
+      let script, root = Workloads.alternatives ~k ~alive:k in
+      let tb, _ =
+        run_on_testbed
+          ~register:(Workloads.register ?work:None)
+          ~script ~root ~inputs:Workloads.seed_inputs ()
+      in
+      Printf.printf "%16d %14d\n" k (completion_at tb))
+    [ 1; 2; 4; 8 ]
+
+(* ==================================================================== *)
+(* Part 2: Bechamel wall-clock benchmarks                               *)
+(* ==================================================================== *)
+
+let e2e ?engine_config ~register ~script ~root ~inputs () =
+  Staged.stage (fun () ->
+      let tb = Testbed.make ?engine_config () in
+      register tb.Testbed.registry;
+      ignore (must (Testbed.launch_and_run tb ~script ~root ~inputs)))
+
+let bench_tests () =
+  let chain12, chain12_root = Workloads.chain ~n:12 in
+  let nested8, nested8_root = Workloads.nested ~depth:8 in
+  let alt4, alt4_root = Workloads.alternatives ~k:4 ~alive:4 in
+  let figures =
+    [
+      Test.make ~name:"fig1/diamond-e2e"
+        (e2e
+           ~register:(Impls.register_quickstart ?work:None)
+           ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root
+           ~inputs:seed_inputs ());
+      Test.make ~name:"fig2/alternatives-k4"
+        (e2e
+           ~register:(Workloads.register ?work:None)
+           ~script:alt4 ~root:alt4_root ~inputs:Workloads.seed_inputs ());
+      Test.make ~name:"fig3/repeat-loop"
+        (e2e
+           ~register:
+             (Impls.register_business_trip ?work:None
+                ~scenario:{ Impls.trip_smooth with Impls.hotel_inner_retries = 2 })
+           ~script:Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root
+           ~inputs:user_inputs ());
+      Test.make ~name:"fig4/repo-store-fetch-launch"
+        (Staged.stage (fun () ->
+             let tb = Testbed.make ~nodes:[ "engine"; "repository" ] () in
+             Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+             let repo =
+               Repository.create ~rpc:tb.Testbed.rpc ~node:(Testbed.node tb "repository")
+             in
+             let client =
+               Repo_client.create ~rpc:tb.Testbed.rpc ~src:"engine" ~repo_node:"repository"
+             in
+             ignore
+               (must (Repository.store repo ~name:"order" ~source:Paper_scripts.process_order));
+             Repo_client.launch client ~engine:tb.Testbed.engine ~name:"order"
+               ~root:Paper_scripts.process_order_root ~inputs:order_inputs (fun _ -> ());
+             Testbed.run tb));
+      Test.make ~name:"fig5/nested-depth8"
+        (e2e
+           ~register:(Workloads.register ?work:None)
+           ~script:nested8 ~root:nested8_root ~inputs:Workloads.seed_inputs ());
+      Test.make ~name:"fig6/service-impact-e2e"
+        (e2e
+           ~register:(Impls.register_service_impact ?work:None ~scenario:Impls.Impact_resolved)
+           ~script:Paper_scripts.service_impact ~root:Paper_scripts.service_impact_root
+           ~inputs:alarm_inputs ());
+      Test.make ~name:"fig7/process-order-e2e"
+        (e2e
+           ~register:(Impls.register_process_order ?work:None ~scenario:Impls.order_ok)
+           ~script:Paper_scripts.process_order ~root:Paper_scripts.process_order_root
+           ~inputs:order_inputs ());
+      Test.make ~name:"fig8/business-trip-smooth"
+        (e2e
+           ~register:(Impls.register_business_trip ?work:None ~scenario:Impls.trip_smooth)
+           ~script:Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root
+           ~inputs:user_inputs ());
+      Test.make ~name:"fig9/business-trip-compensation"
+        (e2e
+           ~register:
+             (Impls.register_business_trip ?work:None
+                ~scenario:{ Impls.trip_smooth with Impls.hotel_fails_rounds = 2 })
+           ~script:Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root
+           ~inputs:user_inputs ());
+      Test.make ~name:"casestudy/supply-chain-e2e"
+        (e2e
+           ~register:(Supply_chain.register ?work:None ~scenario:Supply_chain.smooth)
+           ~script:Supply_chain.script ~root:Supply_chain.root ~inputs:Supply_chain.inputs ());
+    ]
+  in
+  let frontend =
+    [
+      Test.make ~name:"frontend/parse"
+        (Staged.stage (fun () -> ignore (Parser.script Paper_scripts.business_trip)));
+      Test.make ~name:"frontend/validate"
+        (let ast = Parser.script Paper_scripts.business_trip in
+         Staged.stage (fun () -> ignore (Validate.check ast)));
+      Test.make ~name:"frontend/compile"
+        (Staged.stage (fun () ->
+             match
+               Frontend.compile Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root
+             with
+             | Ok _ -> ()
+             | Error e -> failwith (Frontend.error_to_string e)));
+      Test.make ~name:"frontend/pretty-roundtrip"
+        (let ast = Parser.script Paper_scripts.business_trip in
+         Staged.stage (fun () -> ignore (Parser.script (Pretty.to_string ast))));
+    ]
+  in
+  let substrate =
+    [
+      Test.make ~name:"substrate/txn-commit-local"
+        (Staged.stage (fun () ->
+             let c = Harness.cluster [ "a" ] in
+             Harness.exec_ok c
+               (Txn.run (Harness.manager c "a") (fun t ->
+                    Txn.write t ~node:"a" ~key:"x" ~value:"1";
+                    Txn.return ()))));
+      Test.make ~name:"substrate/txn-commit-3node"
+        (Staged.stage (fun () ->
+             let c = Harness.cluster [ "a"; "b"; "c" ] in
+             Harness.exec_ok c
+               (Txn.run (Harness.manager c "a") (fun t ->
+                    Txn.write t ~node:"a" ~key:"x" ~value:"1";
+                    Txn.write t ~node:"b" ~key:"x" ~value:"2";
+                    Txn.write t ~node:"c" ~key:"x" ~value:"3";
+                    Txn.return ()))));
+      Test.make ~name:"substrate/kv-recovery-1k"
+        (Staged.stage (fun () ->
+             let s = Kvstore.create ~name:"bench" in
+             for i = 0 to 999 do
+               Kvstore.put s (string_of_int (i mod 100)) (string_of_int i)
+             done;
+             Kvstore.crash s;
+             Kvstore.recover s));
+      Test.make ~name:"substrate/rpc-roundtrip"
+        (Staged.stage (fun () ->
+             let c = Harness.cluster [ "a"; "b" ] in
+             Node.serve (Harness.node c "b") ~service:"echo" (fun ~src:_ body -> body);
+             let got = ref false in
+             Rpc.call c.Harness.rpc ~src:"a" ~dst:"b" ~service:"echo" ~body:"x" (fun _ ->
+                 got := true);
+             Harness.run c;
+             assert !got));
+    ]
+  in
+  let ablation =
+    [
+      Test.make ~name:"ablation/engine-chain12"
+        (e2e
+           ~register:(Workloads.register ?work:None)
+           ~script:chain12 ~root:chain12_root ~inputs:Workloads.seed_inputs ());
+      Test.make ~name:"ablation/baseline-chain12"
+        (Staged.stage (fun () ->
+             let sim = Sim.create ~seed:42L () in
+             let net = Network.create sim in
+             let node = Network.add_node net ~id:"n0" in
+             let registry = Registry.create () in
+             Workloads.register registry;
+             let baseline = Baseline.create ~sim ~node ~registry in
+             ignore
+               (must
+                  (Baseline.launch baseline ~script:chain12 ~root:chain12_root
+                     ~inputs:Workloads.seed_inputs));
+             Sim.run sim));
+      Test.make ~name:"ablation/reconfigure-add-task"
+        (Staged.stage (fun () ->
+             let tb = Testbed.make () in
+             Impls.register_quickstart ~work:(Sim.ms 50) tb.Testbed.registry;
+             Registry.bind tb.Testbed.registry ~code:"quickstart.audit"
+               (Registry.const "audited" []);
+             let iid =
+               must
+                 (Engine.launch tb.Testbed.engine ~script:Paper_scripts.quickstart
+                    ~root:Paper_scripts.quickstart_root ~inputs:seed_inputs)
+             in
+             Sim.run ~until:(Sim.ms 20) tb.Testbed.sim;
+             Engine.reconfigure tb.Testbed.engine iid
+               ~transform:(fun ast ->
+                 let cls =
+                   Parser.script
+                     "taskclass Audit { inputs { input main { } }; outputs { outcome audited { } \
+                      } }"
+                 in
+                 Reconfig.add_constituent ~scope:[ "diamond" ]
+                   ~decl:
+                     "task t5 of taskclass Audit { implementation { \"code\" is \
+                      \"quickstart.audit\" }; inputs { input main { notification from { task t2 \
+                      if output transformed } } } }"
+                   (cls @ ast))
+               (fun _ -> ());
+             Testbed.run tb));
+    ]
+  in
+  Test.make_grouped ~name:"rdal" (figures @ frontend @ substrate @ ablation)
+
+let run_benchmarks () =
+  header "Part 2: wall-clock benchmarks (Bechamel, monotonic clock)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (bench_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Printf.printf "%-46s %14s %8s\n" "benchmark" "time/run" "r²";
+  let humanise ns =
+    if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.0f ns" ns
+  in
+  List.iter
+    (fun (name, v) ->
+      let estimate =
+        match Analyze.OLS.estimates v with Some (e :: _) -> humanise e | Some [] | None -> "?"
+      in
+      let r2 =
+        match Analyze.OLS.r_square v with Some r -> Printf.sprintf "%.3f" r | None -> "-"
+      in
+      Printf.printf "%-46s %14s %8s\n" name estimate r2)
+    rows
+
+let () =
+  print_endline "RDAL benchmark harness — regenerating the paper's figures";
+  print_endline "(see EXPERIMENTS.md for the figure-by-figure mapping)";
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  fig8_9 ();
+  sweep_chain ();
+  sweep_fanout ();
+  a1_fault_ablation ();
+  a6_loss_sweep ();
+  a2_reconfig ();
+  a3_alternatives ();
+  run_benchmarks ()

@@ -1,0 +1,1 @@
+bin/export_scripts.ml: Array Filename List Paper_scripts Sys

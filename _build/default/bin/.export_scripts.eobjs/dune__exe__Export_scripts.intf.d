@@ -1,0 +1,1 @@
+bin/export_scripts.mli:

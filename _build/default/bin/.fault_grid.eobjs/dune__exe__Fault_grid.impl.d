@@ -1,0 +1,1 @@
+bin/fault_grid.ml: Engine Fault Format List Printf Sim Testbed Workloads Wstate

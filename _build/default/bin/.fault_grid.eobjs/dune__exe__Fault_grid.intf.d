@@ -1,0 +1,1 @@
+bin/fault_grid.mli:

@@ -1,0 +1,1 @@
+bin/rdal.ml: Arg Ast Cmd Cmdliner Dot Engine Format Frontend Gantt Impls Int64 List Loc Option Parser Pretty Printf Registry Schema Sim String Template Term Testbed Trace Validate Value Wstate

@@ -1,0 +1,13 @@
+(* Writes the bundled paper scripts out as .rdl files (used by the
+   scripts/ build rule, which then checks each one with the rdal CLI —
+   a build-time integration test of the whole front end). *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  List.iter
+    (fun (name, source, _root) ->
+      let path = Filename.concat dir (name ^ ".rdl") in
+      let oc = open_out path in
+      output_string oc source;
+      close_out oc)
+    Paper_scripts.all

@@ -1,0 +1,54 @@
+(* fault_grid — developer tool: exhaustive search over crash schedules.
+
+   Runs a 6-task chain workload under every (crash instant, downtime)
+   combination on a grid, plus coarse crash pairs, and reports any
+   schedule the engine fails to survive. This is the harness that found
+   the launch-transaction/crash race fixed in Engine.relaunch_orphan.
+
+   Run with: dune exec bin/fault_grid.exe *)
+
+let run crash_times down_ms =
+  let engine_config =
+    { Engine.default_config with Engine.default_deadline = Sim.ms 80; system_max_attempts = 200 }
+  in
+  let tb = Testbed.make ~engine_config () in
+  Workloads.register ~work:(Sim.ms 5) tb.Testbed.registry;
+  let plan =
+    List.concat_map
+      (fun at_ms -> Fault.crash_restart ~node:"n0" ~at:(Sim.ms at_ms) ~down_for:(Sim.ms down_ms))
+      (List.sort_uniq compare crash_times)
+  in
+  Fault.apply tb.Testbed.sim plan ~on:(function
+    | Fault.Crash n -> Testbed.crash tb n
+    | Fault.Restart n -> Testbed.recover tb n
+    | _ -> ());
+  let script, root = Workloads.chain ~n:6 in
+  match Testbed.launch_and_run ~until:(Sim.sec 120) tb ~script ~root ~inputs:Workloads.seed_inputs with
+  | Ok (_, Wstate.Wf_done { output = "finished"; _ }) -> true
+  | Ok (_, s) -> Format.printf "status: %a@." Wstate.pp_status s; false
+  | Error e -> print_endline e; false
+
+let () =
+  (* single crashes *)
+  let failures = ref 0 in
+  for t = 1 to 400 do
+    for d = 1 to 5 do
+      let down = d * 10 in
+      if not (run [ t ] down) then begin
+        incr failures;
+        Printf.printf "FAIL single crash at %d ms, down %d ms\n%!" t down
+      end
+    done
+  done;
+  (* pairs, coarser *)
+  let ts = [3; 7; 15; 31; 63; 127; 255; 380] in
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          List.iter
+            (fun down -> if not (run [ t1; t2 ] down) then begin incr failures; Printf.printf "FAIL crashes at %d,%d down %d\n%!" t1 t2 down end)
+            [ 10; 20; 30; 40; 50 ])
+        ts)
+    ts;
+  Printf.printf "total failures: %d\n" !failures

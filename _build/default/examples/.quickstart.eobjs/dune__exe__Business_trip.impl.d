@@ -1,0 +1,1 @@
+examples/business_trip.ml: Engine Format Impls List Paper_scripts String Testbed Trace Value Wstate

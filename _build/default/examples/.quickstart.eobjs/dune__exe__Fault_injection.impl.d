@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Baseline Engine Fault Format Impls Network Node Paper_scripts Registry Sim Testbed Value Wstate

@@ -1,0 +1,1 @@
+examples/network_management.ml: Dot Format Frontend Impls List Paper_scripts Registry Testbed Value Wstate

@@ -1,0 +1,1 @@
+examples/online_upgrade.ml: Engine Format Impls List Paper_scripts Parser Reconfig Registry Repo_client Repository Sim Testbed Value Wstate

@@ -1,0 +1,1 @@
+examples/order_processing.ml: Format Impls List Network Paper_scripts Printf String Testbed Value Wstate

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dot Engine Format Frontend Gantt Impls List Paper_scripts Testbed Trace Value Wstate

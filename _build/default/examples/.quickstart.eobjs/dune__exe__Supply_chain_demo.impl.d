@@ -1,0 +1,1 @@
+examples/supply_chain_demo.ml: Engine Format Gantt List String Supply_chain Testbed Value Wstate

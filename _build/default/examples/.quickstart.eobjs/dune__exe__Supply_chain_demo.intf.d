@@ -1,0 +1,1 @@
+examples/supply_chain_demo.mli:

@@ -1,0 +1,79 @@
+(* Fault tolerance, side by side (paper §2-3): the same order-processing
+   workflow runs on (a) the transactional execution service and (b) the
+   non-fault-tolerant baseline scheduler, while the hosting node crashes
+   and recovers periodically. The engine resumes from its persistent
+   state; the baseline restarts from scratch each time and re-executes
+   completed tasks.
+
+   Run with: dune exec examples/fault_injection.exe *)
+
+let order = [ ("order", Value.obj ~cls:"Order" (Value.Str "order-1")) ]
+
+let work = Sim.ms 40
+
+let crash_plan = Fault.periodic_crashes ~node:"n0" ~period:Sim.(ms 100) ~down_for:(Sim.ms 30) ~count:3
+
+let run_engine () =
+  let engine_config =
+    { Engine.default_config with Engine.default_deadline = Sim.ms 120; system_max_attempts = 30 }
+  in
+  let tb = Testbed.make ~engine_config () in
+  Impls.register_process_order ~work ~scenario:Impls.order_ok tb.Testbed.registry;
+  Fault.apply tb.Testbed.sim crash_plan ~on:(function
+    | Fault.Crash n -> Testbed.crash tb n
+    | Fault.Restart n -> Testbed.recover tb n
+    | Fault.Partition_on _ | Fault.Partition_off _ -> ());
+  match
+    Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+      ~root:Paper_scripts.process_order_root ~inputs:order
+  with
+  | Ok (_, Wstate.Wf_done { output; _ }) ->
+    Format.printf "engine:   finished in %-16s at %6d ms; %d dispatches, %d retries, %d recoveries@."
+      output
+      (Sim.now tb.Testbed.sim / 1000)
+      (Engine.dispatches_total tb.Testbed.engine)
+      (Engine.system_retries_total tb.Testbed.engine)
+      (Engine.recoveries_total tb.Testbed.engine)
+  | Ok (_, status) -> Format.printf "engine:   %a@." Wstate.pp_status status
+  | Error e -> Format.printf "engine:   error %s@." e
+
+let run_baseline () =
+  let sim = Sim.create ~seed:42L () in
+  let net = Network.create sim in
+  let node = Network.add_node net ~id:"n0" in
+  let registry = Registry.create () in
+  Impls.register_process_order ~work ~scenario:Impls.order_ok registry;
+  let baseline = Baseline.create ~sim ~node ~registry in
+  Fault.apply sim crash_plan ~on:(function
+    | Fault.Crash n when n = "n0" -> Node.crash node
+    | Fault.Restart n when n = "n0" -> Node.recover node
+    | _ -> ());
+  let finished_at = ref None in
+  Baseline.on_any_complete baseline (fun _ status ->
+      match status with
+      | Wstate.Wf_done { output; _ } when !finished_at = None ->
+        finished_at := Some (Sim.now sim, output)
+      | _ -> ());
+  match
+    Baseline.launch baseline ~script:Paper_scripts.process_order
+      ~root:Paper_scripts.process_order_root ~inputs:order
+  with
+  | Error e -> Format.printf "baseline: error %s@." e
+  | Ok _ -> (
+    Sim.run sim;
+    match !finished_at with
+    | Some (at, output) ->
+      Format.printf
+        "baseline: finished in %-16s at %6d ms; %d task executions (%d restarts from scratch)@."
+        output (at / 1000)
+        (Baseline.tasks_executed_total baseline)
+        (Baseline.restarts_total baseline)
+    | None -> print_endline "baseline: never completed")
+
+let () =
+  print_endline "order processing under 3 crash/recovery cycles of the hosting node";
+  print_endline "------------------------------------------------------------------";
+  run_engine ();
+  run_baseline ();
+  print_endline "\nThe engine's persistent, transactional dependency records let it resume";
+  print_endline "where it left off; the baseline loses all progress at each crash."

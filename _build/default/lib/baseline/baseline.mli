@@ -1,0 +1,42 @@
+(** Baseline comparator: a centralized, non-fault-tolerant workflow
+    scheduler.
+
+    Interprets the same schemas with the same implementation registry,
+    but keeps all state in volatile memory and uses no transactions, no
+    persistence and no RPC. A crash of its node loses every running
+    instance; on recovery the baseline restarts lost instances {e from
+    scratch} (re-executing completed tasks). This is the strawman the
+    paper's system-level fault-tolerance claims are measured against in
+    the ablation benches (EXPERIMENTS.md, A1).
+
+    Supported language subset: dataflow + notification dependencies with
+    ordered alternatives, input-set priority, compound scopes with
+    output bindings, external inputs, abort/ordinary outcomes, repeat
+    outcomes and marks. Timers and dynamic reconfiguration are engine
+    features and are not reproduced here. *)
+
+type t
+
+val create : sim:Sim.t -> node:Node.t -> registry:Registry.t -> t
+(** [node] only contributes its up/down state and crash hooks: crash
+    wipes all instances, recovery restarts them from scratch. *)
+
+val launch :
+  t ->
+  script:string ->
+  root:string ->
+  inputs:(string * Value.obj) list ->
+  (string, string) result
+
+val status : t -> string -> Wstate.status option
+
+val on_any_complete : t -> (string -> Wstate.status -> unit) -> unit
+(** Observer fired when any instance reaches a final status. Unlike
+    {!status}, this lets callers capture completions that a later crash
+    would erase (the baseline keeps no durable record of anything). *)
+
+val tasks_executed_total : t -> int
+(** Lifetime count of task executions, including work redone after a
+    crash — the waste metric A1 reports. *)
+
+val restarts_total : t -> int

@@ -1,0 +1,1 @@
+lib/core/frontend.ml: Ast Format List Loc Parser Printf Schema Template Validate

@@ -1,0 +1,1 @@
+lib/core/frontend.mli: Ast Format Loc Schema

@@ -1,0 +1,1 @@
+lib/core/lexer.ml: Buffer List Loc Printf String Token

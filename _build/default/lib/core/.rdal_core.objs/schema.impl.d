@@ -1,0 +1,1 @@
+lib/core/schema.ml: Ast Format List Printf

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Ast Format Hashtbl List Loc Option String

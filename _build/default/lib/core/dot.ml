@@ -1,0 +1,90 @@
+let buf_add = Buffer.add_string
+
+(* Node ids must be unique across nested scopes: qualify by path. *)
+let node_id path name = Printf.sprintf "\"%s\"" (String.concat "/" (path @ [ name ]))
+
+let escape_label s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let edge buf ~from ~into ~style ~label =
+  let label_attr = if label = "" then "" else Printf.sprintf ", label=\"%s\"" (escape_label label) in
+  buf_add buf (Printf.sprintf "  %s -> %s [style=%s%s];\n" from into style label_attr)
+
+(* Within a compound scope, resolve a source task name to a node id:
+   either a sibling child, or the enclosing compound's input port. *)
+let resolve_source ~path ~self ~children name =
+  if List.exists (fun (c : Schema.task) -> c.Schema.name = name) children then
+    node_id path name
+  else if name = self then node_id path "__inputs"
+  else node_id path name
+
+let rec emit_task buf ~path (task : Schema.task) =
+  match task.Schema.body with
+  | Schema.Simple ->
+    buf_add buf
+      (Printf.sprintf "  %s [shape=box, label=\"%s\"];\n" (node_id path task.Schema.name)
+         (escape_label task.Schema.name))
+  | Schema.Compound { children; bindings } ->
+    let inner = path @ [ task.Schema.name ] in
+    buf_add buf (Printf.sprintf "  subgraph \"cluster_%s\" {\n" (String.concat "/" inner));
+    buf_add buf (Printf.sprintf "  label=\"%s\";\n" (escape_label task.Schema.name));
+    buf_add buf
+      (Printf.sprintf "  %s [shape=point, label=\"\"];\n" (node_id inner "__inputs"));
+    List.iter (emit_task buf ~path:inner) children;
+    List.iter (emit_child_edges buf ~path:inner ~self:task.Schema.name ~children) children;
+    emit_binding_edges buf ~path:inner ~self:task.Schema.name ~children ~bindings
+      ~compound:task.Schema.name;
+    buf_add buf "  }\n"
+
+and emit_child_edges buf ~path ~self ~children (child : Schema.task) =
+  let dst = node_id path child.Schema.name in
+  let from name = resolve_source ~path ~self ~children name in
+  let emit_set (s : Schema.input_set) =
+    List.iter
+      (fun alternatives ->
+        List.iter
+          (fun (ns : Schema.notif_source) ->
+            edge buf ~from:(from ns.Schema.n_task) ~into:dst ~style:"dotted" ~label:"")
+          alternatives)
+      s.Schema.is_notifications;
+    List.iter
+      (fun (io : Schema.input_object) ->
+        List.iter
+          (fun (os : Schema.obj_source) ->
+            edge buf ~from:(from os.Schema.s_task) ~into:dst ~style:"solid" ~label:io.Schema.io_name)
+          io.Schema.io_sources)
+      s.Schema.is_objects
+  in
+  List.iter emit_set child.Schema.inputs
+
+and emit_binding_edges buf ~path ~self ~children ~bindings ~compound =
+  let outputs_node = node_id path "__outputs" in
+  if bindings <> [] then
+    buf_add buf (Printf.sprintf "  %s [shape=point, label=\"\"];\n" outputs_node);
+  let from name = resolve_source ~path ~self ~children name in
+  let emit_binding (b : Schema.binding) =
+    List.iter
+      (fun alternatives ->
+        List.iter
+          (fun (ns : Schema.notif_source) ->
+            edge buf ~from:(from ns.Schema.n_task) ~into:outputs_node ~style:"dotted"
+              ~label:b.Schema.b_name)
+          alternatives)
+      b.Schema.b_notifications;
+    List.iter
+      (fun (obj_name, sources) ->
+        List.iter
+          (fun (os : Schema.obj_source) ->
+            edge buf ~from:(from os.Schema.s_task) ~into:outputs_node ~style:"solid"
+              ~label:(Printf.sprintf "%s.%s" b.Schema.b_name obj_name))
+          sources)
+      b.Schema.b_objects
+  in
+  ignore compound;
+  List.iter emit_binding bindings
+
+let of_task task =
+  let buf = Buffer.create 1024 in
+  buf_add buf "digraph workflow {\n  rankdir=LR;\n";
+  emit_task buf ~path:[] task;
+  buf_add buf "}\n";
+  Buffer.contents buf

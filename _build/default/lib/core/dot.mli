@@ -1,0 +1,9 @@
+(** Graphviz export: regenerates the paper's structure diagrams
+    (Figs 1, 5, 6, 7, 8, 9) from a schema.
+
+    Dataflow dependencies are solid edges labelled with the object name;
+    notification dependencies are dotted edges — the paper's Fig 1
+    convention. Compound tasks become clusters. *)
+
+val of_task : Schema.task -> string
+(** A complete [digraph] document for one schema tree. *)

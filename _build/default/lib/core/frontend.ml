@@ -1,0 +1,42 @@
+type error = { stage : string; msg : string; loc : Loc.t option }
+
+let pp_error ppf { stage; msg; loc } =
+  match loc with
+  | Some loc -> Format.fprintf ppf "%s error: %s (%a)" stage msg Loc.pp loc
+  | None -> Format.fprintf ppf "%s error: %s" stage msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let load source =
+  match Parser.script_result source with
+  | Error (msg, loc) -> Error { stage = "parse"; msg; loc = Some loc }
+  | Ok ast -> (
+    match Template.expand ast with
+    | Error (msg, loc) -> Error { stage = "template"; msg; loc = Some loc }
+    | Ok expanded -> (
+      match Validate.ok expanded with
+      | Ok () -> Ok expanded
+      | Error issues ->
+        let first = List.hd issues in
+        let extra = List.length issues - 1 in
+        let msg =
+          if extra = 0 then first.Validate.msg
+          else Printf.sprintf "%s (and %d more error(s))" first.Validate.msg extra
+        in
+        Error { stage = "validate"; msg; loc = Some first.Validate.loc }))
+
+let compile source ~root =
+  match load source with
+  | Error e -> Error e
+  | Ok ast -> (
+    match Schema.of_script ast ~root with
+    | Ok task -> Ok task
+    | Error msg -> Error { stage = "resolve"; msg; loc = None })
+
+let roots ast =
+  List.filter_map
+    (function
+      | Ast.D_task td -> Some td.Ast.td_name
+      | Ast.D_compound cd -> Some cd.Ast.cd_name
+      | _ -> None)
+    ast

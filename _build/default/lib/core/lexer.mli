@@ -1,0 +1,13 @@
+(** Hand-written lexer for workflow scripts.
+
+    Accepts identifiers, double-quoted strings, punctuation, and both
+    comment styles ([// ...] to end of line and [/* ... */], nestable).
+    Curly/smart quotes from the paper's typesetting are accepted as
+    plain double quotes so examples can be pasted verbatim. *)
+
+exception Error of string * Loc.t
+
+val tokens : string -> (Token.t * Loc.t) list
+(** Tokenize a whole script; the list always ends with [Token.Eof].
+    Raises {!Error} on an unterminated string/comment or an illegal
+    character. *)

@@ -1,0 +1,7 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+
+let pp ppf t = Format.fprintf ppf "line %d, column %d" t.line t.col
+
+let to_string t = Format.asprintf "%a" pp t

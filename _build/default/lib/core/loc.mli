@@ -1,0 +1,9 @@
+(** Source positions for diagnostics. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,450 @@
+exception Error of string * Loc.t
+
+type state = { toks : (Token.t * Loc.t) array; mutable pos : int }
+
+let current st = fst st.toks.(st.pos)
+
+let current_loc st = snd st.toks.(st.pos)
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg = raise (Error (msg, current_loc st))
+
+let expect st tok =
+  if current st = tok then advance st
+  else fail st (Printf.sprintf "expected %s, found %s" (Token.to_string tok) (Token.to_string (current st)))
+
+let ident st =
+  match current st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | other -> fail st (Printf.sprintf "expected an identifier, found %s" (Token.to_string other))
+
+let string_lit st =
+  match current st with
+  | Token.String s ->
+    advance st;
+    s
+  | other -> fail st (Printf.sprintf "expected a string literal, found %s" (Token.to_string other))
+
+let skip_semis st =
+  while current st = Token.Semi do
+    advance st
+  done
+
+(* [items st parse stop]: parse [parse st] repeatedly, skipping optional
+   semicolons, until the [stop] token is current. *)
+let items st parse stop =
+  let rec loop acc =
+    skip_semis st;
+    if current st = stop then List.rev acc else loop (parse st :: acc)
+  in
+  loop []
+
+let braced st parse =
+  expect st Token.Lbrace;
+  let contents = parse st in
+  expect st Token.Rbrace;
+  contents
+
+let braced_items st parse = braced st (fun st -> items st parse Token.Rbrace)
+
+(* --- small pieces --- *)
+
+let object_decl st =
+  let od_loc = current_loc st in
+  let od_name = ident st in
+  expect st Token.Kw_of;
+  expect st Token.Kw_class;
+  let od_class = ident st in
+  { Ast.od_name; od_class; od_loc }
+
+let source_cond st =
+  if current st = Token.Kw_if then begin
+    advance st;
+    match current st with
+    | Token.Kw_output ->
+      advance st;
+      Ast.On_output (ident st)
+    | Token.Kw_input ->
+      advance st;
+      Ast.On_input (ident st)
+    | other ->
+      fail st (Printf.sprintf "expected 'output' or 'input' after 'if', found %s" (Token.to_string other))
+  end
+  else Ast.Any
+
+let notif_source st =
+  let ns_loc = current_loc st in
+  expect st Token.Kw_task;
+  let ns_task = ident st in
+  let ns_cond = source_cond st in
+  { Ast.ns_task; ns_cond; ns_loc }
+
+let object_source st =
+  let os_loc = current_loc st in
+  let os_object = ident st in
+  expect st Token.Kw_of;
+  expect st Token.Kw_task;
+  let os_task = ident st in
+  let os_cond = source_cond st in
+  { Ast.os_object; os_task; os_cond; os_loc }
+
+let input_dep st =
+  match current st with
+  | Token.Kw_notification ->
+    advance st;
+    expect st Token.Kw_from;
+    Ast.Dep_notification (braced_items st notif_source)
+  | Token.Kw_inputobject ->
+    advance st;
+    let d_loc = current_loc st in
+    let d_name = ident st in
+    expect st Token.Kw_from;
+    let d_sources = braced_items st object_source in
+    Ast.Dep_object { d_name; d_sources; d_loc }
+  | other ->
+    fail st
+      (Printf.sprintf "expected 'notification' or 'inputobject', found %s" (Token.to_string other))
+
+let input_set_spec st =
+  expect st Token.Kw_input;
+  let iss_loc = current_loc st in
+  let iss_name = ident st in
+  let iss_deps = braced_items st input_dep in
+  { Ast.iss_name; iss_deps; iss_loc }
+
+let implementation_kv st =
+  let key = string_lit st in
+  expect st Token.Kw_is;
+  let value = string_lit st in
+  (key, value)
+
+let implementation_block st =
+  expect st Token.Kw_implementation;
+  expect st Token.Lbrace;
+  let rec loop acc =
+    skip_semis st;
+    if current st = Token.Rbrace then List.rev acc
+    else begin
+      let kv = implementation_kv st in
+      if current st = Token.Comma then advance st;
+      loop (kv :: acc)
+    end
+  in
+  let kvs = loop [] in
+  expect st Token.Rbrace;
+  kvs
+
+let inputs_block st =
+  expect st Token.Kw_inputs;
+  braced_items st input_set_spec
+
+let output_kind st =
+  match current st with
+  | Token.Kw_outcome ->
+    advance st;
+    Ast.Outcome
+  | Token.Kw_abort ->
+    advance st;
+    expect st Token.Kw_outcome;
+    Ast.Abort_outcome
+  | Token.Kw_repeat ->
+    advance st;
+    expect st Token.Kw_outcome;
+    Ast.Repeat_outcome
+  | Token.Kw_mark ->
+    advance st;
+    Ast.Mark
+  | other ->
+    fail st
+      (Printf.sprintf "expected 'outcome', 'abort outcome', 'repeat outcome' or 'mark', found %s"
+         (Token.to_string other))
+
+(* --- taskclass --- *)
+
+let input_set_decl st =
+  expect st Token.Kw_input;
+  let isd_loc = current_loc st in
+  let isd_name = ident st in
+  let isd_objects = braced_items st object_decl in
+  { Ast.isd_name; isd_objects; isd_loc }
+
+let output_decl st =
+  let outd_loc = current_loc st in
+  let outd_kind = output_kind st in
+  let outd_name = ident st in
+  let outd_objects = braced_items st object_decl in
+  { Ast.outd_kind; outd_name; outd_objects; outd_loc }
+
+let taskclass_decl st =
+  expect st Token.Kw_taskclass;
+  let tcd_loc = current_loc st in
+  let tcd_name = ident st in
+  expect st Token.Lbrace;
+  skip_semis st;
+  let tcd_input_sets =
+    if current st = Token.Kw_inputs then begin
+      advance st;
+      braced_items st input_set_decl
+    end
+    else []
+  in
+  skip_semis st;
+  let tcd_outputs =
+    if current st = Token.Kw_outputs then begin
+      advance st;
+      braced_items st output_decl
+    end
+    else []
+  in
+  skip_semis st;
+  expect st Token.Rbrace;
+  { Ast.tcd_name; tcd_input_sets; tcd_outputs; tcd_loc }
+
+(* --- task / compound / template --- *)
+
+let output_dep st =
+  match current st with
+  | Token.Kw_notification ->
+    advance st;
+    expect st Token.Kw_from;
+    Ast.Out_notification (braced_items st notif_source)
+  | Token.Kw_outputobject ->
+    advance st;
+    let o_loc = current_loc st in
+    let o_name = ident st in
+    expect st Token.Kw_from;
+    let o_sources = braced_items st object_source in
+    Ast.Out_object { o_name; o_sources; o_loc }
+  | other ->
+    fail st
+      (Printf.sprintf "expected 'notification' or 'outputobject', found %s" (Token.to_string other))
+
+let output_binding st =
+  let ob_loc = current_loc st in
+  let ob_kind = output_kind st in
+  let ob_name = ident st in
+  let ob_deps = braced_items st output_dep in
+  { Ast.ob_kind; ob_name; ob_deps; ob_loc }
+
+let template_inst ~name ~loc st =
+  (* 'name of tasktemplate' already consumed up to the template keyword *)
+  expect st Token.Kw_tasktemplate;
+  let ti_template = ident st in
+  expect st Token.Lparen;
+  let rec args acc =
+    match current st with
+    | Token.Rparen -> List.rev acc
+    | Token.Comma ->
+      advance st;
+      args acc
+    | _ -> args (ident st :: acc)
+  in
+  let ti_args = args [] in
+  expect st Token.Rparen;
+  { Ast.ti_name = name; ti_template; ti_args; ti_loc = loc }
+
+let rec task_decl st =
+  expect st Token.Kw_task;
+  let td_loc = current_loc st in
+  let td_name = ident st in
+  expect st Token.Kw_of;
+  expect st Token.Kw_taskclass;
+  let td_class = ident st in
+  expect st Token.Lbrace;
+  skip_semis st;
+  let td_impl = if current st = Token.Kw_implementation then implementation_block st else [] in
+  skip_semis st;
+  let td_inputs = if current st = Token.Kw_inputs then inputs_block st else [] in
+  skip_semis st;
+  expect st Token.Rbrace;
+  { Ast.td_name; td_class; td_impl; td_inputs; td_loc }
+
+and compound_decl st =
+  expect st Token.Kw_compoundtask;
+  let cd_loc = current_loc st in
+  let cd_name = ident st in
+  expect st Token.Kw_of;
+  expect st Token.Kw_taskclass;
+  let cd_class = ident st in
+  expect st Token.Lbrace;
+  let impl = ref [] in
+  let inputs = ref [] in
+  let constituents = ref [] in
+  let outputs = ref [] in
+  let rec sections () =
+    skip_semis st;
+    match current st with
+    | Token.Rbrace -> ()
+    | Token.Kw_implementation ->
+      impl := implementation_block st;
+      sections ()
+    | Token.Kw_inputs ->
+      inputs := inputs_block st;
+      sections ()
+    | Token.Kw_outputs ->
+      advance st;
+      outputs := braced_items st output_binding;
+      sections ()
+    | Token.Kw_task ->
+      constituents := Ast.C_task (task_decl st) :: !constituents;
+      sections ()
+    | Token.Kw_compoundtask ->
+      constituents := Ast.C_compound (compound_decl st) :: !constituents;
+      sections ()
+    | Token.Ident name ->
+      let loc = current_loc st in
+      advance st;
+      expect st Token.Kw_of;
+      constituents := Ast.C_template_inst (template_inst ~name ~loc st) :: !constituents;
+      sections ()
+    | other ->
+      fail st
+        (Printf.sprintf
+           "expected a section (implementation / inputs / task / compoundtask / outputs), found %s"
+           (Token.to_string other))
+  in
+  sections ();
+  expect st Token.Rbrace;
+  {
+    Ast.cd_name;
+    cd_class;
+    cd_impl = !impl;
+    cd_inputs = !inputs;
+    cd_constituents = List.rev !constituents;
+    cd_outputs = !outputs;
+    cd_loc;
+  }
+
+let template_decl st =
+  expect st Token.Kw_tasktemplate;
+  let tpl_loc = current_loc st in
+  let kind =
+    match current st with
+    | Token.Kw_task -> `Task
+    | Token.Kw_compoundtask -> `Compound
+    | other ->
+      fail st
+        (Printf.sprintf "expected 'task' or 'compoundtask' after 'tasktemplate', found %s"
+           (Token.to_string other))
+  in
+  (* Re-parse the body with the task/compound parser, but capture the
+     parameters block that may appear right after the opening brace. We
+     do this by parsing the header manually, then the parameters, then
+     delegating to the shared body logic via a synthetic re-entry. *)
+  advance st;
+  let name = ident st in
+  expect st Token.Kw_of;
+  expect st Token.Kw_taskclass;
+  let klass = ident st in
+  expect st Token.Lbrace;
+  skip_semis st;
+  let params =
+    if current st = Token.Kw_parameters then begin
+      advance st;
+      braced_items st ident
+    end
+    else []
+  in
+  skip_semis st;
+  match kind with
+  | `Task ->
+    let td_impl = if current st = Token.Kw_implementation then implementation_block st else [] in
+    skip_semis st;
+    let td_inputs = if current st = Token.Kw_inputs then inputs_block st else [] in
+    skip_semis st;
+    expect st Token.Rbrace;
+    let body =
+      Ast.T_task { td_name = name; td_class = klass; td_impl; td_inputs; td_loc = tpl_loc }
+    in
+    { Ast.tpl_name = name; tpl_params = params; tpl_body = body; tpl_loc }
+  | `Compound ->
+    let impl = ref [] in
+    let inputs = ref [] in
+    let constituents = ref [] in
+    let outputs = ref [] in
+    let rec sections () =
+      skip_semis st;
+      match current st with
+      | Token.Rbrace -> ()
+      | Token.Kw_implementation ->
+        impl := implementation_block st;
+        sections ()
+      | Token.Kw_inputs ->
+        inputs := inputs_block st;
+        sections ()
+      | Token.Kw_outputs ->
+        advance st;
+        outputs := braced_items st output_binding;
+        sections ()
+      | Token.Kw_task ->
+        constituents := Ast.C_task (task_decl st) :: !constituents;
+        sections ()
+      | Token.Kw_compoundtask ->
+        constituents := Ast.C_compound (compound_decl st) :: !constituents;
+        sections ()
+      | Token.Ident cname ->
+        let loc = current_loc st in
+        advance st;
+        expect st Token.Kw_of;
+        constituents := Ast.C_template_inst (template_inst ~name:cname ~loc st) :: !constituents;
+        sections ()
+      | other -> fail st (Printf.sprintf "unexpected %s in template body" (Token.to_string other))
+    in
+    sections ();
+    expect st Token.Rbrace;
+    let body =
+      Ast.T_compound
+        {
+          cd_name = name;
+          cd_class = klass;
+          cd_impl = !impl;
+          cd_inputs = !inputs;
+          cd_constituents = List.rev !constituents;
+          cd_outputs = !outputs;
+          cd_loc = tpl_loc;
+        }
+    in
+    { Ast.tpl_name = name; tpl_params = params; tpl_body = body; tpl_loc }
+
+let class_decl st =
+  expect st Token.Kw_class;
+  let cls_loc = current_loc st in
+  let cls_name = ident st in
+  let cls_parent =
+    if current st = Token.Kw_extends then begin
+      advance st;
+      Some (ident st)
+    end
+    else None
+  in
+  Ast.D_class { cls_name; cls_parent; cls_loc }
+
+let decl st =
+  match current st with
+  | Token.Kw_class -> class_decl st
+  | Token.Kw_taskclass -> Ast.D_taskclass (taskclass_decl st)
+  | Token.Kw_task -> Ast.D_task (task_decl st)
+  | Token.Kw_compoundtask -> Ast.D_compound (compound_decl st)
+  | Token.Kw_tasktemplate -> Ast.D_template (template_decl st)
+  | Token.Ident name ->
+    let loc = current_loc st in
+    advance st;
+    expect st Token.Kw_of;
+    Ast.D_template_inst (template_inst ~name ~loc st)
+  | other -> fail st (Printf.sprintf "expected a declaration, found %s" (Token.to_string other))
+
+let script input =
+  let toks = Array.of_list (Lexer.tokens input) in
+  let st = { toks; pos = 0 } in
+  let decls = items st decl Token.Eof in
+  expect st Token.Eof;
+  decls
+
+let script_result input =
+  match script input with
+  | decls -> Ok decls
+  | exception Error (msg, loc) -> Error (msg, loc)
+  | exception Lexer.Error (msg, loc) -> Error (msg, loc)

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for workflow scripts.
+
+    Semicolons between declarations and clauses are treated as optional
+    separators (the paper's examples use them inconsistently), and both
+    straight and curly quotes delimit strings, so the paper's scripts
+    parse verbatim. *)
+
+exception Error of string * Loc.t
+
+val script : string -> Ast.script
+(** Parse a whole script. Raises {!Error} with a message and position on
+    the first syntax error. *)
+
+val script_result : string -> (Ast.script, string * Loc.t) result
+(** Exception-free variant. *)

@@ -1,0 +1,11 @@
+(** Pretty-printer: renders an AST back to concrete syntax.
+
+    [Parser.script (to_string s)] re-parses to an equal AST (modulo
+    locations) — the formatter for the [fmt] CLI command and the
+    canonical form the repository service stores. *)
+
+val pp_script : Format.formatter -> Ast.script -> unit
+
+val pp_decl : Format.formatter -> Ast.decl -> unit
+
+val to_string : Ast.script -> string

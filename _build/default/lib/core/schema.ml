@@ -1,0 +1,213 @@
+type cond =
+  | C_output of string
+  | C_input of string
+  | C_any
+
+type obj_source = { s_task : string; s_obj : string; s_cond : cond }
+
+type notif_source = { n_task : string; n_cond : cond }
+
+type input_object = {
+  io_name : string;
+  io_class : string;
+  io_sources : obj_source list;
+}
+
+type input_set = {
+  is_name : string;
+  is_notifications : notif_source list list;
+  is_objects : input_object list;
+}
+
+type output = {
+  out_kind : Ast.output_kind;
+  out_name : string;
+  out_objects : (string * string) list;
+}
+
+type binding = {
+  b_name : string;
+  b_kind : Ast.output_kind;
+  b_notifications : notif_source list list;
+  b_objects : (string * obj_source list) list;
+}
+
+type task = {
+  name : string;
+  klass : string;
+  impl : (string * string) list;
+  inputs : input_set list;
+  outputs : output list;
+  body : body;
+}
+
+and body =
+  | Simple
+  | Compound of { children : task list; bindings : binding list }
+
+exception Resolve_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Resolve_error msg)) fmt
+
+let cond_of_ast = function
+  | Ast.On_output name -> C_output name
+  | Ast.On_input name -> C_input name
+  | Ast.Any -> C_any
+
+let obj_source_of_ast (os : Ast.object_source) =
+  { s_task = os.os_task; s_obj = os.os_object; s_cond = cond_of_ast os.os_cond }
+
+let notif_source_of_ast (ns : Ast.notif_source) =
+  { n_task = ns.ns_task; n_cond = cond_of_ast ns.ns_cond }
+
+let outputs_of_class (tc : Ast.taskclass_decl) =
+  let convert (o : Ast.output_decl) =
+    {
+      out_kind = o.outd_kind;
+      out_name = o.outd_name;
+      out_objects = List.map (fun (od : Ast.object_decl) -> (od.od_name, od.od_class)) o.outd_objects;
+    }
+  in
+  List.map convert tc.tcd_outputs
+
+let input_sets_of ~(tc : Ast.taskclass_decl) ~(specs : Ast.input_set_spec list) ~owner =
+  let resolve_set (iss : Ast.input_set_spec) =
+    let isd =
+      match Ast.find_input_set tc iss.iss_name with
+      | Some isd -> isd
+      | None -> fail "task %s: taskclass %s has no input set %s" owner tc.tcd_name iss.iss_name
+    in
+    let notifications =
+      List.filter_map
+        (function
+          | Ast.Dep_notification sources -> Some (List.map notif_source_of_ast sources)
+          | Ast.Dep_object _ -> None)
+        iss.iss_deps
+    in
+    let sources_for (od : Ast.object_decl) =
+      let found =
+        List.find_map
+          (function
+            | Ast.Dep_object { d_name; d_sources; _ } when d_name = od.od_name -> Some d_sources
+            | Ast.Dep_object _ | Ast.Dep_notification _ -> None)
+          iss.iss_deps
+      in
+      match found with
+      | Some sources -> List.map obj_source_of_ast sources
+      | None -> []
+    in
+    let objects =
+      List.map
+        (fun (od : Ast.object_decl) ->
+          { io_name = od.od_name; io_class = od.od_class; io_sources = sources_for od })
+        isd.isd_objects
+    in
+    { is_name = iss.iss_name; is_notifications = notifications; is_objects = objects }
+  in
+  match specs with
+  | [] ->
+    (* no spec: every declared set, all objects external *)
+    let external_set (isd : Ast.input_set_decl) =
+      {
+        is_name = isd.isd_name;
+        is_notifications = [];
+        is_objects =
+          List.map
+            (fun (od : Ast.object_decl) ->
+              { io_name = od.od_name; io_class = od.od_class; io_sources = [] })
+            isd.isd_objects;
+      }
+    in
+    List.map external_set tc.tcd_input_sets
+  | specs -> List.map resolve_set specs
+
+let binding_of_ast (ob : Ast.output_binding) =
+  let notifications =
+    List.filter_map
+      (function
+        | Ast.Out_notification sources -> Some (List.map notif_source_of_ast sources)
+        | Ast.Out_object _ -> None)
+      ob.ob_deps
+  in
+  let objects =
+    List.filter_map
+      (function
+        | Ast.Out_object { o_name; o_sources; _ } ->
+          Some (o_name, List.map obj_source_of_ast o_sources)
+        | Ast.Out_notification _ -> None)
+      ob.ob_deps
+  in
+  { b_name = ob.ob_name; b_kind = ob.ob_kind; b_notifications = notifications; b_objects = objects }
+
+let class_of script name ~owner =
+  match Ast.find_taskclass script name with
+  | Some tc -> tc
+  | None -> fail "task %s: unknown taskclass %s" owner name
+
+let rec task_of_decl script (td : Ast.task_decl) =
+  let tc = class_of script td.td_class ~owner:td.td_name in
+  {
+    name = td.td_name;
+    klass = td.td_class;
+    impl = td.td_impl;
+    inputs = input_sets_of ~tc ~specs:td.td_inputs ~owner:td.td_name;
+    outputs = outputs_of_class tc;
+    body = Simple;
+  }
+
+and compound_of_decl script (cd : Ast.compound_decl) =
+  let tc = class_of script cd.cd_class ~owner:cd.cd_name in
+  let child = function
+    | Ast.C_task td -> task_of_decl script td
+    | Ast.C_compound inner -> compound_of_decl script inner
+    | Ast.C_template_inst ti -> fail "task %s: unexpanded template %s" cd.cd_name ti.Ast.ti_name
+  in
+  {
+    name = cd.cd_name;
+    klass = cd.cd_class;
+    impl = cd.cd_impl;
+    inputs = input_sets_of ~tc ~specs:cd.cd_inputs ~owner:cd.cd_name;
+    outputs = outputs_of_class tc;
+    body =
+      Compound
+        {
+          children = List.map child cd.cd_constituents;
+          bindings = List.map binding_of_ast cd.cd_outputs;
+        };
+  }
+
+let of_script script ~root =
+  let found =
+    List.find_map
+      (function
+        | Ast.D_task td when td.Ast.td_name = root -> Some (`Task td)
+        | Ast.D_compound cd when cd.Ast.cd_name = root -> Some (`Compound cd)
+        | _ -> None)
+      script
+  in
+  match found with
+  | None -> Error (Printf.sprintf "no top-level task or compound task named %s" root)
+  | Some decl -> (
+    match
+      match decl with
+      | `Task td -> task_of_decl script td
+      | `Compound cd -> compound_of_decl script cd
+    with
+    | task -> Ok task
+    | exception Resolve_error msg -> Error msg)
+
+let find_child task name =
+  match task.body with
+  | Simple -> None
+  | Compound { children; _ } -> List.find_opt (fun c -> c.name = name) children
+
+let is_atomic task = List.exists (fun o -> o.out_kind = Ast.Abort_outcome) task.outputs
+
+let output_named task name = List.find_opt (fun o -> o.out_name = name) task.outputs
+
+let input_set_named task name = List.find_opt (fun s -> s.is_name = name) task.inputs
+
+let rec task_count task =
+  match task.body with
+  | Simple -> 1
+  | Compound { children; _ } -> 1 + List.fold_left (fun acc c -> acc + task_count c) 0 children

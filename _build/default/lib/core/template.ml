@@ -1,0 +1,108 @@
+exception Expand_error of string * Loc.t
+
+let subst_name env name = match List.assoc_opt name env with Some arg -> arg | None -> name
+
+let subst_cond _env cond = cond
+
+let subst_object_source env (os : Ast.object_source) =
+  { os with Ast.os_task = subst_name env os.os_task; os_cond = subst_cond env os.os_cond }
+
+let subst_notif_source env (ns : Ast.notif_source) =
+  { ns with Ast.ns_task = subst_name env ns.ns_task; ns_cond = subst_cond env ns.ns_cond }
+
+let subst_input_dep env = function
+  | Ast.Dep_notification sources -> Ast.Dep_notification (List.map (subst_notif_source env) sources)
+  | Ast.Dep_object { d_name; d_sources; d_loc } ->
+    Ast.Dep_object { d_name; d_sources = List.map (subst_object_source env) d_sources; d_loc }
+
+let subst_input_set env (iss : Ast.input_set_spec) =
+  { iss with Ast.iss_deps = List.map (subst_input_dep env) iss.iss_deps }
+
+let subst_output_dep env = function
+  | Ast.Out_notification sources -> Ast.Out_notification (List.map (subst_notif_source env) sources)
+  | Ast.Out_object { o_name; o_sources; o_loc } ->
+    Ast.Out_object { o_name; o_sources = List.map (subst_object_source env) o_sources; o_loc }
+
+let subst_output_binding env (ob : Ast.output_binding) =
+  { ob with Ast.ob_deps = List.map (subst_output_dep env) ob.ob_deps }
+
+let rec subst_task env (td : Ast.task_decl) =
+  { td with Ast.td_inputs = List.map (subst_input_set env) td.td_inputs }
+
+and subst_compound env (cd : Ast.compound_decl) =
+  {
+    cd with
+    Ast.cd_inputs = List.map (subst_input_set env) cd.cd_inputs;
+    cd_constituents = List.map (subst_constituent env) cd.cd_constituents;
+    cd_outputs = List.map (subst_output_binding env) cd.cd_outputs;
+  }
+
+and subst_constituent env = function
+  | Ast.C_task td -> Ast.C_task (subst_task env td)
+  | Ast.C_compound cd -> Ast.C_compound (subst_compound env cd)
+  | Ast.C_template_inst ti ->
+    Ast.C_template_inst { ti with Ast.ti_args = List.map (subst_name env) ti.ti_args }
+
+let check_params (tpl : Ast.template_decl) =
+  let rec dup = function
+    | [] -> None
+    | p :: rest -> if List.mem p rest then Some p else dup rest
+  in
+  match dup tpl.tpl_params with
+  | Some p ->
+    raise (Expand_error (Printf.sprintf "duplicate template parameter %s" p, tpl.tpl_loc))
+  | None -> ()
+
+let instantiate templates (ti : Ast.template_inst) =
+  match List.assoc_opt ti.ti_template templates with
+  | None -> raise (Expand_error ("unknown task template " ^ ti.ti_template, ti.ti_loc))
+  | Some (tpl : Ast.template_decl) ->
+    if List.length tpl.tpl_params <> List.length ti.ti_args then
+      raise
+        (Expand_error
+           ( Printf.sprintf "template %s expects %d argument(s), got %d" ti.ti_template
+               (List.length tpl.tpl_params) (List.length ti.ti_args),
+             ti.ti_loc ));
+    let env = List.combine tpl.tpl_params ti.ti_args in
+    let reject_nested loc = raise (Expand_error ("template bodies may not instantiate templates", loc)) in
+    (match tpl.tpl_body with
+    | Ast.T_task td ->
+      Ast.C_task { (subst_task env td) with Ast.td_name = ti.ti_name; td_loc = ti.ti_loc }
+    | Ast.T_compound cd ->
+      let expanded = subst_compound env cd in
+      List.iter
+        (function Ast.C_template_inst t -> reject_nested t.Ast.ti_loc | _ -> ())
+        expanded.Ast.cd_constituents;
+      Ast.C_compound { expanded with Ast.cd_name = ti.ti_name; cd_loc = ti.ti_loc })
+
+let rec expand_constituent templates = function
+  | Ast.C_task td -> Ast.C_task td
+  | Ast.C_compound cd -> Ast.C_compound (expand_compound templates cd)
+  | Ast.C_template_inst ti -> (
+    match instantiate templates ti with
+    | Ast.C_compound cd -> Ast.C_compound (expand_compound templates cd)
+    | other -> other)
+
+and expand_compound templates (cd : Ast.compound_decl) =
+  { cd with Ast.cd_constituents = List.map (expand_constituent templates) cd.cd_constituents }
+
+let expand script =
+  let templates =
+    List.filter_map (function Ast.D_template tpl -> Some (tpl.Ast.tpl_name, tpl) | _ -> None) script
+  in
+  match
+    List.iter (fun (_, tpl) -> check_params tpl) templates;
+    List.filter_map
+      (function
+        | Ast.D_template _ -> None
+        | Ast.D_template_inst ti -> (
+          match expand_constituent templates (Ast.C_template_inst ti) with
+          | Ast.C_task td -> Some (Ast.D_task td)
+          | Ast.C_compound cd -> Some (Ast.D_compound cd)
+          | Ast.C_template_inst _ -> assert false)
+        | Ast.D_compound cd -> Some (Ast.D_compound (expand_compound templates cd))
+        | (Ast.D_class _ | Ast.D_taskclass _ | Ast.D_task _) as d -> Some d)
+      script
+  with
+  | expanded -> Ok expanded
+  | exception Expand_error (msg, loc) -> Error (msg, loc)

@@ -1,0 +1,14 @@
+(** Task-template expansion (paper §4.5).
+
+    [tasktemplate] declarations parameterise task/compound definitions
+    over task names. Expansion replaces every instantiation
+    [name of tasktemplate tmpl(arg1, ...)] — at top level or as a
+    compound constituent — with a copy of the template body, renamed to
+    [name], in which each parameter is substituted by the corresponding
+    argument wherever a task name is referenced. Template declarations
+    are dropped from the result. *)
+
+val expand : Ast.script -> (Ast.script, string * Loc.t) result
+(** Fails on: unknown template, arity mismatch, duplicate parameter
+    names, or a template whose body instantiates another template
+    (one level of templates keeps expansion trivially terminating). *)

@@ -1,0 +1,36 @@
+(** Semantic validation of workflow scripts (post template expansion).
+
+    Errors are violations that make a script unexecutable or break the
+    language rules of §4:
+    - duplicate names in a namespace (classes, taskclasses, instances,
+      input sets, outputs, constituents);
+    - references to unknown classes, taskclasses, tasks, outputs, input
+      sets or objects;
+    - class mismatches between a source object and the input object it
+      feeds (no subtyping — paper §7);
+    - a taskclass that declares both an [abort outcome] (which makes it
+      atomic) and a [mark] (atomic tasks may not release early);
+    - a repeat outcome referenced by any task other than its producer;
+    - a compound output binding whose kind differs from the taskclass
+      declaration, or that fails to source a declared output object.
+
+    Warnings flag suspicious-but-runnable scripts: input objects with no
+    sources (they must then be supplied externally, as for a root task),
+    compound outcomes that are never produced, and static dependency
+    cycles among constituents (which can still be broken at run time by
+    alternative sources). *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; msg : string; loc : Loc.t }
+
+val check : Ast.script -> issue list
+(** All issues, in source order. Template instantiations must have been
+    expanded away ({!Template.expand}); any that remain are errors. *)
+
+val errors_only : issue list -> issue list
+
+val ok : Ast.script -> (unit, issue list) result
+(** [Ok ()] when {!check} reports no [Error]-severity issues. *)
+
+val pp_issue : Format.formatter -> issue -> unit

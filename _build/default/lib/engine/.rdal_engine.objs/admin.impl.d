@@ -1,0 +1,1 @@
+lib/engine/admin.ml: Engine Format List Node Rpc Value Wire Wstate

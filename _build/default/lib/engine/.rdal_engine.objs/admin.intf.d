@@ -1,0 +1,1 @@
+lib/engine/admin.mli: Engine Rpc Wstate

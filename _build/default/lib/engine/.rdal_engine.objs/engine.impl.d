@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Ast Exec_host Format Frontend Hashtbl List Network Node Option Parser Participant Pretty Printf Registry Rng Rpc Schema Sim String Template Trace Txn Validate Value Wfmsg Wstate

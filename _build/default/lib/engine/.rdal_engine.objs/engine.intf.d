@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Ast Exec_host Node Participant Registry Rpc Sim Trace Txn Value Wstate

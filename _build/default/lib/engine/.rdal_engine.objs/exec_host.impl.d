@@ -1,0 +1,1 @@
+lib/engine/exec_host.ml: Network Node Printexc Registry Rng Rpc Sim Wfmsg

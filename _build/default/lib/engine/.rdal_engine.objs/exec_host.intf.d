@@ -1,0 +1,1 @@
+lib/engine/exec_host.mli: Node Registry Rpc

@@ -1,0 +1,1 @@
+lib/engine/gantt.ml: Buffer Bytes Hashtbl List Printf Sim String Trace

@@ -1,0 +1,1 @@
+lib/engine/gantt.mli: Trace

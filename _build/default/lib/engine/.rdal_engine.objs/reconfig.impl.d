@@ -1,0 +1,1 @@
+lib/engine/reconfig.ml: Ast List Loc Parser Printf Result

@@ -1,0 +1,1 @@
+lib/engine/reconfig.mli: Ast

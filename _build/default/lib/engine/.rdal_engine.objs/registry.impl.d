@@ -1,0 +1,1 @@
+lib/engine/registry.ml: Hashtbl List Rng Schema Sim String Value

@@ -1,0 +1,1 @@
+lib/engine/registry.mli: Rng Schema Sim Value

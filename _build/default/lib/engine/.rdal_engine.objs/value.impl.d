@@ -1,0 +1,1 @@
+lib/engine/value.ml: Format Wire

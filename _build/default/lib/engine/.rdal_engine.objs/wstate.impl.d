@@ -1,0 +1,1 @@
+lib/engine/wstate.ml: Ast Format Printf Sim String Value Wire

@@ -1,0 +1,1 @@
+lib/engine/wstate.mli: Ast Format Sim Value

@@ -1,0 +1,93 @@
+type row = {
+  path : string;
+  started : Sim.time;
+  mutable finished : Sim.time option;
+  mutable outcome : string;
+  mutable marks : Sim.time list;
+}
+
+(* "diamond/t1 (attempt 1)" -> "diamond/t1" *)
+let strip_suffix detail =
+  match String.index_opt detail ' ' with
+  | Some i -> String.sub detail 0 i
+  | None -> detail
+
+(* "diamond/t1 -> produced" -> ("diamond/t1", "produced") *)
+let split_arrow detail =
+  let marker = " -> " in
+  let ml = String.length marker in
+  let rec find i =
+    if i + ml > String.length detail then None
+    else if String.sub detail i ml = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    (String.sub detail 0 i, String.sub detail (i + ml) (String.length detail - i - ml))
+  | None -> (detail, "")
+
+let collect trace =
+  let rows : (string, row) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let row_for path at =
+    match Hashtbl.find_opt rows path with
+    | Some r -> r
+    | None ->
+      let r = { path; started = at; finished = None; outcome = ""; marks = [] } in
+      Hashtbl.replace rows path r;
+      order := path :: !order;
+      r
+  in
+  let visit (e : Trace.entry) =
+    match e.Trace.kind with
+    | "start" | "scope-open" -> ignore (row_for (strip_suffix e.Trace.detail) e.Trace.at)
+    | "complete" ->
+      let path, outcome = split_arrow e.Trace.detail in
+      let r = row_for path e.Trace.at in
+      r.finished <- Some e.Trace.at;
+      r.outcome <- outcome
+    | "mark" ->
+      let path = strip_suffix e.Trace.detail in
+      let r = row_for path e.Trace.at in
+      r.marks <- e.Trace.at :: r.marks
+    | _ -> ()
+  in
+  List.iter visit (Trace.entries trace);
+  List.rev_map (Hashtbl.find rows) !order
+
+let render ?(width = 60) trace =
+  match collect trace with
+  | [] -> ""
+  | rows ->
+    let t0 = List.fold_left (fun acc r -> min acc r.started) max_int rows in
+    let t1 =
+      List.fold_left
+        (fun acc r -> max acc (match r.finished with Some f -> f | None -> r.started))
+        t0 rows
+    in
+    let span = max 1 (t1 - t0) in
+    let col t = min (width - 1) ((t - t0) * (width - 1) / span) in
+    let label_width =
+      List.fold_left (fun acc r -> max acc (String.length r.path)) 0 rows
+    in
+    let buf = Buffer.create 1024 in
+    let render_row r =
+      let bar = Bytes.make width ' ' in
+      let b = col r.started in
+      let e = match r.finished with Some f -> col f | None -> width - 1 in
+      for i = b to e do
+        Bytes.set bar i '='
+      done;
+      Bytes.set bar b '|';
+      if r.finished <> None then Bytes.set bar e '|';
+      List.iter (fun m -> Bytes.set bar (col m) '*') r.marks;
+      let timing =
+        match r.finished with
+        | Some f -> Printf.sprintf "%6d..%6d us  %s" r.started f r.outcome
+        | None -> Printf.sprintf "%6d..        (running)" r.started
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %s %s\n" label_width r.path (Bytes.to_string bar) timing)
+    in
+    List.iter render_row rows;
+    Buffer.contents buf

@@ -1,0 +1,11 @@
+(** ASCII Gantt chart of a workflow run, reconstructed from the engine
+    trace — regenerates the paper's Fig 1 timeline ("t2 and t3 start
+    once t1 finishes and t4 starts after both") as text.
+
+    One row per task execution interval (first [start]/[scope-open] to
+    the matching [complete]), drawn over a scaled time axis; marks are
+    drawn as [*] at their release instant. *)
+
+val render : ?width:int -> Trace.t -> string
+(** [width] is the number of columns of the bar area (default 60). An
+    empty trace renders an empty string. *)

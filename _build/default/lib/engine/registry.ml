@@ -1,0 +1,42 @@
+type outcome = {
+  output : string;
+  objects : (string * Value.t) list;
+}
+
+type step =
+  | Work of Sim.time
+  | Emit_mark of outcome
+
+type plan = { steps : step list; finish : outcome }
+
+type context = {
+  attempt : int;
+  input_set : string;
+  inputs : (string * Value.obj) list;
+  rng : Rng.t;
+}
+
+type fn = context -> plan
+
+type impl =
+  | Fn of fn
+  | Sub_workflow of Schema.task
+
+type t = { bindings : (string, impl) Hashtbl.t }
+
+let create () = { bindings = Hashtbl.create 32 }
+
+let bind t ~code fn = Hashtbl.replace t.bindings code (Fn fn)
+
+let bind_script t ~code schema = Hashtbl.replace t.bindings code (Sub_workflow schema)
+
+let unbind t ~code = Hashtbl.remove t.bindings code
+
+let find t ~code = Hashtbl.find_opt t.bindings code
+
+let names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.bindings [])
+
+let finish ?(work = Sim.ms 1) output objects = { steps = [ Work work ]; finish = { output; objects } }
+
+let const ?work output objects _ctx = finish ?work output objects

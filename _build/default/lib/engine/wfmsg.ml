@@ -1,0 +1,71 @@
+let service_exec = "wf.exec"
+
+let service_done = "wf.done"
+
+let service_mark = "wf.mark"
+
+type exec_req = {
+  x_iid : string;
+  x_path : string list;
+  x_attempt : int;
+  x_code : string;
+  x_set : string;
+  x_inputs : (string * Value.obj) list;
+}
+
+type report = {
+  r_iid : string;
+  r_path : string list;
+  r_attempt : int;
+  r_output : string;
+  r_objects : (string * Value.t) list;
+}
+
+let enc_exec x =
+  Wire.string x.x_iid
+  ^ Wire.(list string) x.x_path
+  ^ Wire.int x.x_attempt ^ Wire.string x.x_code ^ Wire.string x.x_set
+  ^ Wire.string (Value.encode_bindings x.x_inputs)
+
+let dec_exec s =
+  Wire.decode
+    (fun d ->
+      let x_iid = Wire.d_string d in
+      let x_path = Wire.d_list Wire.d_string d in
+      let x_attempt = Wire.d_int d in
+      let x_code = Wire.d_string d in
+      let x_set = Wire.d_string d in
+      let x_inputs = Value.decode_bindings (Wire.d_string d) in
+      { x_iid; x_path; x_attempt; x_code; x_set; x_inputs })
+    s
+
+let enc_value_bindings objects =
+  Wire.list (fun (name, v) -> Wire.string name ^ Wire.string (Value.encode v)) objects
+
+let dec_value_bindings d =
+  Wire.d_list
+    (fun d ->
+      let name = Wire.d_string d in
+      let v = Value.decode (Wire.d_string d) in
+      (name, v))
+    d
+
+let enc_report r =
+  Wire.string r.r_iid
+  ^ Wire.(list string) r.r_path
+  ^ Wire.int r.r_attempt ^ Wire.string r.r_output ^ enc_value_bindings r.r_objects
+
+let dec_report s =
+  Wire.decode
+    (fun d ->
+      let r_iid = Wire.d_string d in
+      let r_path = Wire.d_list Wire.d_string d in
+      let r_attempt = Wire.d_int d in
+      let r_output = Wire.d_string d in
+      let r_objects = dec_value_bindings d in
+      { r_iid; r_path; r_attempt; r_output; r_objects })
+    s
+
+let reply_ok = "ok"
+
+let reply_no_impl = "no-impl"

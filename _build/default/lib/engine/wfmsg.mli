@@ -1,0 +1,39 @@
+(** RPC message codecs between the execution service and task hosts. *)
+
+val service_exec : string
+(** engine → host: start executing a task implementation *)
+
+val service_done : string
+(** host → engine: a task finished (outcome/abort/repeat name + objects) *)
+
+val service_mark : string
+(** host → engine: a task released a mark early *)
+
+type exec_req = {
+  x_iid : string;
+  x_path : string list;
+  x_attempt : int;
+  x_code : string;
+  x_set : string;
+  x_inputs : (string * Value.obj) list;
+}
+
+type report = {
+  r_iid : string;
+  r_path : string list;
+  r_attempt : int;
+  r_output : string;
+  r_objects : (string * Value.t) list;
+}
+
+val enc_exec : exec_req -> string
+
+val dec_exec : string -> exec_req
+
+val enc_report : report -> string
+
+val dec_report : string -> report
+
+val reply_ok : string
+
+val reply_no_impl : string

@@ -1,0 +1,107 @@
+(** Persistent workflow-instance state: record types, wire codecs and
+    store-key layout.
+
+    Everything the execution service needs to resume an instance after
+    an engine-node crash is written (under transactions) to the engine
+    node's object store using these keys:
+
+    - [wf:insts] — list of instance ids
+    - [wf:I:meta] — script text, root name, external inputs, status
+    - [wf:I:reconf] — current script text after dynamic reconfiguration
+    - [wf:I:t:P] — state of the task at path [P]
+    - [wf:I:c:P] — input set chosen for the task at [P] and its values
+    - [wf:I:m:P] — marks emitted by the task at [P]
+    - [wf:I:r:P] — the last repeat outcome of the task at [P]
+    - [wf:I:timer:P:S] — the timeout of input set [S] has fired
+    - [wf:I:timerarm:P:S] — deadline of the armed timer of input set [S]
+
+    A path [P] is the [/]-joined chain of task names from the root. *)
+
+type path = string list
+
+type task_state =
+  | Waiting of { attempt : int }
+  | Running of { attempt : int; set : string; started : Sim.time; deadline : Sim.time }
+  | Done of {
+      attempt : int;
+      output : string;
+      kind : Ast.output_kind;
+      objects : (string * Value.obj) list;
+    }
+  | Failed of string
+
+type chosen = { c_set : string; c_inputs : (string * Value.obj) list }
+
+type status =
+  | Wf_running
+  | Wf_done of { output : string; objects : (string * Value.obj) list }
+  | Wf_failed of string
+
+type meta = {
+  m_script : string;
+  m_root : string;
+  m_inputs : (string * Value.obj) list;
+  m_status : status;
+}
+
+val path_to_string : path -> string
+
+val key_insts : string
+
+val key_meta : string -> string
+
+val key_reconf : string -> string
+
+val key_task : string -> path -> string
+
+val key_chosen : string -> path -> string
+
+val key_marks : string -> path -> string
+
+val key_repeat : string -> path -> string
+
+val key_timer : string -> path -> set:string -> string
+
+val key_timer_arm : string -> path -> set:string -> string
+
+val key_history : string -> int -> string
+(** [wf:I:h:N] — N-th persistent history event of the instance. *)
+
+val encode_history : Sim.time * string * string -> string
+(** at, kind, detail. *)
+
+val decode_history : string -> Sim.time * string * string
+(** Absolute virtual-time deadline of an armed input-set timer; persists
+    so a recovery resumes the remaining wait instead of restarting the
+    full timeout. *)
+
+val task_prefix : string -> string
+(** Prefix of all [wf:I:*] keys of one instance, for scans/deletion. *)
+
+val encode_task_state : task_state -> string
+
+val decode_task_state : string -> task_state
+
+val encode_chosen : chosen -> string
+
+val decode_chosen : string -> chosen
+
+val encode_meta : meta -> string
+
+val decode_meta : string -> meta
+
+val encode_marks : (string * (string * Value.obj) list) list -> string
+
+val decode_marks : string -> (string * (string * Value.obj) list) list
+
+val encode_repeat : string * (string * Value.obj) list -> string
+
+val decode_repeat : string -> string * (string * Value.obj) list
+
+val encode_insts : string list -> string
+
+val decode_insts : string -> string list
+
+val pp_task_state : Format.formatter -> task_state -> unit
+
+val pp_status : Format.formatter -> status -> unit

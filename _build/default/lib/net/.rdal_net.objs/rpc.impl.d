@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Hashtbl Network Node Printexc Printf Sim Wire

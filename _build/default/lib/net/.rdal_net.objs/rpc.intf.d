@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Network Node Sim

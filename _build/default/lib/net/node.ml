@@ -1,0 +1,38 @@
+type handler = src:string -> string -> string
+
+type t = {
+  id : string;
+  mutable is_up : bool;
+  services : (string, handler) Hashtbl.t;
+  mutable crash_hooks : (unit -> unit) list;
+  mutable recover_hooks : (unit -> unit) list;
+}
+
+let create ~id =
+  { id; is_up = true; services = Hashtbl.create 8; crash_hooks = []; recover_hooks = [] }
+
+let id t = t.id
+
+let up t = t.is_up
+
+let serve t ~service handler = Hashtbl.replace t.services service handler
+
+let withdraw t ~service = Hashtbl.remove t.services service
+
+let handler t ~service = Hashtbl.find_opt t.services service
+
+let on_crash t hook = t.crash_hooks <- t.crash_hooks @ [ hook ]
+
+let on_recover t hook = t.recover_hooks <- t.recover_hooks @ [ hook ]
+
+let crash t =
+  if t.is_up then begin
+    t.is_up <- false;
+    List.iter (fun hook -> hook ()) t.crash_hooks
+  end
+
+let recover t =
+  if not t.is_up then begin
+    t.is_up <- true;
+    List.iter (fun hook -> hook ()) t.recover_hooks
+  end

@@ -1,0 +1,36 @@
+(** A simulated host.
+
+    A node owns services (named message handlers) and crash hooks.
+    Crashing a node loses all volatile state: components register
+    [on_crash]/[on_recover] hooks (e.g. a {!Rdal_store.Kvstore.t} wipes
+    its cache on crash and replays its WAL on recovery). *)
+
+type t
+
+type handler = src:string -> string -> string
+(** A service handler: given the caller's node id and the request body,
+    returns the reply body. Raising an exception counts as a service
+    failure and the caller sees an RPC failure (after retries). *)
+
+val create : id:string -> t
+
+val id : t -> string
+
+val up : t -> bool
+
+val serve : t -> service:string -> handler -> unit
+(** Registers (or replaces — "service moved") a handler. *)
+
+val withdraw : t -> service:string -> unit
+
+val handler : t -> service:string -> handler option
+
+val on_crash : t -> (unit -> unit) -> unit
+
+val on_recover : t -> (unit -> unit) -> unit
+
+val crash : t -> unit
+(** Idempotent. Runs crash hooks in registration order. *)
+
+val recover : t -> unit
+(** Idempotent. Runs recovery hooks in registration order. *)

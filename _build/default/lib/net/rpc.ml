@@ -1,0 +1,135 @@
+let req_service = "$rpc.req"
+
+let rsp_service = "$rpc.rsp"
+
+type pending = {
+  dst : string;
+  service : string;
+  body : string;
+  timeout : Sim.time;
+  mutable attempts_left : int;
+  callback : (string, string) result -> unit;
+  mutable timer : Sim.handle option;
+}
+
+type endpoint = {
+  pending_calls : (string, pending) Hashtbl.t;  (** client side, volatile *)
+  replies_cache : (string, string) Hashtbl.t;  (** server side, volatile *)
+}
+
+type t = {
+  net : Network.t;
+  endpoints : (string, endpoint) Hashtbl.t;
+  mutable next_req : int;
+  mutable calls : int;
+  mutable retries : int;
+  mutable dedup_hits : int;
+}
+
+let create net =
+  { net; endpoints = Hashtbl.create 8; next_req = 0; calls = 0; retries = 0; dedup_hits = 0 }
+
+let network t = t.net
+
+let encode_req = Wire.(triple string string string)
+(* req_id, service, body *)
+
+let decode_req = Wire.(decode (d_triple d_string d_string d_string))
+
+let encode_rsp (req_id, result) =
+  let payload = match result with Ok r -> Wire.bool true ^ Wire.string r | Error e -> Wire.bool false ^ Wire.string e in
+  Wire.string req_id ^ payload
+
+let decode_rsp body =
+  let open Wire in
+  decode
+    (fun d ->
+      let req_id = d_string d in
+      let ok = d_bool d in
+      let payload = d_string d in
+      (req_id, if ok then Ok payload else Error payload))
+    body
+
+let endpoint t node_id =
+  match Hashtbl.find_opt t.endpoints node_id with
+  | Some ep -> ep
+  | None -> invalid_arg ("Rpc: node not attached: " ^ node_id)
+
+let handle_request t node ~src body =
+  let req_id, service, payload = decode_req body in
+  let ep = endpoint t (Node.id node) in
+  let result =
+    match Hashtbl.find_opt ep.replies_cache req_id with
+    | Some cached ->
+      t.dedup_hits <- t.dedup_hits + 1;
+      cached
+    | None ->
+      let outcome =
+        match Node.handler node ~service with
+        | None -> Error ("no such service: " ^ service)
+        | Some h -> ( try Ok (h ~src payload) with exn -> Error (Printexc.to_string exn))
+      in
+      let encoded = encode_rsp (req_id, outcome) in
+      Hashtbl.replace ep.replies_cache req_id encoded;
+      encoded
+  in
+  Network.send t.net ~src:(Node.id node) ~dst:src ~service:rsp_service ~body:result;
+  ""
+
+let handle_response t node ~src:_ body =
+  let req_id, result = decode_rsp body in
+  let ep = endpoint t (Node.id node) in
+  (match Hashtbl.find_opt ep.pending_calls req_id with
+  | None -> () (* late duplicate, or caller crashed since *)
+  | Some p ->
+    Hashtbl.remove ep.pending_calls req_id;
+    (match p.timer with Some h -> Sim.cancel (Network.sim t.net) h | None -> ());
+    p.callback result);
+  ""
+
+let attach t node =
+  let id = Node.id node in
+  if not (Hashtbl.mem t.endpoints id) then begin
+    let ep = { pending_calls = Hashtbl.create 16; replies_cache = Hashtbl.create 16 } in
+    Hashtbl.replace t.endpoints id ep;
+    Node.serve node ~service:req_service (handle_request t node);
+    Node.serve node ~service:rsp_service (handle_response t node);
+    Node.on_crash node (fun () ->
+        Hashtbl.reset ep.pending_calls;
+        Hashtbl.reset ep.replies_cache)
+  end
+
+let rec attempt t ~src ~req_id p =
+  let body = encode_req (req_id, p.service, p.body) in
+  Network.send t.net ~src ~dst:p.dst ~service:req_service ~body;
+  let ep = endpoint t src in
+  let on_timeout () =
+    match Hashtbl.find_opt ep.pending_calls req_id with
+    | None -> ()
+    | Some p ->
+      if p.attempts_left > 0 then begin
+        p.attempts_left <- p.attempts_left - 1;
+        t.retries <- t.retries + 1;
+        attempt t ~src ~req_id p
+      end
+      else begin
+        Hashtbl.remove ep.pending_calls req_id;
+        p.callback (Error "timeout")
+      end
+  in
+  p.timer <- Some (Sim.schedule (Network.sim t.net) ~delay:p.timeout on_timeout)
+
+let call t ~src ~dst ~service ~body ?(timeout = Sim.ms 10) ?(retries = 8) callback =
+  let ep = endpoint t src in
+  t.calls <- t.calls + 1;
+  t.next_req <- t.next_req + 1;
+  let req_id = Printf.sprintf "%s#%d" src t.next_req in
+  let p = { dst; service; body; timeout; attempts_left = retries; callback; timer = None } in
+  Hashtbl.replace ep.pending_calls req_id p;
+  attempt t ~src ~req_id p
+
+let calls_total t = t.calls
+
+let retries_total t = t.retries
+
+let dedup_hits_total t = t.dedup_hits

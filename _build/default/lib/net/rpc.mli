@@ -1,0 +1,43 @@
+(** Request/response with timeouts, bounded retries and server-side
+    de-duplication on top of {!Network}.
+
+    Retried requests carry the same request id; the server caches
+    replies per request id, so application handlers execute at most once
+    per request even when the transport retries (at-least-once delivery,
+    at-most-once execution — the CORBA-ish contract the paper's
+    execution environment assumes). The dedup cache is volatile: a
+    server crash may re-execute a request after recovery, so handlers
+    that survive crashes must themselves be idempotent, which the
+    transaction layer's log records guarantee. *)
+
+type t
+
+val create : Network.t -> t
+
+val network : t -> Network.t
+
+val attach : t -> Node.t -> unit
+(** Install the RPC envelope service on a node. Must be called once per
+    node before it can send or serve calls. *)
+
+val call :
+  t ->
+  src:string ->
+  dst:string ->
+  service:string ->
+  body:string ->
+  ?timeout:Sim.time ->
+  ?retries:int ->
+  ((string, string) result -> unit) ->
+  unit
+(** [call t ~src ~dst ~service ~body k] invokes [service] on [dst].
+    [k (Ok reply)] on success. [k (Error reason)] when the service
+    raised, is unknown, or all [retries] attempts (default 8) timed out
+    ([timeout] default 10ms per attempt). If the calling node crashes
+    while the call is outstanding, [k] is never invoked. *)
+
+val calls_total : t -> int
+
+val retries_total : t -> int
+
+val dedup_hits_total : t -> int

@@ -1,0 +1,78 @@
+exception Malformed of string
+
+type 'a enc = 'a -> string
+
+type decoder = { input : string; mutable pos : int }
+
+let frame payload = Printf.sprintf "%d:%s" (String.length payload) payload
+
+let string s = frame s
+
+let int n = frame (string_of_int n)
+
+let bool b = frame (if b then "t" else "f")
+
+let pair ea eb (a, b) = ea a ^ eb b
+
+let triple ea eb ec (a, b, c) = ea a ^ eb b ^ ec c
+
+let list e items = int (List.length items) ^ String.concat "" (List.map e items)
+
+let option e = function None -> bool false | Some v -> bool true ^ e v
+
+let decoder input = { input; pos = 0 }
+
+let at_end d = d.pos >= String.length d.input
+
+let fail d msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg d.pos))
+
+let d_string d =
+  let len_end =
+    match String.index_from_opt d.input d.pos ':' with
+    | Some i -> i
+    | None -> fail d "missing length separator"
+  in
+  let len =
+    match int_of_string_opt (String.sub d.input d.pos (len_end - d.pos)) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> fail d "bad length"
+  in
+  if len_end + 1 + len > String.length d.input then fail d "truncated payload";
+  let payload = String.sub d.input (len_end + 1) len in
+  d.pos <- len_end + 1 + len;
+  payload
+
+let d_int d =
+  match int_of_string_opt (d_string d) with
+  | Some n -> n
+  | None -> fail d "bad int"
+
+let d_bool d =
+  match d_string d with
+  | "t" -> true
+  | "f" -> false
+  | _ -> fail d "bad bool"
+
+let d_pair da db d =
+  let a = da d in
+  let b = db d in
+  (a, b)
+
+let d_triple da db dc d =
+  let a = da d in
+  let b = db d in
+  let c = dc d in
+  (a, b, c)
+
+let d_list da d =
+  let n = d_int d in
+  let rec take k acc = if k = 0 then List.rev acc else take (k - 1) (da d :: acc) in
+  take n []
+
+let d_option da d = if d_bool d then Some (da d) else None
+
+let decode da input =
+  let d = decoder input in
+  let v = da d in
+  if not (at_end d) then fail d "trailing bytes";
+  v

@@ -1,0 +1,34 @@
+(** Tiny netstring-style wire codec.
+
+    Every message crossing the simulated network is a string; services
+    use these combinators instead of ad-hoc [Printf]/[Scanf] so that
+    payloads containing delimiters round-trip safely. *)
+
+exception Malformed of string
+
+type 'a enc = 'a -> string
+
+type decoder
+
+val string : string enc
+val int : int enc
+val bool : bool enc
+val pair : 'a enc -> 'b enc -> ('a * 'b) enc
+val triple : 'a enc -> 'b enc -> 'c enc -> ('a * 'b * 'c) enc
+val list : 'a enc -> 'a list enc
+val option : 'a enc -> 'a option enc
+
+val decoder : string -> decoder
+
+val at_end : decoder -> bool
+
+val d_string : decoder -> string
+val d_int : decoder -> int
+val d_bool : decoder -> bool
+val d_pair : (decoder -> 'a) -> (decoder -> 'b) -> decoder -> 'a * 'b
+val d_triple : (decoder -> 'a) -> (decoder -> 'b) -> (decoder -> 'c) -> decoder -> 'a * 'b * 'c
+val d_list : (decoder -> 'a) -> decoder -> 'a list
+val d_option : (decoder -> 'a) -> decoder -> 'a option
+
+val decode : (decoder -> 'a) -> string -> 'a
+(** Runs the decoder and checks the whole input was consumed. *)

@@ -1,0 +1,1 @@
+lib/repo/repo_client.ml: Engine Repository Rpc Wire

@@ -1,0 +1,1 @@
+lib/repo/repo_client.mli: Engine Repository Rpc Value

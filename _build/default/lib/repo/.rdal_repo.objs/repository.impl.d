@@ -1,0 +1,1 @@
+lib/repo/repository.ml: Frontend Kvstore List Node Printf Schema String Validate Wire

@@ -1,0 +1,1 @@
+lib/repo/repository.mli: Node Rpc

@@ -1,0 +1,47 @@
+type t = { rpc : Rpc.t; src : string; repo_node : string }
+
+let create ~rpc ~src ~repo_node = { rpc; src; repo_node }
+
+let dec_result dec body =
+  let d = Wire.decoder body in
+  if Wire.d_bool d then Ok (dec d) else Error (Wire.d_string d)
+
+let call t ~service ~body ~dec k =
+  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service ~body (function
+    | Ok reply -> (
+      match dec_result dec reply with v -> k v | exception Wire.Malformed m -> k (Error m))
+    | Error e -> k (Error ("rpc: " ^ e)))
+
+let store t ~name ~source k =
+  call t ~service:Repository.service_store
+    ~body:(Wire.(pair string string) (name, source))
+    ~dec:Wire.d_int k
+
+let fetch t ~name ?version k =
+  call t ~service:Repository.service_fetch
+    ~body:(Wire.(pair string (option int)) (name, version))
+    ~dec:Wire.d_string k
+
+let list_names t k =
+  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_list ~body:"" (function
+    | Ok reply -> (
+      match Wire.(decode (d_list d_string)) reply with
+      | names -> k (Ok names)
+      | exception Wire.Malformed m -> k (Error m))
+    | Error e -> k (Error ("rpc: " ^ e)))
+
+let dec_summary d =
+  let s_name = Wire.d_string d in
+  let s_head = Wire.d_int d in
+  let s_roots = Wire.d_list Wire.d_string d in
+  let s_task_count = Wire.d_int d in
+  let s_warnings = Wire.d_int d in
+  { Repository.s_name; s_head; s_roots; s_task_count; s_warnings }
+
+let inspect t ~name k =
+  call t ~service:Repository.service_inspect ~body:(Wire.string name) ~dec:dec_summary k
+
+let launch t ~engine ~name ?version ~root ~inputs k =
+  fetch t ~name ?version (function
+    | Error e -> k (Error e)
+    | Ok source -> k (Engine.launch engine ~script:source ~root ~inputs))

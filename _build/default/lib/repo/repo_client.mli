@@ -1,0 +1,31 @@
+(** RPC client for the {!Repository} service: what administrative
+    applications and remote engines use (paper Fig 4's arrows through
+    the ORB). All operations are continuation-passing over the
+    simulated network. *)
+
+type t
+
+val create : rpc:Rpc.t -> src:string -> repo_node:string -> t
+(** [src] is the calling node; [repo_node] hosts the repository. *)
+
+val store :
+  t -> name:string -> source:string -> ((Repository.version, string) result -> unit) -> unit
+
+val fetch :
+  t -> name:string -> ?version:Repository.version -> ((string, string) result -> unit) -> unit
+
+val list_names : t -> ((string list, string) result -> unit) -> unit
+
+val inspect : t -> name:string -> ((Repository.summary, string) result -> unit) -> unit
+
+val launch :
+  t ->
+  engine:Engine.t ->
+  name:string ->
+  ?version:Repository.version ->
+  root:string ->
+  inputs:(string * Value.obj) list ->
+  ((string, string) result -> unit) ->
+  unit
+(** Fetch a stored script and launch it on [engine] (which must be local
+    to the caller). The callback receives the instance id. *)

@@ -1,0 +1,138 @@
+type t = {
+  node : Node.t;
+  store : Kvstore.t;
+}
+
+type version = int
+
+type summary = {
+  s_name : string;
+  s_head : version;
+  s_roots : string list;
+  s_task_count : int;
+  s_warnings : int;
+}
+
+let service_store = "repo.store"
+
+let service_fetch = "repo.fetch"
+
+let service_list = "repo.list"
+
+let service_inspect = "repo.inspect"
+
+let node_id t = Node.id t.node
+
+let key_head name = "head:" ^ name
+
+let key_version name version = Printf.sprintf "script:%s:%d" name version
+
+let head t ~name =
+  match Kvstore.get t.store (key_head name) with
+  | Some v -> int_of_string_opt v
+  | None -> None
+
+let validate_source source =
+  match Frontend.load source with
+  | Ok ast -> Ok ast
+  | Error e -> Error (Frontend.error_to_string e)
+
+let store t ~name ~source =
+  match validate_source source with
+  | Error e -> Error e
+  | Ok _ ->
+    let next = match head t ~name with Some v -> v + 1 | None -> 1 in
+    Kvstore.put t.store (key_version name next) source;
+    Kvstore.put t.store (key_head name) (string_of_int next);
+    Ok next
+
+let fetch t ~name ?version () =
+  let version =
+    match version with
+    | Some v -> Some v
+    | None -> head t ~name
+  in
+  match version with
+  | None -> Error ("no script named " ^ name)
+  | Some v -> (
+    match Kvstore.get t.store (key_version name v) with
+    | Some source -> Ok source
+    | None -> Error (Printf.sprintf "no version %d of script %s" v name))
+
+let list_names t =
+  Kvstore.keys t.store
+  |> List.filter_map (fun key ->
+         if String.length key > 5 && String.sub key 0 5 = "head:" then
+           Some (String.sub key 5 (String.length key - 5))
+         else None)
+
+let history t ~name =
+  match head t ~name with
+  | None -> []
+  | Some h -> List.init h (fun i -> i + 1)
+
+let inspect t ~name =
+  match fetch t ~name () with
+  | Error e -> Error e
+  | Ok source -> (
+    match validate_source source with
+    | Error e -> Error e (* cannot happen for stored scripts *)
+    | Ok ast ->
+      let roots = Frontend.roots ast in
+      let task_count =
+        List.fold_left
+          (fun acc root ->
+            match Schema.of_script ast ~root with
+            | Ok task -> max acc (Schema.task_count task)
+            | Error _ -> acc)
+          0 roots
+      in
+      let warnings =
+        List.length
+          (List.filter (fun (i : Validate.issue) -> i.Validate.severity = Validate.Warning)
+             (Validate.check ast))
+      in
+      Ok
+        {
+          s_name = name;
+          s_head = (match head t ~name with Some h -> h | None -> 0);
+          s_roots = roots;
+          s_task_count = task_count;
+          s_warnings = warnings;
+        })
+
+(* --- wire handlers --- *)
+
+let enc_result enc = function
+  | Ok v -> Wire.bool true ^ enc v
+  | Error e -> Wire.bool false ^ Wire.string e
+
+let handle_store t ~src:_ body =
+  let name, source = Wire.(decode (d_pair d_string d_string)) body in
+  enc_result Wire.int (store t ~name ~source)
+
+let handle_fetch t ~src:_ body =
+  let name, version = Wire.(decode (d_pair d_string (d_option d_int))) body in
+  enc_result Wire.string (fetch t ~name ?version ())
+
+let handle_list t ~src:_ _body = Wire.(list string) (list_names t)
+
+let enc_summary s =
+  Wire.string s.s_name ^ Wire.int s.s_head
+  ^ Wire.(list string) s.s_roots
+  ^ Wire.int s.s_task_count ^ Wire.int s.s_warnings
+
+let handle_inspect t ~src:_ body =
+  let name = Wire.(decode d_string) body in
+  enc_result enc_summary (inspect t ~name)
+
+let create ~rpc ~node =
+  ignore rpc;
+  let t = { node; store = Kvstore.create ~name:("repo@" ^ Node.id node) } in
+  Node.serve node ~service:service_store (handle_store t);
+  Node.serve node ~service:service_fetch (handle_fetch t);
+  Node.serve node ~service:service_list (handle_list t);
+  Node.serve node ~service:service_inspect (handle_inspect t);
+  Node.on_crash node (fun () -> Kvstore.crash t.store);
+  Node.on_recover node (fun () -> Kvstore.recover t.store);
+  t

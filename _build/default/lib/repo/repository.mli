@@ -1,0 +1,51 @@
+(** Workflow repository service (paper §3, Fig 4).
+
+    Stores workflow scripts (schemas) persistently and versioned, and
+    serves operations for initialising, modifying and inspecting them.
+    Every stored script is parsed, template-expanded and validated
+    first: the repository only ever hands out runnable scripts.
+
+    The service lives on a node and is reached over RPC ({!Repo_client});
+    its state survives node crashes through the usual WAL-backed store. *)
+
+type t
+
+val create : rpc:Rpc.t -> node:Node.t -> t
+(** Installs the [repo.*] services and crash/recovery hooks. *)
+
+val node_id : t -> string
+
+(** {1 Local (in-process) operations — the service's own logic} *)
+
+type version = int
+
+type summary = {
+  s_name : string;
+  s_head : version;
+  s_roots : string list;  (** top-level instances usable as schema roots *)
+  s_task_count : int;  (** tasks in the largest root's tree *)
+  s_warnings : int;
+}
+
+val store : t -> name:string -> source:string -> (version, string) result
+(** Validate and store a new version (1 for a new name, head+1 after). *)
+
+val fetch : t -> name:string -> ?version:version -> unit -> (string, string) result
+
+val head : t -> name:string -> version option
+
+val list_names : t -> string list
+
+val inspect : t -> name:string -> (summary, string) result
+
+val history : t -> name:string -> version list
+
+(** {1 Service names (for clients)} *)
+
+val service_store : string
+
+val service_fetch : string
+
+val service_list : string
+
+val service_inspect : string

@@ -1,0 +1,1 @@
+lib/scripts/impls.ml: List Printf Registry Sim Value

@@ -1,0 +1,1 @@
+lib/scripts/impls.mli: Registry Sim

@@ -1,0 +1,1 @@
+lib/scripts/paper_scripts.ml:

@@ -1,0 +1,1 @@
+lib/scripts/supply_chain.ml: List Printf Registry Sim Value

@@ -1,0 +1,1 @@
+lib/scripts/supply_chain.mli: Registry Sim Value

@@ -1,0 +1,1 @@
+lib/scripts/testbed.ml: Engine List Network Node Participant Registry Rpc Sim Txn Value

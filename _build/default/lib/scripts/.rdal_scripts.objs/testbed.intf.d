@@ -1,0 +1,1 @@
+lib/scripts/testbed.mli: Engine Network Node Participant Registry Rpc Sim Value Wstate

@@ -1,0 +1,1 @@
+lib/scripts/workloads.ml: Buffer Printf Registry Sim Value

@@ -1,0 +1,1 @@
+lib/scripts/workloads.mli: Registry Sim Value

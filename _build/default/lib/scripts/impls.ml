@@ -1,0 +1,197 @@
+let default_work = Sim.ms 2
+
+(* --- quickstart --- *)
+
+let register_quickstart ?(work = default_work) reg =
+  let source (ctx : Registry.context) =
+    let seed =
+      match List.assoc_opt "seed" ctx.Registry.inputs with
+      | Some { Value.payload = Value.Int n; _ } -> n
+      | _ -> 0
+    in
+    Registry.finish ~work "produced" [ ("data", Value.List [ Value.Int seed ]) ]
+  in
+  let transform (ctx : Registry.context) =
+    let data =
+      match List.assoc_opt "data" ctx.Registry.inputs with
+      | Some { Value.payload = Value.List items; _ } -> items
+      | _ -> []
+    in
+    let doubled = List.map (function Value.Int n -> Value.Int (2 * n) | v -> v) data in
+    Registry.finish ~work "transformed" [ ("data", Value.List doubled) ]
+  in
+  let join (ctx : Registry.context) =
+    let grab name =
+      match List.assoc_opt name ctx.Registry.inputs with
+      | Some { Value.payload = Value.List items; _ } -> items
+      | _ -> []
+    in
+    Registry.finish ~work "joined" [ ("data", Value.List (grab "left" @ grab "right")) ]
+  in
+  Registry.bind reg ~code:"quickstart.source" source;
+  Registry.bind reg ~code:"quickstart.transform" transform;
+  Registry.bind reg ~code:"quickstart.join" join
+
+(* --- service impact (§5.1) --- *)
+
+type impact_scenario =
+  | Impact_resolved
+  | Impact_not_resolved
+  | Impact_correlator_fails
+  | Impact_no_fault
+
+let register_service_impact ?(work = default_work) ~scenario reg =
+  let correlator _ctx =
+    match scenario with
+    | Impact_correlator_fails -> Registry.finish ~work "alarmCorrelatorFailure" []
+    | Impact_no_fault -> Registry.finish ~work "noFault" []
+    | Impact_resolved | Impact_not_resolved ->
+      Registry.finish ~work "foundFault" [ ("faultReport", Value.Str "link-down:bw-degraded") ]
+  in
+  let analysis (ctx : Registry.context) =
+    let report =
+      match List.assoc_opt "faultReport" ctx.Registry.inputs with
+      | Some { Value.payload = Value.Str s; _ } -> s
+      | _ -> "unknown"
+    in
+    Registry.finish ~work "analysed"
+      [ ("serviceImpactReports", Value.List [ Value.Str ("impact:" ^ report) ]) ]
+  in
+  let resolution _ctx =
+    match scenario with
+    | Impact_not_resolved -> Registry.finish ~work "foundNoResolution" []
+    | Impact_resolved | Impact_correlator_fails | Impact_no_fault ->
+      Registry.finish ~work "foundResolution" [ ("resolutionReport", Value.Str "reroute+reschedule") ]
+  in
+  Registry.bind reg ~code:"refAlarmCorrelator" correlator;
+  Registry.bind reg ~code:"refServiceImpactAnalysis" analysis;
+  Registry.bind reg ~code:"refServiceImpactResolution" resolution
+
+(* --- process order (§5.2) --- *)
+
+type order_scenario = {
+  authorised : bool;
+  in_stock : bool;
+  dispatch_ok : bool;
+  capture_ok : bool;
+}
+
+let order_ok = { authorised = true; in_stock = true; dispatch_ok = true; capture_ok = true }
+
+let register_process_order ?(work = default_work) ~scenario reg =
+  let authorisation _ctx =
+    if scenario.authorised then
+      Registry.finish ~work "authorised" [ ("paymentInfo", Value.Str "visa-xxxx-4242") ]
+    else Registry.finish ~work "notAuthorised" []
+  in
+  let check_stock _ctx =
+    if scenario.in_stock then
+      Registry.finish ~work "stockAvailable" [ ("stockInfo", Value.Str "warehouse-7") ]
+    else Registry.finish ~work "stockNotAvailable" []
+  in
+  let dispatch _ctx =
+    if scenario.dispatch_ok then
+      Registry.finish ~work "dispatchCompleted" [ ("dispatchNote", Value.Str "parcel-001") ]
+    else Registry.finish ~work "dispatchFailed" []
+  in
+  let capture _ctx =
+    if scenario.capture_ok then Registry.finish ~work "done" []
+    else Registry.finish ~work "paymentFailed" []
+  in
+  Registry.bind reg ~code:"refPaymentAuthorisation" authorisation;
+  Registry.bind reg ~code:"refCheckStock" check_stock;
+  Registry.bind reg ~code:"refDispatch" dispatch;
+  Registry.bind reg ~code:"refPaymentCapture" capture
+
+(* --- business trip (§5.3) --- *)
+
+type trip_scenario = {
+  flights_found : bool * bool * bool;
+  hotel_fails_rounds : int;
+  hotel_inner_retries : int;
+  data_ok : bool;
+}
+
+let trip_smooth =
+  { flights_found = (true, true, false); hotel_fails_rounds = 0; hotel_inner_retries = 0; data_ok = true }
+
+let register_business_trip ?(work = default_work) ~scenario reg =
+  let data_acquisition (ctx : Registry.context) =
+    if scenario.data_ok then begin
+      let user =
+        match List.assoc_opt "user" ctx.Registry.inputs with
+        | Some { Value.payload = Value.Str s; _ } -> s
+        | _ -> "traveller"
+      in
+      Registry.finish ~work "acquired"
+        [ ("tripData", Value.Pair (Value.Str user, Value.Str "AMS->NCL, max 300")) ]
+    end
+    else Registry.finish ~work "dataFailed" []
+  in
+  let airline which found _ctx =
+    if found then
+      Registry.finish ~work "found" [ ("flight", Value.Str (Printf.sprintf "flight-%s" which)) ]
+    else Registry.finish ~work "notFound" []
+  in
+  let reservation (ctx : Registry.context) =
+    let flight =
+      match List.assoc_opt "flight" ctx.Registry.inputs with
+      | Some { Value.payload = Value.Str s; _ } -> s
+      | _ -> "flight-?"
+    in
+    Registry.finish ~work "reserved"
+      [ ("plane", Value.Str ("seat-12A@" ^ flight)); ("cost", Value.Int 275) ]
+  in
+  (* One call per hotel attempt across the whole run: the first
+     [hotel_fails_rounds] businessReservation rounds end in "failed"
+     (triggering compensation + retry); inner repeat retries happen
+     within each round first. *)
+  let hotel_round = ref 0 in
+  let hotel (ctx : Registry.context) =
+    if ctx.Registry.attempt <= scenario.hotel_inner_retries then
+      Registry.finish ~work "tryAgain" []
+    else begin
+      incr hotel_round;
+      if !hotel_round <= scenario.hotel_fails_rounds then Registry.finish ~work "failed" []
+      else Registry.finish ~work "booked" [ ("hotel", Value.Str "hotel-county") ]
+    end
+  in
+  let cancellation _ctx = Registry.finish ~work "cancelled" [] in
+  let print_tickets (ctx : Registry.context) =
+    let show name =
+      match List.assoc_opt name ctx.Registry.inputs with
+      | Some { Value.payload = Value.Str s; _ } -> s
+      | _ -> "?"
+    in
+    Registry.finish ~work "printed"
+      [ ("tickets", Value.Str (Printf.sprintf "tickets[%s, %s]" (show "plane") (show "hotel"))) ]
+  in
+  let f1, f2, f3 = scenario.flights_found in
+  Registry.bind reg ~code:"refDataAcquisition" data_acquisition;
+  Registry.bind reg ~code:"refAirlineQuery1" (airline "klm" f1);
+  Registry.bind reg ~code:"refAirlineQuery2" (airline "ba" f2);
+  Registry.bind reg ~code:"refAirlineQuery3" (airline "airfrance" f3);
+  Registry.bind reg ~code:"refFlightReservation" reservation;
+  Registry.bind reg ~code:"refHotelReservation" hotel;
+  Registry.bind reg ~code:"refFlightCancellation" cancellation;
+  Registry.bind reg ~code:"refPrintTickets" print_tickets
+
+(* --- timeout demo --- *)
+
+let register_timeout_demo ?(work = default_work) ~responder_delay reg =
+  let responder _ctx =
+    { Registry.steps = [ Registry.Work responder_delay ]; finish = { Registry.output = "replied"; objects = [ ("reply", Value.Str "pong") ] } }
+  in
+  let consumer (ctx : Registry.context) =
+    if ctx.Registry.input_set = "timeout" then Registry.finish ~work "timedOut" []
+    else Registry.finish ~work "consumed" []
+  in
+  Registry.bind reg ~code:"timeout.responder" responder;
+  Registry.bind reg ~code:"timeout.consumer" consumer
+
+let register_all_defaults reg =
+  register_quickstart reg;
+  register_service_impact ~scenario:Impact_resolved reg;
+  register_process_order ~scenario:order_ok reg;
+  register_business_trip ~scenario:trip_smooth reg;
+  register_timeout_demo ~responder_delay:(Sim.ms 5) reg

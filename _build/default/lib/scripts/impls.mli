@@ -1,0 +1,52 @@
+(** Reference implementations for the paper scripts' code names.
+
+    Each [register_*] binds every code name one of the
+    {!Paper_scripts} scripts uses. Scenario knobs steer which outcomes
+    the implementations produce, so tests and benches can drive every
+    path in the figures (success, cancellation, compensation, retry
+    loops, timeouts). *)
+
+val register_quickstart : ?work:Sim.time -> Registry.t -> unit
+(** [quickstart.source] / [.transform] / [.join]; payloads are integer
+    lists so the join result is checkable. *)
+
+(** Which outcome the §5.1 application reaches. *)
+type impact_scenario =
+  | Impact_resolved
+  | Impact_not_resolved
+  | Impact_correlator_fails
+  | Impact_no_fault  (** correlator finds nothing; application stalls *)
+
+val register_service_impact : ?work:Sim.time -> scenario:impact_scenario -> Registry.t -> unit
+
+type order_scenario = {
+  authorised : bool;
+  in_stock : bool;
+  dispatch_ok : bool;
+  capture_ok : bool;
+}
+
+val order_ok : order_scenario
+
+val register_process_order : ?work:Sim.time -> scenario:order_scenario -> Registry.t -> unit
+
+type trip_scenario = {
+  flights_found : bool * bool * bool;  (** which airline queries find a flight *)
+  hotel_fails_rounds : int;
+      (** how many whole businessReservation rounds fail on the hotel
+          (each triggers flightCancellation + retry) before one books *)
+  hotel_inner_retries : int;  (** hotel repeat-outcome retries within a round *)
+  data_ok : bool;
+}
+
+val trip_smooth : trip_scenario
+(** Everything succeeds at the first attempt. *)
+
+val register_business_trip : ?work:Sim.time -> scenario:trip_scenario -> Registry.t -> unit
+
+val register_timeout_demo : ?work:Sim.time -> responder_delay:Sim.time -> Registry.t -> unit
+(** The responder takes [responder_delay] of work; the consumer's
+    timeout input set is configured (in the script) at 50ms. *)
+
+val register_all_defaults : Registry.t -> unit
+(** Bind every script's code names with the happy-path scenarios. *)

@@ -1,0 +1,492 @@
+let quickstart_root = "diamond"
+
+let quickstart =
+  {|
+// Fig 1: t1 feeds t2 and t3 (dataflow), t4 joins both.
+class Data;
+
+taskclass Source {
+    inputs { input main { seed of class Data } };
+    outputs { outcome produced { data of class Data } }
+};
+
+taskclass Transform {
+    inputs { input main { data of class Data } };
+    outputs { outcome transformed { data of class Data } }
+};
+
+taskclass Join {
+    inputs { input main { left of class Data; right of class Data } };
+    outputs { outcome joined { data of class Data } }
+};
+
+taskclass Diamond {
+    inputs { input main { seed of class Data } };
+    outputs { outcome finished { data of class Data } }
+};
+
+compoundtask diamond of taskclass Diamond {
+    task t1 of taskclass Source {
+        implementation { "code" is "quickstart.source" };
+        inputs { input main { inputobject seed from { seed of task diamond if input main } } }
+    };
+    task t2 of taskclass Transform {
+        implementation { "code" is "quickstart.transform" };
+        inputs { input main { inputobject data from { data of task t1 if output produced } } }
+    };
+    task t3 of taskclass Transform {
+        implementation { "code" is "quickstart.transform" };
+        inputs { input main { inputobject data from { data of task t1 if output produced } } }
+    };
+    task t4 of taskclass Join {
+        implementation { "code" is "quickstart.join" };
+        inputs { input main {
+            inputobject left from { data of task t2 if output transformed };
+            inputobject right from { data of task t3 if output transformed }
+        } }
+    };
+    outputs {
+        outcome finished { outputobject data from { data of task t4 if output joined } }
+    }
+}
+|}
+
+let service_impact_root = "serviceImpactApplication"
+
+let service_impact =
+  {|
+// Paper section 5.1 / Fig 6: network-management service impact application.
+class AlarmsSource;
+class FaultReport;
+class ServiceImpactReports;
+class ResolutionReport;
+
+taskclass AlarmCorrelator {
+    inputs { input main { alarmSource of class AlarmsSource } };
+    outputs {
+        outcome foundFault { faultReport of class FaultReport };
+        outcome noFault { };
+        outcome alarmCorrelatorFailure { }
+    }
+};
+
+taskclass ServiceImpactAnalysis {
+    inputs { input main { faultReport of class FaultReport } };
+    outputs {
+        outcome analysed { serviceImpactReports of class ServiceImpactReports };
+        outcome serviceImpactAnalysisFailure { }
+    }
+};
+
+taskclass ServiceImpactResolution {
+    inputs { input main { serviceImpactReports of class ServiceImpactReports } };
+    outputs {
+        outcome foundResolution { resolutionReport of class ResolutionReport };
+        outcome foundNoResolution { };
+        outcome serviceImpactResolutionFailure { }
+    }
+};
+
+taskclass ServiceImpactApplication {
+    inputs { input main { alarmsSource of class AlarmsSource } };
+    outputs {
+        outcome resolved { resolutionReport of class ResolutionReport };
+        outcome notResolved { };
+        outcome serviceImpactApplicationFailure { }
+    }
+};
+
+compoundtask serviceImpactApplication of taskclass ServiceImpactApplication {
+    task alarmCorrelator of taskclass AlarmCorrelator {
+        implementation { "code" is "refAlarmCorrelator" };
+        inputs { input main {
+            inputobject alarmSource from {
+                alarmsSource of task serviceImpactApplication if input main
+            }
+        } }
+    };
+    task serviceImpactAnalysis of taskclass ServiceImpactAnalysis {
+        implementation { "code" is "refServiceImpactAnalysis" };
+        inputs { input main {
+            inputobject faultReport from {
+                faultReport of task alarmCorrelator if output foundFault
+            }
+        } }
+    };
+    task serviceImpactResolution of taskclass ServiceImpactResolution {
+        implementation { "code" is "refServiceImpactResolution" };
+        inputs { input main {
+            inputobject serviceImpactReports from {
+                serviceImpactReports of task serviceImpactAnalysis
+            }
+        } }
+    };
+    outputs {
+        outcome resolved {
+            outputobject resolutionReport from {
+                resolutionReport of task serviceImpactResolution if output foundResolution
+            }
+        };
+        outcome notResolved {
+            notification from { task serviceImpactResolution if output foundNoResolution }
+        };
+        outcome serviceImpactApplicationFailure {
+            notification from {
+                task alarmCorrelator if output alarmCorrelatorFailure;
+                task serviceImpactAnalysis if output serviceImpactAnalysisFailure;
+                task serviceImpactResolution if output serviceImpactResolutionFailure
+            }
+        }
+    }
+}
+|}
+
+let process_order_root = "processOrderApplication"
+
+let process_order =
+  {|
+// Paper section 5.2 / Fig 7: electronic order processing.
+class Order;
+class DispatchNote;
+class PaymentInfo;
+class StockInfo;
+
+taskclass PaymentAuthorisation {
+    inputs { input main { order of class Order } };
+    outputs {
+        outcome authorised { paymentInfo of class PaymentInfo };
+        outcome notAuthorised { }
+    }
+};
+
+taskclass CheckStock {
+    inputs { input main { order of class Order } };
+    outputs {
+        outcome stockAvailable { stockInfo of class StockInfo };
+        outcome stockNotAvailable { }
+    }
+};
+
+taskclass Dispatch {
+    inputs { input main { stockInfo of class StockInfo } };
+    outputs {
+        outcome dispatchCompleted { dispatchNote of class DispatchNote };
+        abort outcome dispatchFailed { }
+    }
+};
+
+taskclass PaymentCapture {
+    inputs { input main { paymentInfo of class PaymentInfo } };
+    outputs {
+        outcome done { };
+        abort outcome paymentFailed { }
+    }
+};
+
+taskclass ProcessOrderApplication {
+    inputs { input main { order of class Order } };
+    outputs {
+        outcome orderCompleted { dispatchNote of class DispatchNote };
+        outcome orderCancelled { }
+    }
+};
+
+compoundtask processOrderApplication of taskclass ProcessOrderApplication {
+    task paymentAuthorisation of taskclass PaymentAuthorisation {
+        implementation { "code" is "refPaymentAuthorisation" };
+        inputs { input main {
+            inputobject order from { order of task processOrderApplication if input main }
+        } }
+    };
+    task checkStock of taskclass CheckStock {
+        implementation { "code" is "refCheckStock" };
+        inputs { input main {
+            inputobject order from { order of task processOrderApplication if input main }
+        } }
+    };
+    task dispatch of taskclass Dispatch {
+        implementation { "code" is "refDispatch" };
+        inputs { input main {
+            notification from { task paymentAuthorisation if output authorised };
+            inputobject stockInfo from { stockInfo of task checkStock if output stockAvailable }
+        } }
+    };
+    task paymentCapture of taskclass PaymentCapture {
+        implementation { "code" is "refPaymentCapture" };
+        inputs { input main {
+            notification from { task dispatch if output dispatchCompleted };
+            inputobject paymentInfo from { paymentInfo of task paymentAuthorisation if output authorised }
+        } }
+    };
+    outputs {
+        outcome orderCompleted {
+            notification from { task paymentCapture if output done };
+            outputobject dispatchNote from { dispatchNote of task dispatch if output dispatchCompleted }
+        };
+        outcome orderCancelled {
+            notification from {
+                task paymentAuthorisation if output notAuthorised;
+                task checkStock if output stockNotAvailable;
+                task dispatch if output dispatchFailed;
+                task paymentCapture if output paymentFailed
+            }
+        }
+    }
+}
+|}
+
+let business_trip_root = "tripReservation"
+
+let business_trip =
+  {|
+// Paper section 5.3 / Figs 8-9: business trip reservation.
+// businessReservation loops through its repeat outcome until it reaches
+// a final outcome; flightCancellation compensates a reserved flight when
+// no hotel can be found; toPay is released early as a mark.
+class User;
+class TripData;
+class Flight;
+class Plane;
+class Cost;
+class Hotel;
+class Tickets;
+
+taskclass DataAcquisition {
+    inputs { input main { user of class User } };
+    outputs {
+        outcome acquired { tripData of class TripData };
+        outcome dataFailed { }
+    }
+};
+
+taskclass AirlineQuery {
+    inputs { input main { tripData of class TripData } };
+    outputs {
+        outcome found { flight of class Flight };
+        outcome notFound { }
+    }
+};
+
+taskclass CheckFlightReservation {
+    inputs { input main { tripData of class TripData } };
+    outputs {
+        outcome flightFound { flight of class Flight };
+        outcome noFlight { }
+    }
+};
+
+taskclass FlightReservation {
+    inputs { input main { flight of class Flight } };
+    outputs {
+        outcome reserved { plane of class Plane; cost of class Cost };
+        abort outcome reservationFailed { }
+    }
+};
+
+taskclass HotelReservation {
+    inputs { input main { tripData of class TripData } };
+    outputs {
+        outcome booked { hotel of class Hotel };
+        outcome failed { };
+        repeat outcome tryAgain { }
+    }
+};
+
+taskclass FlightCancellation {
+    inputs { input main { plane of class Plane } };
+    outputs { outcome cancelled { } }
+};
+
+taskclass PrintTickets {
+    inputs { input main { plane of class Plane; hotel of class Hotel } };
+    outputs { outcome printed { tickets of class Tickets } }
+};
+
+taskclass BusinessReservation {
+    inputs { input main { user of class User } };
+    outputs {
+        outcome success { plane of class Plane; hotel of class Hotel; cost of class Cost };
+        repeat outcome retry { user of class User };
+        abort outcome failed { }
+    }
+};
+
+taskclass TripReservation {
+    inputs { input main { user of class User } };
+    outputs {
+        outcome done { tickets of class Tickets };
+        outcome cancelled { };
+        mark toPay { cost of class Cost }
+    }
+};
+
+compoundtask tripReservation of taskclass TripReservation {
+    compoundtask businessReservation of taskclass BusinessReservation {
+        inputs { input main {
+            inputobject user from {
+                user of task tripReservation if input main;
+                user of task businessReservation if output retry
+            }
+        } };
+        task dataAcquisition of taskclass DataAcquisition {
+            implementation { "code" is "refDataAcquisition" };
+            inputs { input main {
+                inputobject user from { user of task businessReservation if input main }
+            } }
+        };
+        compoundtask checkFlightReservation of taskclass CheckFlightReservation {
+            inputs { input main {
+                inputobject tripData from { tripData of task dataAcquisition if output acquired }
+            } };
+            task query1 of taskclass AirlineQuery {
+                implementation { "code" is "refAirlineQuery1" };
+                inputs { input main {
+                    inputobject tripData from { tripData of task checkFlightReservation if input main }
+                } }
+            };
+            task query2 of taskclass AirlineQuery {
+                implementation { "code" is "refAirlineQuery2" };
+                inputs { input main {
+                    inputobject tripData from { tripData of task checkFlightReservation if input main }
+                } }
+            };
+            task query3 of taskclass AirlineQuery {
+                implementation { "code" is "refAirlineQuery3" };
+                inputs { input main {
+                    inputobject tripData from { tripData of task checkFlightReservation if input main }
+                } }
+            };
+            outputs {
+                outcome flightFound {
+                    outputobject flight from {
+                        flight of task query1 if output found;
+                        flight of task query2 if output found;
+                        flight of task query3 if output found
+                    }
+                };
+                outcome noFlight {
+                    notification from { task query1 if output notFound };
+                    notification from { task query2 if output notFound };
+                    notification from { task query3 if output notFound }
+                }
+            }
+        };
+        task flightReservation of taskclass FlightReservation {
+            implementation { "code" is "refFlightReservation" };
+            inputs { input main {
+                inputobject flight from { flight of task checkFlightReservation if output flightFound }
+            } }
+        };
+        task hotelReservation of taskclass HotelReservation {
+            implementation { "code" is "refHotelReservation" };
+            inputs { input main {
+                notification from { task flightReservation if output reserved };
+                inputobject tripData from { tripData of task dataAcquisition if output acquired }
+            } }
+        };
+        task flightCancellation of taskclass FlightCancellation {
+            implementation { "code" is "refFlightCancellation" };
+            inputs { input main {
+                notification from { task hotelReservation if output failed };
+                inputobject plane from { plane of task flightReservation }
+            } }
+        };
+        outputs {
+            outcome success {
+                notification from { task hotelReservation if output booked };
+                outputobject plane from { plane of task flightReservation if output reserved };
+                outputobject hotel from { hotel of task hotelReservation if output booked };
+                outputobject cost from { cost of task flightReservation if output reserved }
+            };
+            repeat outcome retry {
+                notification from { task flightCancellation if output cancelled };
+                outputobject user from { user of task businessReservation if input main }
+            };
+            abort outcome failed {
+                notification from {
+                    task dataAcquisition if output dataFailed;
+                    task checkFlightReservation if output noFlight;
+                    task flightReservation if output reservationFailed
+                }
+            }
+        }
+    };
+    task printTickets of taskclass PrintTickets {
+        implementation { "code" is "refPrintTickets" };
+        inputs { input main {
+            inputobject plane from { plane of task businessReservation if output success };
+            inputobject hotel from { hotel of task businessReservation if output success }
+        } }
+    };
+    outputs {
+        outcome done {
+            outputobject tickets from { tickets of task printTickets if output printed }
+        };
+        outcome cancelled {
+            notification from { task businessReservation if output failed }
+        };
+        mark toPay {
+            outputobject cost from { cost of task businessReservation if output success }
+        }
+    }
+}
+|}
+
+let timeout_demo_root = "timeoutDemo"
+
+let timeout_demo =
+  {|
+// Section 4.2's timer idiom: wait for a reply with a timeout.
+class Request;
+class Reply;
+class Timer;
+
+taskclass Responder {
+    inputs { input main { request of class Request } };
+    outputs { outcome replied { reply of class Reply } }
+};
+
+taskclass Consumer {
+    inputs {
+        input main { reply of class Reply };
+        input timeout { timer of class Timer }
+    };
+    outputs { outcome consumed { }; outcome timedOut { } }
+};
+
+taskclass TimeoutDemo {
+    inputs { input main { request of class Request } };
+    outputs { outcome finished { }; outcome expired { } }
+};
+
+compoundtask timeoutDemo of taskclass TimeoutDemo {
+    task responder of taskclass Responder {
+        implementation { "code" is "timeout.responder" };
+        inputs { input main {
+            inputobject request from { request of task timeoutDemo if input main }
+        } }
+    };
+    task consumer of taskclass Consumer {
+        implementation { "code" is "timeout.consumer", "timeout" is "50" };
+        inputs {
+            input main {
+                inputobject reply from { reply of task responder if output replied }
+            };
+            input timeout { }
+        }
+    };
+    outputs {
+        outcome finished { notification from { task consumer if output consumed } };
+        outcome expired { notification from { task consumer if output timedOut } }
+    }
+}
+|}
+
+let all =
+  [
+    ("quickstart", quickstart, quickstart_root);
+    ("service_impact", service_impact, service_impact_root);
+    ("process_order", process_order, process_order_root);
+    ("business_trip", business_trip, business_trip_root);
+    ("timeout_demo", timeout_demo, timeout_demo_root);
+  ]

@@ -1,0 +1,39 @@
+(** The paper's example applications as complete scripts.
+
+    §5 of the paper elides the taskclass declarations and parts of the
+    business-trip script ("..."); these are the completed versions. Each
+    script parses, validates with no errors, and runs on the engine with
+    the implementations from {!Impls}. *)
+
+val quickstart : string
+(** Fig 1: the four-task diamond (t1; t2 ∥ t3; t4). Root: [diamond]. *)
+
+val quickstart_root : string
+
+val service_impact : string
+(** §5.1 / Fig 6: network management — alarm correlation, impact
+    analysis, impact resolution. Root: [serviceImpactApplication]. *)
+
+val service_impact_root : string
+
+val process_order : string
+(** §5.2 / Fig 7: electronic order processing. Root:
+    [processOrderApplication]. *)
+
+val process_order_root : string
+
+val business_trip : string
+(** §5.3 / Figs 8–9: trip reservation with a retry loop (repeat
+    outcome), compensation (flightCancellation) and a mark output
+    ([toPay]). Root: [tripReservation]. *)
+
+val business_trip_root : string
+
+val timeout_demo : string
+(** §4.2's timer idiom: a consumer with a normal input set and a
+    [timeout] input set fed by the engine's timer. Root: [timeoutDemo]. *)
+
+val timeout_demo_root : string
+
+val all : (string * string * string) list
+(** (name, source, root) for every script above. *)

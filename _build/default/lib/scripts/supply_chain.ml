@@ -1,0 +1,215 @@
+let root = "fulfillment"
+
+let script =
+  {|
+// Supply-chain order fulfillment: templates, subtyping, timers,
+// priorities, atomic retries and compensation in one application.
+class Order;
+class Payment;
+class CardPayment extends Payment;
+class Quote;
+class Shipment;
+class Invoice;
+class Timer;
+
+taskclass Authorize {
+    inputs { input main { payment of class Payment } };
+    outputs { outcome approved { }; outcome declined { } }
+};
+
+taskclass SupplierQuery {
+    inputs { input main { order of class Order } };
+    outputs {
+        outcome quoted { quote of class Quote };
+        outcome declinedQuote { }
+    }
+};
+
+taskclass SelectQuote {
+    inputs {
+        input main { quote of class Quote };
+        input timeout { t of class Timer }
+    };
+    outputs { outcome selected { quote of class Quote }; outcome noQuote { } }
+};
+
+taskclass Reserve {
+    inputs { input main { quote of class Quote } };
+    outputs {
+        outcome reserved { shipment of class Shipment };
+        abort outcome reserveFailed { }
+    }
+};
+
+taskclass Ship {
+    inputs { input main { shipment of class Shipment } };
+    outputs { outcome shipped { shipment of class Shipment }; outcome shipFailed { } }
+};
+
+taskclass MakeInvoice {
+    inputs { input main { quote of class Quote } };
+    outputs { outcome invoiced { invoice of class Invoice } }
+};
+
+taskclass ReleaseInventory {
+    inputs { input main { shipment of class Shipment } };
+    outputs { outcome released { } }
+};
+
+taskclass Fulfillment {
+    inputs { input main { order of class Order; payment of class CardPayment } };
+    outputs {
+        outcome fulfilled { shipment of class Shipment; invoice of class Invoice };
+        outcome rejected { };
+        outcome failed { }
+    }
+};
+
+// one template, instantiated per supplier (paper section 4.5)
+tasktemplate task supplierQuery of taskclass SupplierQuery {
+    parameters { src };
+    implementation { "code" is "supply.query" };
+    inputs { input main {
+        inputobject order from { order of task src if input main }
+    } }
+};
+
+compoundtask fulfillment of taskclass Fulfillment {
+    task authorize of taskclass Authorize {
+        implementation { "code" is "supply.authorize" };
+        inputs { input main {
+            // subtyping: a CardPayment flows where a Payment is expected
+            inputobject payment from { payment of task fulfillment if input main }
+        } }
+    };
+    quoteA of tasktemplate supplierQuery(fulfillment);
+    quoteB of tasktemplate supplierQuery(fulfillment);
+    task selectQuote of taskclass SelectQuote {
+        implementation { "code" is "supply.select", "timeout" is "200" };
+        inputs {
+            input main {
+                inputobject quote from {
+                    quote of task quoteA if output quoted;
+                    quote of task quoteB if output quoted
+                }
+            };
+            input timeout { }
+        }
+    };
+    task reserve of taskclass Reserve {
+        implementation { "code" is "supply.reserve", "retries" is "3" };
+        inputs { input main {
+            notification from { task authorize if output approved };
+            inputobject quote from { quote of task selectQuote if output selected }
+        } }
+    };
+    task ship of taskclass Ship {
+        implementation { "code" is "supply.ship", "priority" is "10" };
+        inputs { input main {
+            inputobject shipment from { shipment of task reserve if output reserved }
+        } }
+    };
+    task invoice of taskclass MakeInvoice {
+        implementation { "code" is "supply.invoice", "priority" is "1" };
+        inputs { input main {
+            notification from { task reserve if output reserved };
+            inputobject quote from { quote of task selectQuote if output selected }
+        } }
+    };
+    task releaseInventory of taskclass ReleaseInventory {
+        implementation { "code" is "supply.release" };
+        inputs { input main {
+            notification from { task ship if output shipFailed };
+            inputobject shipment from { shipment of task reserve }
+        } }
+    };
+    outputs {
+        outcome fulfilled {
+            notification from { task ship if output shipped };
+            notification from { task invoice if output invoiced };
+            outputobject shipment from { shipment of task ship if output shipped };
+            outputobject invoice from { invoice of task invoice if output invoiced }
+        };
+        outcome rejected {
+            notification from {
+                task authorize if output declined;
+                task selectQuote if output noQuote
+            }
+        };
+        outcome failed {
+            notification from { task releaseInventory if output released }
+        }
+    }
+}
+|}
+
+type scenario = {
+  authorised : bool;
+  supplier_a_quotes : bool;
+  supplier_b_quotes : bool;
+  reserve_aborts : int;
+  ship_ok : bool;
+}
+
+let smooth =
+  {
+    authorised = true;
+    supplier_a_quotes = true;
+    supplier_b_quotes = true;
+    reserve_aborts = 0;
+    ship_ok = true;
+  }
+
+let register ?(work = Sim.ms 2) ~scenario reg =
+  let authorize _ctx =
+    if scenario.authorised then Registry.finish ~work "approved" []
+    else Registry.finish ~work "declined" []
+  in
+  (* the two template instances share this code (templates parameterise
+     task names, not implementations); a call counter tells them apart:
+     the scheduler dispatches quoteA then quoteB deterministically *)
+  let query_calls = ref 0 in
+  let query _ctx =
+    incr query_calls;
+    let quotes = if !query_calls = 1 then scenario.supplier_a_quotes else scenario.supplier_b_quotes in
+    if quotes then
+      Registry.finish ~work "quoted"
+        [ ("quote", Value.Str (Printf.sprintf "supplier-%d: 90eur" !query_calls)) ]
+    else Registry.finish ~work "declinedQuote" []
+  in
+  let select (ctx : Registry.context) =
+    if ctx.Registry.input_set = "timeout" then Registry.finish ~work "noQuote" []
+    else
+      let quote =
+        match List.assoc_opt "quote" ctx.Registry.inputs with
+        | Some { Value.payload; _ } -> payload
+        | None -> Value.Unit
+      in
+      Registry.finish ~work "selected" [ ("quote", quote) ]
+  in
+  let reserve (ctx : Registry.context) =
+    if ctx.Registry.attempt <= scenario.reserve_aborts then
+      Registry.finish ~work "reserveFailed" []
+    else Registry.finish ~work "reserved" [ ("shipment", Value.Str "pallet-77") ]
+  in
+  let ship (ctx : Registry.context) =
+    if scenario.ship_ok then
+      Registry.finish ~work "shipped"
+        [ ("shipment", (List.assoc "shipment" ctx.Registry.inputs).Value.payload) ]
+    else Registry.finish ~work "shipFailed" []
+  in
+  let invoice _ctx = Registry.finish ~work "invoiced" [ ("invoice", Value.Str "inv-2026-07") ] in
+  let release _ctx = Registry.finish ~work "released" [] in
+  Registry.bind reg ~code:"supply.authorize" authorize;
+  Registry.bind reg ~code:"supply.query" query;
+  Registry.bind reg ~code:"supply.select" select;
+  Registry.bind reg ~code:"supply.reserve" reserve;
+  Registry.bind reg ~code:"supply.ship" ship;
+  Registry.bind reg ~code:"supply.invoice" invoice;
+  Registry.bind reg ~code:"supply.release" release
+
+let inputs =
+  [
+    ("order", Value.obj ~cls:"Order" (Value.Str "order-501"));
+    ("payment", Value.obj ~cls:"CardPayment" (Value.Str "visa-4242"));
+  ]

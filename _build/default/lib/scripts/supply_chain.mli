@@ -1,0 +1,31 @@
+(** Integration case study: supply-chain order fulfillment.
+
+    One application exercising every language feature together:
+    - a [tasktemplate] instantiated per supplier (§4.5);
+    - object subtyping: the root receives a [CardPayment], the
+      authorisation task accepts any [Payment] (§7 extension);
+    - a timer input set bounding the wait for supplier quotes (§4.2);
+    - an atomic reservation with automatic restart after aborts (Fig 3);
+    - ["priority"] bindings ordering shipping before invoicing;
+    - compensation: a failed shipment releases the reserved inventory;
+    - ordered alternative sources across the two supplier quotes. *)
+
+val script : string
+
+val root : string
+(** ["fulfillment"]. *)
+
+type scenario = {
+  authorised : bool;
+  supplier_a_quotes : bool;
+  supplier_b_quotes : bool;
+  reserve_aborts : int;  (** aborts before the reservation succeeds *)
+  ship_ok : bool;
+}
+
+val smooth : scenario
+
+val register : ?work:Sim.time -> scenario:scenario -> Registry.t -> unit
+
+val inputs : (string * Value.obj) list
+(** An order plus a [CardPayment] (subclass of [Payment]). *)

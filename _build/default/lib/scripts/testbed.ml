@@ -1,0 +1,67 @@
+type t = {
+  sim : Sim.t;
+  net : Network.t;
+  rpc : Rpc.t;
+  registry : Registry.t;
+  engine : Engine.t;
+  nodes : Node.t list;
+  participants : (string * Participant.t) list;
+}
+
+let make ?(config = Network.default_config) ?(engine_config = Engine.default_config)
+    ?(seed = 42L) ?(nodes = [ "n0" ]) () =
+  let sim = Sim.create ~seed () in
+  let net = Network.create ~config sim in
+  let rpc = Rpc.create net in
+  let registry = Registry.create () in
+  let members =
+    List.map
+      (fun id ->
+        let node = Network.add_node net ~id in
+        Rpc.attach rpc node;
+        let participant = Participant.create ~rpc ~node in
+        let mgr = Txn.manager ~rpc ~node in
+        (node, participant, mgr))
+      nodes
+  in
+  let engine_node, participant, mgr =
+    match members with
+    | first :: _ -> first
+    | [] -> invalid_arg "Testbed.make: need at least one node"
+  in
+  let engine =
+    Engine.create ~config:engine_config ~rpc ~node:engine_node ~mgr ~participant ~registry ()
+  in
+  let all_nodes = List.map (fun (n, _, _) -> n) members in
+  List.iter
+    (fun node -> if Node.id node <> Node.id engine_node then ignore (Engine.attach_host engine node))
+    all_nodes;
+  let participants = List.map (fun (n, p, _) -> (Node.id n, p)) members in
+  { sim; net; rpc; registry; engine; nodes = all_nodes; participants }
+
+let node t id =
+  match List.find_opt (fun n -> Node.id n = id) t.nodes with
+  | Some n -> n
+  | None -> invalid_arg ("Testbed.node: unknown node " ^ id)
+
+let participant t id =
+  match List.assoc_opt id t.participants with
+  | Some p -> p
+  | None -> invalid_arg ("Testbed.participant: unknown node " ^ id)
+
+let run ?until t = Sim.run ?until t.sim
+
+let crash t id = Node.crash (node t id)
+
+let recover t id = Node.recover (node t id)
+
+let launch_and_run ?until t ~script ~root ~inputs =
+  match Engine.launch t.engine ~script ~root ~inputs with
+  | Error e -> Error e
+  | Ok iid -> (
+    run ?until t;
+    match Engine.status t.engine iid with
+    | Some status -> Ok (iid, status)
+    | None -> Error "instance vanished")
+
+let str_input name payload ~cls = (name, Value.obj ~cls (Value.Str payload))

@@ -1,0 +1,46 @@
+(** One-call setup of a simulated cluster with the full stack: network,
+    RPC, per-node transaction participant + coordinator, one execution
+    service, and task hosts on every node. Used by the examples, the
+    engine tests and the benches. *)
+
+type t = {
+  sim : Sim.t;
+  net : Network.t;
+  rpc : Rpc.t;
+  registry : Registry.t;
+  engine : Engine.t;
+  nodes : Node.t list;
+  participants : (string * Participant.t) list;  (** by node id *)
+}
+
+val make :
+  ?config:Network.config ->
+  ?engine_config:Engine.config ->
+  ?seed:int64 ->
+  ?nodes:string list ->
+  unit ->
+  t
+(** [nodes] defaults to [["n0"]]; the engine lives on the first node. *)
+
+val node : t -> string -> Node.t
+
+val participant : t -> string -> Participant.t
+
+val run : ?until:Sim.time -> t -> unit
+
+val crash : t -> string -> unit
+
+val recover : t -> string -> unit
+
+val launch_and_run :
+  ?until:Sim.time ->
+  t ->
+  script:string ->
+  root:string ->
+  inputs:(string * Value.obj) list ->
+  (string * Wstate.status, string) result
+(** Launch an instance, drive the simulation until it drains (or
+    [until]), and return the instance id and final status. *)
+
+val str_input : string -> string -> cls:string -> string * Value.obj
+(** [str_input name payload ~cls] builds one external input binding. *)

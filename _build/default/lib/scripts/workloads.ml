@@ -1,0 +1,189 @@
+let buf_add = Buffer.add_string
+
+let preamble =
+  {|
+class Data;
+taskclass Step {
+    inputs { input main { data of class Data } };
+    outputs { outcome done { data of class Data } }
+};
+|}
+
+let root_class name =
+  Printf.sprintf
+    {|
+taskclass %s {
+    inputs { input main { data of class Data } };
+    outputs { outcome finished { data of class Data } }
+};
+|}
+    name
+
+let step_task b ~name ~code ~source =
+  buf_add b
+    (Printf.sprintf
+       {|
+    task %s of taskclass Step {
+        implementation { "code" is %S };
+        inputs { input main { inputobject data from { %s } } }
+    };
+|}
+       name code source)
+
+let chain ~n =
+  if n < 1 then invalid_arg "Workloads.chain: n must be >= 1";
+  let b = Buffer.create 1024 in
+  buf_add b preamble;
+  buf_add b (root_class "Chain");
+  buf_add b "compoundtask chain of taskclass Chain {\n";
+  for i = 1 to n do
+    let source =
+      if i = 1 then "data of task chain if input main"
+      else Printf.sprintf "data of task s%d if output done" (i - 1)
+    in
+    step_task b ~name:(Printf.sprintf "s%d" i) ~code:"w.step" ~source
+  done;
+  buf_add b
+    (Printf.sprintf
+       {|
+    outputs { outcome finished { outputobject data from { data of task s%d if output done } } }
+}
+|}
+       n);
+  (Buffer.contents b, "chain")
+
+let fanout ~width =
+  if width < 1 then invalid_arg "Workloads.fanout: width must be >= 1";
+  let b = Buffer.create 1024 in
+  buf_add b preamble;
+  (* a join class with one input object per branch *)
+  buf_add b "taskclass Join {\n    inputs { input main {\n";
+  for i = 1 to width do
+    buf_add b (Printf.sprintf "        d%d of class Data%s\n" i (if i = width then "" else ";"))
+  done;
+  buf_add b "    } };\n    outputs { outcome done { data of class Data } }\n};\n";
+  buf_add b (root_class "Fanout");
+  buf_add b "compoundtask fanout of taskclass Fanout {\n";
+  step_task b ~name:"src" ~code:"w.step" ~source:"data of task fanout if input main";
+  for i = 1 to width do
+    step_task b ~name:(Printf.sprintf "w%d" i) ~code:"w.step"
+      ~source:"data of task src if output done"
+  done;
+  buf_add b "    task join of taskclass Join {\n        implementation { \"code\" is \"w.join\" };\n";
+  buf_add b "        inputs { input main {\n";
+  for i = 1 to width do
+    buf_add b
+      (Printf.sprintf "            inputobject d%d from { data of task w%d if output done };\n" i i)
+  done;
+  buf_add b "        } }\n    };\n";
+  buf_add b
+    {|
+    outputs { outcome finished { outputobject data from { data of task join if output done } } }
+}
+|};
+  (Buffer.contents b, "fanout")
+
+let nested ~depth =
+  if depth < 1 then invalid_arg "Workloads.nested: depth must be >= 1";
+  let worker self =
+    Printf.sprintf
+      {|
+    task worker of taskclass Step {
+        implementation { "code" is "w.step" };
+        inputs { input main { inputobject data from { data of task %s if input main } } }
+    };
+|}
+      self
+  in
+  let rec level i parent =
+    let name = if i = 1 then "nest" else Printf.sprintf "level%d" i in
+    let inputs =
+      if i = 1 then ""
+      else
+        Printf.sprintf
+          "    inputs { input main { inputobject data from { data of task %s if input main } } };\n"
+          parent
+    in
+    let inner, inner_name, inner_outcome =
+      if i = depth then (worker name, "worker", "done")
+      else (level (i + 1) name, Printf.sprintf "level%d" (i + 1), "finished")
+    in
+    Printf.sprintf
+      {|compoundtask %s of taskclass Nest {
+%s%s
+    outputs { outcome finished { outputobject data from { data of task %s if output %s } } }
+};
+|}
+      name inputs inner inner_name inner_outcome
+  in
+  (preamble ^ root_class "Nest" ^ level 1 "", "nest")
+
+let alternatives ~k ~alive =
+  if k < 1 || alive < 1 || alive > k then invalid_arg "Workloads.alternatives";
+  let b = Buffer.create 1024 in
+  buf_add b preamble;
+  buf_add b
+    {|
+taskclass Flaky {
+    inputs { input main { data of class Data } };
+    outputs { outcome ok { data of class Data }; outcome dead { } }
+};
+|};
+  buf_add b (root_class "Alt");
+  buf_add b "compoundtask alt of taskclass Alt {\n";
+  for i = 1 to k do
+    let code = if i = alive then "w.alive" else "w.dead" in
+    buf_add b
+      (Printf.sprintf
+         {|
+    task p%d of taskclass Flaky {
+        implementation { "code" is %S };
+        inputs { input main { inputobject data from { data of task alt if input main } } }
+    };
+|}
+         i code)
+  done;
+  buf_add b
+    {|
+    task consumer of taskclass Step {
+        implementation { "code" is "w.step" };
+        inputs { input main { inputobject data from {
+|};
+  for i = 1 to k do
+    buf_add b
+      (Printf.sprintf "            data of task p%d if output ok%s\n" i (if i = k then "" else ";"))
+  done;
+  buf_add b
+    {|
+        } } }
+    };
+    outputs { outcome finished { outputobject data from { data of task consumer if output done } } }
+}
+|};
+  (Buffer.contents b, "alt")
+
+let register ?(work = Sim.ms 1) reg =
+  let step (ctx : Registry.context) =
+    let v =
+      match ctx.Registry.inputs with
+      | (_, { Value.payload; _ }) :: _ -> payload
+      | [] -> Value.Unit
+    in
+    Registry.finish ~work "done" [ ("data", v) ]
+  in
+  let flaky_ok (ctx : Registry.context) =
+    let v =
+      match ctx.Registry.inputs with
+      | (_, { Value.payload; _ }) :: _ -> payload
+      | [] -> Value.Unit
+    in
+    Registry.finish ~work "ok" [ ("data", v) ]
+  in
+  let join _ctx = Registry.finish ~work "done" [ ("data", Value.Str "joined") ] in
+  let dead _ctx = Registry.finish ~work "dead" [] in
+  Registry.bind reg ~code:"w.step" step;
+  Registry.bind reg ~code:"w.join" join;
+  Registry.bind reg ~code:"w.dead" dead;
+  Registry.bind reg ~code:"w.alive" flaky_ok
+
+let seed_inputs = [ ("data", Value.obj ~cls:"Data" (Value.Str "seed")) ]

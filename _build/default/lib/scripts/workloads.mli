@@ -1,0 +1,29 @@
+(** Synthetic workload generators for the benches: parameterised script
+    families exercising specific structural dimensions (pipeline depth,
+    fan-out width, compound nesting, alternative-source masking). Each
+    generator returns the script source plus its root name; the matching
+    [register_*] binds the implementations. *)
+
+val chain : n:int -> string * string
+(** Linear pipeline of [n] steps, each consuming its predecessor's
+    output (Fig 1's t1→t2 edge repeated). Code name: [w.step]. *)
+
+val fanout : width:int -> string * string
+(** One producer, [width] parallel workers, one join consuming all of
+    them (Fig 1's diamond generalised). Codes: [w.step], [w.join]. *)
+
+val nested : depth:int -> string * string
+(** Compound tasks nested [depth] deep, one worker at the bottom
+    (Fig 5 / Fig 9's hierarchy, deepened). Code: [w.step]. *)
+
+val alternatives : k:int -> alive:int -> string * string
+(** A consumer whose single input lists [k] alternative producers in
+    order; only producer [alive] (1-based) yields a usable output, the
+    others finish in an outcome that carries nothing (application-level
+    fault masking, §3). Codes: [w.dead], [w.step]. *)
+
+val register : ?work:Sim.time -> Registry.t -> unit
+(** Bind [w.step], [w.join] and [w.dead]. *)
+
+val seed_inputs : (string * Value.obj) list
+(** The external input every generated root expects. *)

@@ -1,0 +1,33 @@
+type action =
+  | Crash of string
+  | Restart of string
+  | Partition_on of string * string
+  | Partition_off of string * string
+
+type t = (Sim.time * action) list
+
+let empty = []
+
+let crash_restart ~node ~at ~down_for = [ (at, Crash node); (at + down_for, Restart node) ]
+
+let partition ~a ~b ~at ~heal_after =
+  [ (at, Partition_on (a, b)); (at + heal_after, Partition_off (a, b)) ]
+
+let periodic_crashes ~node ~period ~down_for ~count =
+  let rec build k acc =
+    if k > count then List.concat (List.rev acc)
+    else build (k + 1) (crash_restart ~node ~at:(k * period) ~down_for :: acc)
+  in
+  build 1 []
+
+let ( @+ ) a b = a @ b
+
+let apply sim plan ~on =
+  let plant (time, action) = ignore (Sim.at sim ~time (fun () -> on action)) in
+  List.iter plant plan
+
+let pp_action ppf = function
+  | Crash n -> Format.fprintf ppf "crash %s" n
+  | Restart n -> Format.fprintf ppf "restart %s" n
+  | Partition_on (a, b) -> Format.fprintf ppf "partition %s / %s" a b
+  | Partition_off (a, b) -> Format.fprintf ppf "heal %s / %s" a b

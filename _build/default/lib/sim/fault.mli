@@ -1,0 +1,35 @@
+(** Fault plans: declarative schedules of crashes, restarts and network
+    partitions, applied to a run at setup time.
+
+    The plan only names faults; their semantics (what "crash" does) are
+    provided by the layer that owns the affected component, via the
+    [on] callback of {!apply}. *)
+
+type action =
+  | Crash of string  (** crash the named node: volatile state is lost *)
+  | Restart of string  (** restart the named node: recovery runs *)
+  | Partition_on of string * string
+      (** sever connectivity between the two named nodes (both ways) *)
+  | Partition_off of string * string  (** heal the partition *)
+
+type t = (Sim.time * action) list
+
+val empty : t
+
+val crash_restart : node:string -> at:Sim.time -> down_for:Sim.time -> t
+(** Crash [node] at [at] and restart it [down_for] later. *)
+
+val partition : a:string -> b:string -> at:Sim.time -> heal_after:Sim.time -> t
+(** Temporary two-way partition between [a] and [b]. *)
+
+val periodic_crashes :
+  node:string -> period:Sim.time -> down_for:Sim.time -> count:int -> t
+(** [count] crash/restart cycles, the k-th crash at [k * period]. *)
+
+val ( @+ ) : t -> t -> t
+(** Plan union. *)
+
+val apply : Sim.t -> t -> on:(action -> unit) -> unit
+(** Schedule every planned action on the simulator. *)
+
+val pp_action : Format.formatter -> action -> unit

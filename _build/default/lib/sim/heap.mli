@@ -1,0 +1,22 @@
+(** Minimal binary min-heap, specialised by a comparison function.
+
+    Used as the pending-event queue of the simulator. Not thread-safe;
+    the simulator is single-threaded by design. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in heap (not sorted) order. *)

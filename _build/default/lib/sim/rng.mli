@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator draws from an explicit
+    [Rng.t] so that a run is a pure function of its seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean; used for network latency jitter. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on
+    an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

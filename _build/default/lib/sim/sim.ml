@@ -1,0 +1,68 @@
+type time = int
+
+type event = {
+  at : time;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : time;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+}
+
+let ms n = n * 1_000
+
+let sec n = n * 1_000_000
+
+let compare_event a b =
+  match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+
+let create ?(seed = 1L) () =
+  { clock = 0; next_seq = 0; queue = Heap.create ~cmp:compare_event; root_rng = Rng.create seed }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let at t ~time action =
+  let at = max time t.clock in
+  let ev = { at; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay action = at t ~time:(t.clock + max 0 delay) action
+
+let cancel _t handle = handle.cancelled <- true
+
+let pending t = Heap.length t.queue
+
+let fire t ev =
+  t.clock <- ev.at;
+  if not ev.cancelled then ev.action ()
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    fire t ev;
+    true
+
+let run ?until t =
+  let within ev = match until with None -> true | Some limit -> ev.at <= limit in
+  let rec loop () =
+    match Heap.peek t.queue with
+    | Some ev when within ev ->
+      ignore (Heap.pop t.queue);
+      fire t ev;
+      loop ()
+    | Some _ | None ->
+      (match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ())
+  in
+  loop ()

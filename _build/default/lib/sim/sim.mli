@@ -1,0 +1,51 @@
+(** Deterministic discrete-event simulation kernel.
+
+    Virtual time is an integer number of microseconds. Events scheduled
+    at equal times fire in scheduling order (a monotonically increasing
+    sequence number breaks ties), so a whole run is reproducible. *)
+
+type time = int
+(** Virtual microseconds since the start of the run. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val ms : int -> time
+(** [ms n] is [n] milliseconds expressed in virtual microseconds. *)
+
+val sec : int -> time
+(** [sec n] is [n] seconds expressed in virtual microseconds. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh simulator; [seed] (default 1) initialises the root RNG. *)
+
+val now : t -> time
+
+val rng : t -> Rng.t
+(** The root RNG of the run. Derive per-component generators with
+    {!Rng.split} at setup time, never during the run, to keep component
+    behaviour independent of interleavings. *)
+
+val schedule : t -> delay:time -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay]. A negative delay
+    is clamped to zero (runs after the current event). *)
+
+val at : t -> time:time -> (unit -> unit) -> handle
+(** [at t ~time f] runs [f] at absolute virtual [time]; clamped to now. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled-but-not-fired events (cancelled ones may still
+    be counted until their time arrives). *)
+
+val run : ?until:time -> t -> unit
+(** Executes events in time order until the queue drains, or virtual
+    time would exceed [until] (events after [until] stay queued). *)
+
+val step : t -> bool
+(** Executes exactly one event. Returns [false] when the queue is
+    empty. *)

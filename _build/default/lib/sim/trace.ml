@@ -1,0 +1,19 @@
+type entry = { at : Sim.time; kind : string; detail : string }
+
+type t = { mutable rev_entries : entry list }
+
+let create () = { rev_entries = [] }
+
+let record t ~at ~kind detail = t.rev_entries <- { at; kind; detail } :: t.rev_entries
+
+let entries t = List.rev t.rev_entries
+
+let find t ~kind = List.filter (fun e -> e.kind = kind) (entries t)
+
+let first t ~kind ~detail =
+  List.find_opt (fun e -> e.kind = kind && e.detail = detail) (entries t)
+
+let pp_entry ppf e = Format.fprintf ppf "[%8d us] %-18s %s" e.at e.kind e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

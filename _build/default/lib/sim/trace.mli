@@ -1,0 +1,27 @@
+(** Run trace: a time-stamped log of interesting simulation events.
+
+    Components append typed entries; tests and the figure harness read
+    them back to check orderings ("t4 started after both t2 and t3
+    finished") and to regenerate the paper's execution diagrams. *)
+
+type entry = { at : Sim.time; kind : string; detail : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> at:Sim.time -> kind:string -> string -> unit
+
+val entries : t -> entry list
+(** In recording order (which is time order, since the simulator clock
+    is monotonic). *)
+
+val find : t -> kind:string -> entry list
+(** All entries with the given [kind]. *)
+
+val first : t -> kind:string -> detail:string -> entry option
+(** First entry matching both [kind] and exact [detail], if any. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit

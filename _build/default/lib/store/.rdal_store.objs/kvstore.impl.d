@@ -1,0 +1,1 @@
+lib/store/kvstore.ml: Hashtbl List String Wal

@@ -1,0 +1,49 @@
+(** Persistent key/value store: a volatile cache in front of a WAL.
+
+    This plays the role of Arjuna's persistent object store. A crash
+    wipes the cache and makes the store unavailable; recovery replays
+    the WAL. Values are strings — callers bring their own codecs. *)
+
+exception Unavailable of string
+(** Raised by any operation attempted while the store's node is down. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val available : t -> bool
+
+val put : t -> string -> string -> unit
+
+val get : t -> string -> string option
+
+val mem : t -> string -> bool
+
+val delete : t -> string -> unit
+
+val keys : t -> string list
+(** Sorted, for deterministic iteration. *)
+
+val fold : t -> init:'acc -> f:('acc -> string -> string -> 'acc) -> 'acc
+(** Folds over bindings in sorted key order. *)
+
+val crash : t -> unit
+(** Simulated node crash: volatile cache lost, store unavailable.
+    Stable contents (the WAL) are untouched. Idempotent. *)
+
+val recover : t -> unit
+(** Replay the WAL to rebuild the cache; store becomes available.
+    Idempotent when already available. *)
+
+val checkpoint : t -> unit
+(** Compact the WAL down to a snapshot of the live bindings. *)
+
+val wal_length : t -> int
+
+val writes_total : t -> int
+(** Lifetime stable-write count (for benches). *)
+
+val replays_total : t -> int
+(** Number of recoveries performed. *)

@@ -1,0 +1,25 @@
+type 'a t = {
+  name : string;
+  mutable rev_records : 'a list;
+  mutable count : int;
+  mutable appended_total : int;
+}
+
+let create ~name = { name; rev_records = []; count = 0; appended_total = 0 }
+
+let name t = t.name
+
+let append t record =
+  t.rev_records <- record :: t.rev_records;
+  t.count <- t.count + 1;
+  t.appended_total <- t.appended_total + 1
+
+let records t = List.rev t.rev_records
+
+let length t = t.count
+
+let rewrite t records =
+  t.rev_records <- List.rev records;
+  t.count <- List.length records
+
+let appended_total t = t.appended_total

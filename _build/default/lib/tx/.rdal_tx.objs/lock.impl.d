@@ -1,0 +1,1 @@
+lib/tx/lock.ml: Hashtbl List Set String

@@ -1,0 +1,1 @@
+lib/tx/lock.mli:

@@ -1,0 +1,1 @@
+lib/tx/participant.ml: Hashtbl Kvstore List Lock Network Node Rpc Sim String Txrecord Wal

@@ -1,0 +1,1 @@
+lib/tx/participant.mli: Kvstore Node Rpc Txrecord

@@ -1,0 +1,1 @@
+lib/tx/txn.ml: Format Hashtbl List Map Network Node Printf Rng Rpc Set Sim String Txrecord Wal

@@ -1,0 +1,1 @@
+lib/tx/txn.mli: Format Node Rpc

@@ -1,0 +1,1 @@
+lib/tx/txrecord.ml: Wire

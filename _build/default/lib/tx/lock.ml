@@ -1,0 +1,79 @@
+module String_set = Set.Make (String)
+
+type state =
+  | Readers of String_set.t
+  | Writer of string
+
+type outcome =
+  | Granted
+  | Conflict of string
+
+type t = { table : (string, state) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let read t ~key ~txid =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    Hashtbl.replace t.table key (Readers (String_set.singleton txid));
+    Granted
+  | Some (Readers readers) ->
+    Hashtbl.replace t.table key (Readers (String_set.add txid readers));
+    Granted
+  | Some (Writer owner) -> if owner = txid then Granted else Conflict owner
+
+let write t ~key ~txid =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    Hashtbl.replace t.table key (Writer txid);
+    Granted
+  | Some (Writer owner) -> if owner = txid then Granted else Conflict owner
+  | Some (Readers readers) ->
+    if String_set.equal readers (String_set.singleton txid) || String_set.is_empty readers then begin
+      Hashtbl.replace t.table key (Writer txid);
+      Granted
+    end
+    else begin
+      match String_set.find_first_opt (fun r -> r <> txid) readers with
+      | Some other -> Conflict other
+      | None -> Conflict "?"
+    end
+
+let holds_read t ~key ~txid =
+  match Hashtbl.find_opt t.table key with
+  | Some (Readers readers) -> String_set.mem txid readers
+  | Some (Writer owner) -> owner = txid
+  | None -> false
+
+let holds_write t ~key ~txid =
+  match Hashtbl.find_opt t.table key with Some (Writer owner) -> owner = txid | _ -> false
+
+let release_all t ~txid =
+  let release key state acc =
+    match state with
+    | Writer owner when owner = txid -> key :: acc
+    | Writer _ -> acc
+    | Readers readers ->
+      if String_set.mem txid readers then begin
+        let rest = String_set.remove txid readers in
+        if String_set.is_empty rest then key :: acc
+        else begin
+          Hashtbl.replace t.table key (Readers rest);
+          acc
+        end
+      end
+      else acc
+  in
+  let to_remove = Hashtbl.fold release t.table [] in
+  List.iter (Hashtbl.remove t.table) to_remove
+
+let reset t = Hashtbl.reset t.table
+
+let held_keys t ~txid =
+  let keep key state acc =
+    match state with
+    | Writer owner when owner = txid -> key :: acc
+    | Readers readers when String_set.mem txid readers -> key :: acc
+    | Writer _ | Readers _ -> acc
+  in
+  List.sort String.compare (Hashtbl.fold keep t.table [])

@@ -1,0 +1,42 @@
+(** Transaction participant (resource manager) hosted on a node.
+
+    Owns the node's transactional objects: a persistent {!Kvstore}
+    holding committed values, an intentions log, and the lock table.
+    Serves [tx.read] / [tx.prepare] / [tx.commit] / [tx.abort].
+
+    Recovery re-acquires the write locks of prepared-but-undecided
+    transactions from the intentions log and polls the coordinator's
+    [tx.status] service until a decision arrives (presumed abort). *)
+
+type t
+
+val create : rpc:Rpc.t -> node:Node.t -> t
+(** Installs services and crash/recovery hooks on [node]. The node must
+    already be attached to the RPC layer. *)
+
+val node_id : t -> string
+
+val on_apply : t -> (Txrecord.write list -> unit) -> unit
+(** Observer invoked after a committed transaction's writes have been
+    applied to the store — including commits finished by the recovery
+    termination protocol. Lets co-located services (the workflow engine)
+    react to state that became durable while their volatile view was
+    being rebuilt. *)
+
+val committed_value : t -> key:string -> string option
+(** Directly inspect the committed store (testing / local fast reads
+    outside any transaction). Raises {!Kvstore.Unavailable} when the
+    node is down. *)
+
+val committed_keys : t -> string list
+
+val prepared_txids : t -> string list
+(** Undecided prepared transactions (sorted), for tests. *)
+
+val store : t -> Kvstore.t
+
+val log_length : t -> int
+
+val checkpoint : t -> unit
+(** Compact the object store's WAL and drop decided records from the
+    intentions log. *)

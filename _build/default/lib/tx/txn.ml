@@ -1,0 +1,359 @@
+type error =
+  [ `Conflict of string
+  | `Timeout
+  | `Aborted of string ]
+
+type 'a io = (('a, error) result -> unit) -> unit
+
+let return v k = k (Ok v)
+
+let fail e k = k (Error e)
+
+let ( let* ) (m : 'a io) (f : 'a -> 'b io) : 'b io =
+ fun k -> m (function Ok v -> f v k | Error e -> k (Error e))
+
+let pp_error ppf = function
+  | `Conflict holder -> Format.fprintf ppf "conflict(%s)" holder
+  | `Timeout -> Format.fprintf ppf "timeout"
+  | `Aborted reason -> Format.fprintf ppf "aborted(%s)" reason
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type manager = {
+  rpc : Rpc.t;
+  node : Node.t;
+  sim : Sim.t;
+  rng : Rng.t;
+  clog : Txrecord.crecord Wal.t;
+  committed : (string, string list) Hashtbl.t;  (* decision made, commit phase maybe unfinished *)
+  finished : (string, unit) Hashtbl.t;  (* C_done seen *)
+  active : (string, unit) Hashtbl.t;  (* undecided top-level txns started here *)
+  mutable incarnation : int;
+  mutable seq : int;
+  mutable committed_total : int;
+  mutable resumed_total : int;
+}
+
+type t = {
+  mgr : manager;
+  id : string;
+  parent : t option;
+  root : t option;  (* None when this is the root *)
+  mutable writes : string option String_map.t;  (* "node/key" -> value, None = delete *)
+  mutable read_keys : String_set.t;  (* root only: "node/key" read-locked *)
+  mutable finished_child : bool;
+}
+
+let manager_node mgr = Node.id mgr.node
+
+let txid t = t.id
+
+let is_top t = t.root = None
+
+let rec root t = match t.root with None -> t | Some r -> root r
+
+let okey ~node ~key = node ^ "/" ^ key
+
+let split_okey okey =
+  match String.index_opt okey '/' with
+  | Some i -> (String.sub okey 0 i, String.sub okey (i + 1) (String.length okey - i - 1))
+  | None -> invalid_arg ("Txn: bad object key " ^ okey)
+
+(* --- coordinator-side commit machinery --- *)
+
+let commit_retry_base = Sim.ms 20
+
+let commit_retry_cap = Sim.ms 500
+
+(* Push the commit decision to every participant until each one acks.
+   Retries survive participant crashes; [on_done] fires once all acked. *)
+let push_commits mgr txid participants on_done =
+  let epoch = mgr.incarnation in
+  let remaining = ref (List.length participants) in
+  if !remaining = 0 then on_done ()
+  else begin
+    let finish_one () =
+      decr remaining;
+      if !remaining = 0 then begin
+        if not (Hashtbl.mem mgr.finished txid) then begin
+          Wal.append mgr.clog (Txrecord.C_done txid);
+          Hashtbl.replace mgr.finished txid ()
+        end;
+        on_done ()
+      end
+    in
+    let rec push node delay =
+      (* A coordinator crash obsoletes this loop: recovery starts a fresh
+         one for every undecided commit, so stale loops must die. *)
+      if mgr.incarnation = epoch then begin
+        let handle = function
+          | Ok _ -> if mgr.incarnation = epoch then finish_one ()
+          | Error _ ->
+            let delay = min commit_retry_cap (delay * 2) in
+            let jitter = Rng.int mgr.rng (max 1 (delay / 4)) in
+            ignore (Sim.schedule mgr.sim ~delay:(delay + jitter) (fun () -> push node delay))
+        in
+        Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_commit
+          ~body:(Txrecord.enc_txid txid) handle
+      end
+    in
+    List.iter (fun node -> push node commit_retry_base) participants
+  end
+
+let handle_status mgr ~src:_ body =
+  let txid = Txrecord.dec_txid body in
+  let status =
+    if Hashtbl.mem mgr.committed txid then `Committed
+    else if Hashtbl.mem mgr.active txid then `Pending
+    else `Aborted
+  in
+  Txrecord.enc_status_reply status
+
+let replay_crecord mgr = function
+  | Txrecord.C_incarnation -> mgr.incarnation <- mgr.incarnation + 1
+  | Txrecord.C_committed { txid; participants } -> Hashtbl.replace mgr.committed txid participants
+  | Txrecord.C_done txid -> Hashtbl.replace mgr.finished txid ()
+
+let on_manager_recover mgr () =
+  Hashtbl.reset mgr.committed;
+  Hashtbl.reset mgr.finished;
+  Hashtbl.reset mgr.active;
+  mgr.incarnation <- 0;
+  List.iter (replay_crecord mgr) (Wal.records mgr.clog);
+  Wal.append mgr.clog Txrecord.C_incarnation;
+  mgr.incarnation <- mgr.incarnation + 1;
+  mgr.seq <- 0;
+  let resume txid participants =
+    if not (Hashtbl.mem mgr.finished txid) then begin
+      mgr.resumed_total <- mgr.resumed_total + 1;
+      push_commits mgr txid participants (fun () -> ())
+    end
+  in
+  Hashtbl.iter resume mgr.committed
+
+let manager ~rpc ~node =
+  let sim = Network.sim (Rpc.network rpc) in
+  let mgr =
+    {
+      rpc;
+      node;
+      sim;
+      rng = Rng.split (Sim.rng sim);
+      clog = Wal.create ~name:("txnlog@" ^ Node.id node);
+      committed = Hashtbl.create 32;
+      finished = Hashtbl.create 32;
+      active = Hashtbl.create 16;
+      incarnation = 1;
+      seq = 0;
+      committed_total = 0;
+      resumed_total = 0;
+    }
+  in
+  Wal.append mgr.clog Txrecord.C_incarnation;
+  Node.serve node ~service:Txrecord.service_status (handle_status mgr);
+  Node.on_crash node (fun () ->
+      Hashtbl.reset mgr.active;
+      Hashtbl.reset mgr.committed;
+      Hashtbl.reset mgr.finished);
+  Node.on_recover node (on_manager_recover mgr);
+  mgr
+
+(* --- client API --- *)
+
+let begin_ mgr =
+  mgr.seq <- mgr.seq + 1;
+  let id = Printf.sprintf "t:%s:%d:%d" (manager_node mgr) mgr.incarnation mgr.seq in
+  Hashtbl.replace mgr.active id ();
+  {
+    mgr;
+    id;
+    parent = None;
+    root = None;
+    writes = String_map.empty;
+    read_keys = String_set.empty;
+    finished_child = false;
+  }
+
+let begin_child parent =
+  let r = root parent in
+  {
+    mgr = parent.mgr;
+    id = parent.id;
+    parent = Some parent;
+    root = Some r;
+    writes = String_map.empty;
+    read_keys = String_set.empty;
+    finished_child = false;
+  }
+
+(* Some (Some v) = buffered write, Some None = buffered delete,
+   None = not buffered here or above. *)
+let rec buffered t okey =
+  match String_map.find_opt okey t.writes with
+  | Some v -> Some v
+  | None -> ( match t.parent with Some p -> buffered p okey | None -> None)
+
+let read t ~node ~key : string option io =
+ fun k ->
+  let ok = okey ~node ~key in
+  match buffered t ok with
+  | Some v -> k (Ok v)
+  | None ->
+    let r = root t in
+    let mgr = t.mgr in
+    let handle = function
+      | Ok body -> (
+        match Txrecord.dec_read_reply body with
+        | Ok v ->
+          r.read_keys <- String_set.add ok r.read_keys;
+          k (Ok v)
+        | Error reason -> k (Error (`Conflict reason)))
+      | Error _ -> k (Error `Timeout)
+    in
+    Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_read
+      ~body:(Txrecord.enc_read_req (t.id, key))
+      handle
+
+let write t ~node ~key ~value =
+  t.writes <- String_map.add (okey ~node ~key) (Some value) t.writes
+
+let delete t ~node ~key = t.writes <- String_map.add (okey ~node ~key) None t.writes
+
+(* Group the root's read locks and writes per participant node. *)
+let participants_of_root r =
+  let add_write ok value acc =
+    let node, key = split_okey ok in
+    let reads, writes = try String_map.find node acc with Not_found -> ([], []) in
+    String_map.add node (reads, (key, value) :: writes) acc
+  in
+  let add_read ok acc =
+    let node, key = split_okey ok in
+    let reads, writes = try String_map.find node acc with Not_found -> ([], []) in
+    String_map.add node (key :: reads, writes) acc
+  in
+  let with_writes = String_map.fold add_write r.writes String_map.empty in
+  String_set.fold add_read r.read_keys with_writes
+
+let abort_at_participants mgr txid nodes =
+  let tell node =
+    Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_abort
+      ~body:(Txrecord.enc_txid txid) (fun _ -> ())
+  in
+  List.iter tell nodes
+
+let commit_top (t : t) : unit io =
+ fun k ->
+  let mgr = t.mgr in
+  let by_node = participants_of_root t in
+  let nodes = List.map fst (String_map.bindings by_node) in
+  if nodes = [] then begin
+    Hashtbl.remove mgr.active t.id;
+    mgr.committed_total <- mgr.committed_total + 1;
+    k (Ok ())
+  end
+  else begin
+    let votes_left = ref (List.length nodes) in
+    let failed = ref None in
+    let conclude () =
+      match !failed with
+      | None ->
+        Wal.append mgr.clog (Txrecord.C_committed { txid = t.id; participants = nodes });
+        Hashtbl.replace mgr.committed t.id nodes;
+        Hashtbl.remove mgr.active t.id;
+        mgr.committed_total <- mgr.committed_total + 1;
+        push_commits mgr t.id nodes (fun () -> k (Ok ()))
+      | Some e ->
+        Hashtbl.remove mgr.active t.id;
+        abort_at_participants mgr t.id nodes;
+        k (Error e)
+    in
+    let prepare node (read_keys, writes) =
+      let body =
+        Txrecord.enc_prepare_req ~txid:t.id ~coordinator:(manager_node mgr) ~read_keys ~writes
+      in
+      let handle outcome =
+        (match outcome with
+        | Ok vote when Txrecord.dec_vote vote -> ()
+        | Ok _ -> if !failed = None then failed := Some (`Conflict "prepare refused")
+        | Error _ -> if !failed = None then failed := Some `Timeout);
+        decr votes_left;
+        if !votes_left = 0 then conclude ()
+      in
+      Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_prepare ~body
+        handle
+    in
+    String_map.iter prepare by_node
+  end
+
+let merge_into_parent t =
+  match t.parent with
+  | None -> invalid_arg "Txn.merge_into_parent: root"
+  | Some parent ->
+    parent.writes <- String_map.union (fun _ child _parent -> Some child) t.writes parent.writes
+
+let commit t : unit io =
+ fun k ->
+  if t.finished_child then k (Error (`Aborted "transaction already finished"))
+  else
+    match t.parent with
+    | Some _ ->
+      merge_into_parent t;
+      t.finished_child <- true;
+      k (Ok ())
+    | None -> commit_top t k
+
+let abort t =
+  match t.parent with
+  | Some _ ->
+    t.writes <- String_map.empty;
+    t.finished_child <- true
+  | None ->
+    let mgr = t.mgr in
+    Hashtbl.remove mgr.active t.id;
+    let by_node = participants_of_root t in
+    abort_at_participants mgr t.id (List.map fst (String_map.bindings by_node))
+
+let run mgr ?(max_attempts = 16) body : 'a io =
+ fun k ->
+  let rec attempt n =
+    let t = begin_ mgr in
+    let retry n e =
+      match e with
+      | (`Conflict _ | `Timeout) when n < max_attempts ->
+        let backoff = Sim.ms 5 * n in
+        let jitter = Rng.int mgr.rng (Sim.ms 5) in
+        ignore (Sim.schedule mgr.sim ~delay:(backoff + jitter) (fun () -> attempt (n + 1)))
+      | _ -> k (Error e)
+    in
+    let finish = function
+      | Ok v -> (
+        commit t (function
+          | Ok () -> k (Ok v)
+          | Error e -> retry n e))
+      | Error e ->
+        abort t;
+        retry n e
+    in
+    body t finish
+  in
+  attempt 1
+
+let compact mgr =
+  (* keep: one incarnation record per epoch, plus committed-but-not-done
+     transactions (their commit push must resume after a crash) *)
+  let live =
+    List.filter
+      (function
+        | Txrecord.C_incarnation -> true
+        | Txrecord.C_committed { txid; _ } -> not (Hashtbl.mem mgr.finished txid)
+        | Txrecord.C_done _ -> false)
+      (Wal.records mgr.clog)
+  in
+  Wal.rewrite mgr.clog live
+
+let committed_count mgr = mgr.committed_total
+
+let resumed_commits mgr = mgr.resumed_total

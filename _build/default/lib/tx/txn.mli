@@ -1,0 +1,96 @@
+(** Transactions: the client API and the per-node coordinator.
+
+    The programming model mirrors what the paper takes from OTSArjuna:
+    top-level atomic actions over persistent objects living on arbitrary
+    nodes, with nested actions inside. Commit runs presumed-abort
+    two-phase commit; the decision is logged before the commit phase and
+    a recovered coordinator finishes the commit phase, while recovered
+    participants poll [tx.status], so a committed transaction's effects
+    eventually reach every participant despite a finite number of
+    crashes and message losses.
+
+    Everything is continuation-passing (the simulator is event-driven);
+    the ['a io] monad keeps call sites readable. Nested transactions are
+    coordinator-local: children buffer writes and merge them into the
+    parent on child commit, share the root's locks, and vanish on child
+    abort. *)
+
+type error =
+  [ `Conflict of string  (** lock conflict, holder's txid *)
+  | `Timeout  (** a participant stayed unreachable *)
+  | `Aborted of string ]
+
+type 'a io = (('a, error) result -> unit) -> unit
+
+val return : 'a -> 'a io
+
+val fail : error -> 'a io
+
+val ( let* ) : 'a io -> ('a -> 'b io) -> 'b io
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
+(** {1 Managers} *)
+
+type manager
+
+val manager : rpc:Rpc.t -> node:Node.t -> manager
+(** One per node; installs the [tx.status] service and crash/recovery
+    hooks. The node must already be RPC-attached. *)
+
+val manager_node : manager -> string
+
+(** {1 Transactions} *)
+
+type t
+
+val begin_ : manager -> t
+
+val begin_child : t -> t
+(** Nested transaction. *)
+
+val txid : t -> string
+
+val is_top : t -> bool
+
+val read : t -> node:string -> key:string -> string option io
+(** Sees this transaction's (and its ancestors') buffered writes first;
+    otherwise read-locks and fetches the committed value. *)
+
+val write : t -> node:string -> key:string -> value:string -> unit
+(** Buffered locally; made visible at top-level commit. *)
+
+val delete : t -> node:string -> key:string -> unit
+(** Buffered deletion; the key disappears at top-level commit. *)
+
+val commit : t -> unit io
+(** For a child: merge into parent (never fails). For a top-level
+    transaction: two-phase commit; [Ok ()] means the decision is logged
+    durably {e and} every participant has applied it. *)
+
+val abort : t -> unit
+(** Child: discard. Top-level: release locks everywhere (best effort;
+    presumed abort makes stragglers clean up on their own). *)
+
+val run : manager -> ?max_attempts:int -> (t -> 'a io) -> 'a io
+(** [run mgr body] wraps begin/body/commit and retries the whole
+    transaction on [`Conflict] (with linear backoff and jitter) up to
+    [max_attempts] (default 16) times. A body failure aborts the
+    transaction; [`Conflict]/[`Timeout] failures are retried, any other
+    failure is final. *)
+
+val compact : manager -> unit
+(** Compact the coordinator's decision log: drop records of transactions
+    whose commit phase has completed (decision pushed to and acknowledged
+    by every participant), keeping undecided commits and the incarnation
+    count. Safe at any time; bounds log growth in long-lived nodes. *)
+
+(** {1 Introspection} *)
+
+val committed_count : manager -> int
+(** Transactions this coordinator decided to commit (lifetime). *)
+
+val resumed_commits : manager -> int
+(** Commit phases resumed by recovery. *)

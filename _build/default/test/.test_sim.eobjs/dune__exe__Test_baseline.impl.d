@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Format Impls List Network Node Paper_scripts Registry Sim Value Wstate

@@ -1,0 +1,1 @@
+test/test_engine.ml: Admin Alcotest Ast Engine Fault Format Frontend Impls Kvstore List Network Node Paper_scripts Parser Participant Reconfig Registry Sim String Testbed Trace Value Wstate

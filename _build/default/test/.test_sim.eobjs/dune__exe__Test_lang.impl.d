@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Dot Frontend Lexer List Loc Paper_scripts Parser Pretty Schema String Template Token Validate

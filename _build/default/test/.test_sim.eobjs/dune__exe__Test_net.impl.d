@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Network Node QCheck QCheck_alcotest Rpc Sim String Wire

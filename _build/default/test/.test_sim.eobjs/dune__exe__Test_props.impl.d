@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Ast Engine Fault Gantt Gen Impls List Loc Network Paper_scripts Parser Pretty Printf QCheck QCheck_alcotest Sim String Testbed Trace Value Wire Workloads Wstate

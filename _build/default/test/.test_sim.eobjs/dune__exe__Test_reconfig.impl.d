@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Ast List Paper_scripts Parser Reconfig Validate

@@ -1,0 +1,1 @@
+test/test_repo.ml: Alcotest Engine Format Impls Kvstore Paper_scripts Repo_client Repository Testbed Value Wstate

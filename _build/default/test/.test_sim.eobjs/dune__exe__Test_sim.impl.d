@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fault Fun Heap List QCheck QCheck_alcotest Rng Sim Trace

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Kvstore List Map Printf QCheck QCheck_alcotest String Wal

@@ -1,0 +1,1 @@
+test/test_supply.ml: Alcotest Ast Engine Format Frontend List Sim String Supply_chain Testbed Trace Value Wstate

@@ -1,0 +1,1 @@
+test/test_tx.ml: Alcotest Harness List Lock Network Participant Sim Txn

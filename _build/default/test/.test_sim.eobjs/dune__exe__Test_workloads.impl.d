@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Engine Frontend List Parser Pretty QCheck QCheck_alcotest String Testbed Trace Value Workloads Wstate

@@ -1,0 +1,113 @@
+(* Tests for the baseline (non-fault-tolerant) scheduler: functional
+   parity with the engine on the paper's applications, and the crash
+   behaviour the A1 ablation measures (lost work, restart from
+   scratch). *)
+
+let check = Alcotest.(check bool)
+
+let check_str = Alcotest.(check string)
+
+let make () =
+  let sim = Sim.create ~seed:11L () in
+  let net = Network.create sim in
+  let node = Network.add_node net ~id:"b0" in
+  let registry = Registry.create () in
+  let baseline = Baseline.create ~sim ~node ~registry in
+  (sim, node, registry, baseline)
+
+let run_to_status sim baseline iid =
+  Sim.run sim;
+  match Baseline.status baseline iid with
+  | Some s -> s
+  | None -> Alcotest.fail "instance vanished"
+
+let expect_done ~output status =
+  match status with
+  | Wstate.Wf_done { output = o; objects } ->
+    check_str "outcome" output o;
+    objects
+  | Wstate.Wf_running -> Alcotest.fail "still running"
+  | Wstate.Wf_failed reason -> Alcotest.failf "failed: %s" reason
+
+let launch_ok baseline ~script ~root ~inputs =
+  match Baseline.launch baseline ~script ~root ~inputs with
+  | Ok iid -> iid
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_baseline_runs_quickstart () =
+  let sim, _, registry, baseline = make () in
+  Impls.register_quickstart registry;
+  let iid =
+    launch_ok baseline ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root
+      ~inputs:[ ("seed", Value.obj ~cls:"Data" (Value.Int 4)) ]
+  in
+  let objects = expect_done ~output:"finished" (run_to_status sim baseline iid) in
+  (match List.assoc_opt "data" objects with
+  | Some { Value.payload = v; _ } -> check_str "joined" "[8; 8]" (Format.asprintf "%a" Value.pp v)
+  | None -> Alcotest.fail "no data object")
+
+let test_baseline_runs_order_scenarios () =
+  let expect scenario output =
+    let sim, _, registry, baseline = make () in
+    Impls.register_process_order ~scenario registry;
+    let iid =
+      launch_ok baseline ~script:Paper_scripts.process_order
+        ~root:Paper_scripts.process_order_root
+        ~inputs:[ ("order", Value.obj ~cls:"Order" (Value.Str "o")) ]
+    in
+    ignore (expect_done ~output (run_to_status sim baseline iid))
+  in
+  expect Impls.order_ok "orderCompleted";
+  expect { Impls.order_ok with Impls.authorised = false } "orderCancelled";
+  expect { Impls.order_ok with Impls.dispatch_ok = false } "orderCancelled"
+
+let test_baseline_runs_business_trip_with_retries () =
+  let sim, _, registry, baseline = make () in
+  Impls.register_business_trip
+    ~scenario:{ Impls.trip_smooth with Impls.hotel_fails_rounds = 1 }
+    registry;
+  let iid =
+    launch_ok baseline ~script:Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root
+      ~inputs:[ ("user", Value.obj ~cls:"User" (Value.Str "fred")) ]
+  in
+  ignore (expect_done ~output:"done" (run_to_status sim baseline iid))
+
+let test_baseline_crash_loses_and_restarts () =
+  let sim, node, registry, baseline = make () in
+  (* slow tasks so the crash lands mid-run *)
+  Impls.register_process_order ~work:(Sim.ms 30) ~scenario:Impls.order_ok registry;
+  let iid =
+    launch_ok baseline ~script:Paper_scripts.process_order ~root:Paper_scripts.process_order_root
+      ~inputs:[ ("order", Value.obj ~cls:"Order" (Value.Str "o")) ]
+  in
+  ignore (Sim.schedule sim ~delay:(Sim.ms 40) (fun () -> Node.crash node));
+  ignore (Sim.schedule sim ~delay:(Sim.ms 60) (fun () -> Node.recover node));
+  let status = run_to_status sim baseline iid in
+  ignore (expect_done ~output:"orderCompleted" status);
+  check "restarted from scratch" true (Baseline.restarts_total baseline = 1);
+  (* 4 tasks per clean run; the pre-crash partial run re-executed some *)
+  check "work was wasted" true (Baseline.tasks_executed_total baseline > 4)
+
+let test_baseline_executes_each_task_once_without_faults () =
+  let sim, _, registry, baseline = make () in
+  Impls.register_process_order ~scenario:Impls.order_ok registry;
+  let iid =
+    launch_ok baseline ~script:Paper_scripts.process_order ~root:Paper_scripts.process_order_root
+      ~inputs:[ ("order", Value.obj ~cls:"Order" (Value.Str "o")) ]
+  in
+  ignore (expect_done ~output:"orderCompleted" (run_to_status sim baseline iid));
+  Alcotest.(check int) "four executions" 4 (Baseline.tasks_executed_total baseline)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "quickstart" `Quick test_baseline_runs_quickstart;
+          Alcotest.test_case "order scenarios" `Quick test_baseline_runs_order_scenarios;
+          Alcotest.test_case "business trip" `Quick test_baseline_runs_business_trip_with_retries;
+          Alcotest.test_case "task count" `Quick test_baseline_executes_each_task_once_without_faults;
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "crash restarts from scratch" `Quick test_baseline_crash_loses_and_restarts ] );
+    ]

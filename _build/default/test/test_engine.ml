@@ -1,0 +1,1306 @@
+(* End-to-end tests of the workflow execution service: the paper's three
+   applications under every scenario, task transition rules (Fig 3),
+   alternative sources, input-set priority, timers, marks, compensation,
+   repeats, dynamic reconfiguration, online upgrade, and fault tolerance
+   (host crashes, engine crash + recovery, lossy networks). *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let run_script ?config ?engine_config ?seed ?nodes ~register ~script ~root ~inputs () =
+  let tb = Testbed.make ?config ?engine_config ?seed ?nodes () in
+  register tb.Testbed.registry;
+  match Testbed.launch_and_run tb ~script ~root ~inputs with
+  | Ok (iid, status) -> (tb, iid, status)
+  | Error e -> Alcotest.failf "launch failed: %s" e
+
+let expect_done ~output status =
+  match status with
+  | Wstate.Wf_done { output = o; objects } ->
+    check_str "outcome" output o;
+    objects
+  | Wstate.Wf_running -> Alcotest.fail "instance still running"
+  | Wstate.Wf_failed reason -> Alcotest.failf "instance failed: %s" reason
+
+let obj_str objects name =
+  match List.assoc_opt name objects with
+  | Some { Value.payload = Value.Str s; _ } -> s
+  | Some { Value.payload = v; _ } -> Format.asprintf "%a" Value.pp v
+  | None -> Alcotest.failf "no object %s" name
+
+(* --- Fig 1: quickstart diamond --- *)
+
+let seed_input n = [ ("seed", Value.obj ~cls:"Data" (Value.Int n)) ]
+
+let test_quickstart_completes () =
+  let _, _, status =
+    run_script ~register:(Impls.register_quickstart ?work:None)
+      ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root
+      ~inputs:(seed_input 21) ()
+  in
+  let objects = expect_done ~output:"finished" status in
+  check_str "t4 joined both doubled streams" "[42; 42]" (obj_str objects "data")
+
+let test_quickstart_ordering_matches_fig1 () =
+  let tb, _, _ =
+    run_script ~register:(Impls.register_quickstart ?work:None)
+      ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root
+      ~inputs:(seed_input 1) ()
+  in
+  let trace = Engine.trace tb.Testbed.engine in
+  let at kind detail =
+    match Trace.first trace ~kind ~detail with
+    | Some e -> e.Trace.at
+    | None -> Alcotest.failf "no trace entry %s %s" kind detail
+  in
+  let t1_done = at "complete" "diamond/t1 -> produced" in
+  let t2_start = at "start" "diamond/t2 (attempt 1)" in
+  let t3_start = at "start" "diamond/t3 (attempt 1)" in
+  let t2_done = at "complete" "diamond/t2 -> transformed" in
+  let t3_done = at "complete" "diamond/t3 -> transformed" in
+  let t4_start = at "start" "diamond/t4 (attempt 1)" in
+  check "t2 after t1" true (t2_start >= t1_done);
+  check "t3 after t1" true (t3_start >= t1_done);
+  check "t2, t3 concurrent (same release time)" true (t2_start = t3_start);
+  check "t4 after both" true (t4_start >= t2_done && t4_start >= t3_done)
+
+(* --- §5.1 service impact --- *)
+
+let alarms_input = [ ("alarmsSource", Value.obj ~cls:"AlarmsSource" (Value.Str "alarm-feed")) ]
+
+let run_impact scenario =
+  let _, _, status =
+    run_script
+      ~register:(Impls.register_service_impact ?work:None ~scenario)
+      ~script:Paper_scripts.service_impact ~root:Paper_scripts.service_impact_root
+      ~inputs:alarms_input ()
+  in
+  status
+
+let test_impact_resolved () =
+  let objects = expect_done ~output:"resolved" (run_impact Impls.Impact_resolved) in
+  check_str "resolution report" "reroute+reschedule" (obj_str objects "resolutionReport")
+
+let test_impact_not_resolved () =
+  ignore (expect_done ~output:"notResolved" (run_impact Impls.Impact_not_resolved))
+
+let test_impact_failure_fan_in () =
+  ignore
+    (expect_done ~output:"serviceImpactApplicationFailure"
+       (run_impact Impls.Impact_correlator_fails))
+
+let test_impact_no_fault_stalls () =
+  (* The paper's script has no outcome for "no fault": the application
+     legitimately waits forever. The engine reports quiescence. *)
+  let tb, iid, status =
+    run_script
+      ~register:(Impls.register_service_impact ?work:None ~scenario:Impls.Impact_no_fault)
+      ~script:Paper_scripts.service_impact ~root:Paper_scripts.service_impact_root
+      ~inputs:alarms_input ()
+  in
+  check "still running" true (status = Wstate.Wf_running);
+  check "quiescent (stuck)" true (Engine.quiescent tb.Testbed.engine iid)
+
+(* --- §5.2 process order --- *)
+
+let order_input = [ ("order", Value.obj ~cls:"Order" (Value.Str "order-42")) ]
+
+let run_order scenario =
+  run_script
+    ~register:(Impls.register_process_order ?work:None ~scenario)
+    ~script:Paper_scripts.process_order ~root:Paper_scripts.process_order_root
+    ~inputs:order_input ()
+
+let test_order_completes () =
+  let _, _, status = run_order Impls.order_ok in
+  let objects = expect_done ~output:"orderCompleted" status in
+  check_str "dispatch note flows to the compound outcome" "parcel-001"
+    (obj_str objects "dispatchNote")
+
+let test_order_concurrent_auth_and_stock () =
+  let tb, _, _ = run_order Impls.order_ok in
+  let trace = Engine.trace tb.Testbed.engine in
+  let at detail =
+    match Trace.first trace ~kind:"start" ~detail with
+    | Some e -> e.Trace.at
+    | None -> Alcotest.failf "no start for %s" detail
+  in
+  check "auth and stock released together" true
+    (at "processOrderApplication/paymentAuthorisation (attempt 1)"
+    = at "processOrderApplication/checkStock (attempt 1)")
+
+let test_order_cancelled_not_authorised () =
+  let _, _, status = run_order { Impls.order_ok with Impls.authorised = false } in
+  ignore (expect_done ~output:"orderCancelled" status)
+
+let test_order_cancelled_no_stock () =
+  let _, _, status = run_order { Impls.order_ok with Impls.in_stock = false } in
+  ignore (expect_done ~output:"orderCancelled" status)
+
+let test_order_cancelled_dispatch_aborts () =
+  let tb, iid, status = run_order { Impls.order_ok with Impls.dispatch_ok = false } in
+  ignore (expect_done ~output:"orderCancelled" status);
+  (* dispatchFailed is an abort outcome: recorded as such on the task *)
+  match
+    Engine.task_state tb.Testbed.engine iid ~path:[ "processOrderApplication"; "dispatch" ]
+  with
+  | Some (Wstate.Done { kind = Ast.Abort_outcome; output; _ }) ->
+    check_str "abort outcome name" "dispatchFailed" output
+  | other ->
+    Alcotest.failf "unexpected dispatch state: %s"
+      (match other with
+      | Some s -> Format.asprintf "%a" Wstate.pp_task_state s
+      | None -> "none")
+
+let test_order_payment_capture_never_runs_when_cancelled () =
+  let tb, iid, _ = run_order { Impls.order_ok with Impls.authorised = false } in
+  check "paymentCapture never started" true
+    (Engine.task_state tb.Testbed.engine iid
+       ~path:[ "processOrderApplication"; "paymentCapture" ]
+    = None)
+
+(* --- §5.3 business trip --- *)
+
+let user_input = [ ("user", Value.obj ~cls:"User" (Value.Str "fred")) ]
+
+let run_trip ?engine_config scenario =
+  run_script ?engine_config
+    ~register:(Impls.register_business_trip ?work:None ~scenario)
+    ~script:Paper_scripts.business_trip ~root:Paper_scripts.business_trip_root ~inputs:user_input
+    ()
+
+let test_trip_smooth () =
+  let tb, iid, status = run_trip Impls.trip_smooth in
+  let objects = expect_done ~output:"done" status in
+  check_str "tickets carry plane and hotel" "tickets[seat-12A@flight-klm, hotel-county]"
+    (obj_str objects "tickets");
+  (* the toPay mark was released during the run *)
+  let marks = Engine.marks_of tb.Testbed.engine iid ~path:[ "tripReservation" ] in
+  check "toPay mark fired" true (List.mem_assoc "toPay" marks)
+
+let test_trip_mark_before_completion () =
+  let tb, _, _ = run_trip Impls.trip_smooth in
+  let trace = Engine.trace tb.Testbed.engine in
+  let mark_at =
+    match Trace.first trace ~kind:"mark" ~detail:"tripReservation toPay" with
+    | Some e -> e.Trace.at
+    | None -> Alcotest.fail "no toPay mark in trace"
+  in
+  let done_at =
+    match Trace.find trace ~kind:"instance" with
+    | [ e ] -> e.Trace.at
+    | _ -> Alcotest.fail "expected exactly one instance completion"
+  in
+  check "mark released before the instance completed" true (mark_at <= done_at)
+
+let test_trip_compensation_and_retry_loop () =
+  let scenario = { Impls.trip_smooth with Impls.hotel_fails_rounds = 2 } in
+  let tb, iid, status = run_trip scenario in
+  ignore (expect_done ~output:"done" status);
+  let trace = Engine.trace tb.Testbed.engine in
+  let completions detail = List.length (List.filter (fun (e : Trace.entry) -> e.Trace.detail = detail) (Trace.find trace ~kind:"complete")) in
+  check_int "flightCancellation compensated twice"
+    2
+    (completions "tripReservation/businessReservation/flightCancellation -> cancelled");
+  let repeats = Trace.find trace ~kind:"repeat" in
+  check_int "businessReservation retried twice" 2 (List.length repeats);
+  (* final incarnation recorded attempt 3 *)
+  match Engine.task_state tb.Testbed.engine iid ~path:[ "tripReservation"; "businessReservation" ] with
+  | Some (Wstate.Done { attempt; output; _ }) ->
+    check_str "final outcome" "success" output;
+    check_int "third attempt succeeded" 3 attempt
+  | other ->
+    Alcotest.failf "unexpected BR state: %s"
+      (match other with Some s -> Format.asprintf "%a" Wstate.pp_task_state s | None -> "none")
+
+let test_trip_inner_hotel_repeats () =
+  let scenario = { Impls.trip_smooth with Impls.hotel_inner_retries = 2 } in
+  let tb, _, status = run_trip scenario in
+  ignore (expect_done ~output:"done" status);
+  let trace = Engine.trace tb.Testbed.engine in
+  let hotel_repeats =
+    List.filter
+      (fun (e : Trace.entry) ->
+        e.Trace.kind = "repeat"
+        && e.Trace.detail <> ""
+        && String.length e.Trace.detail >= 5
+        &&
+        let has_hotel =
+          let needle = "hotelReservation" in
+          let n = String.length needle and h = String.length e.Trace.detail in
+          let rec at i = i + n <= h && (String.sub e.Trace.detail i n = needle || at (i + 1)) in
+          at 0
+        in
+        has_hotel)
+      (Trace.entries trace)
+  in
+  check_int "hotel repeated twice within the round" 2 (List.length hotel_repeats)
+
+let test_trip_no_flight_cancelled () =
+  let scenario = { Impls.trip_smooth with Impls.flights_found = (false, false, false) } in
+  let _, _, status = run_trip scenario in
+  ignore (expect_done ~output:"cancelled" status)
+
+let test_trip_data_failure_cancelled () =
+  let scenario = { Impls.trip_smooth with Impls.data_ok = false } in
+  let _, _, status = run_trip scenario in
+  ignore (expect_done ~output:"cancelled" status)
+
+let test_trip_first_available_flight_wins () =
+  (* only query2 finds a flight: the flightFound binding's alternative
+     list must pick it up even though query1 is listed first *)
+  let scenario = { Impls.trip_smooth with Impls.flights_found = (false, true, false) } in
+  let _, _, status = run_trip scenario in
+  let objects = expect_done ~output:"done" status in
+  check_str "flight from query2" "tickets[seat-12A@flight-ba, hotel-county]"
+    (obj_str objects "tickets")
+
+(* --- timers (§4.2 idiom) --- *)
+
+let request_input = [ ("request", Value.obj ~cls:"Request" (Value.Str "ping")) ]
+
+let run_timeout responder_delay =
+  run_script
+    ~register:(Impls.register_timeout_demo ?work:None ~responder_delay)
+    ~script:Paper_scripts.timeout_demo ~root:Paper_scripts.timeout_demo_root
+    ~inputs:request_input ()
+
+let test_timer_normal_path () =
+  let _, _, status = run_timeout (Sim.ms 5) in
+  ignore (expect_done ~output:"finished" status)
+
+let test_timer_expires () =
+  let _, _, status = run_timeout (Sim.ms 500) in
+  ignore (expect_done ~output:"expired" status)
+
+(* --- fault tolerance --- *)
+
+let fast_engine =
+  { Engine.default_config with Engine.default_deadline = Sim.ms 80; system_max_attempts = 20 }
+
+let test_remote_host_crash_redispatch () =
+  (* dispatch runs on a second node that crashes mid-execution; the
+     watchdog re-dispatches after recovery *)
+  let tb = Testbed.make ~engine_config:fast_engine ~nodes:[ "n0"; "n1" ] () in
+  Impls.register_process_order ~work:(Sim.ms 30) ~scenario:Impls.order_ok tb.Testbed.registry;
+  let remote_script =
+    (* place dispatch on n1 *)
+    let marker = {|implementation { "code" is "refDispatch" }|} in
+    let replacement = {|implementation { "code" is "refDispatch", "location" is "n1" }|} in
+    let src = Paper_scripts.process_order in
+    let rec replace s =
+      let ml = String.length marker in
+      let rec find i = if i + ml > String.length s then None else if String.sub s i ml = marker then Some i else find (i + 1) in
+      match find 0 with
+      | None -> s
+      | Some i -> replace (String.sub s 0 i ^ replacement ^ String.sub s (i + ml) (String.length s - i - ml))
+    in
+    replace src
+  in
+  (* crash n1 while dispatch is executing, recover later *)
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 15) (fun () -> Testbed.crash tb "n1"));
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 120) (fun () -> Testbed.recover tb "n1"));
+  match
+    Testbed.launch_and_run tb ~script:remote_script ~root:Paper_scripts.process_order_root
+      ~inputs:order_input
+  with
+  | Ok (_, status) ->
+    ignore (expect_done ~output:"orderCompleted" status);
+    check "watchdog retried" true (Engine.system_retries_total tb.Testbed.engine >= 1)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_engine_crash_recovery_completes () =
+  let tb = Testbed.make ~engine_config:fast_engine () in
+  Impls.register_process_order ~work:(Sim.ms 20) ~scenario:Impls.order_ok tb.Testbed.registry;
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 10) (fun () -> Testbed.crash tb "n0"));
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 200) (fun () -> Testbed.recover tb "n0"));
+  match
+    Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+      ~root:Paper_scripts.process_order_root ~inputs:order_input
+  with
+  | Ok (iid, status) ->
+    ignore (expect_done ~output:"orderCompleted" status);
+    check "engine recovered" true (Engine.recoveries_total tb.Testbed.engine >= 1);
+    check "instance survived the crash durably" true
+      (Engine.status tb.Testbed.engine iid = Some status)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_lossy_network_still_completes () =
+  let config = { Network.default_config with Network.loss = 0.25 } in
+  let tb = Testbed.make ~config ~engine_config:fast_engine ~seed:7L ~nodes:[ "n0"; "n1" ] () in
+  Impls.register_business_trip ~work:(Sim.ms 3) ~scenario:Impls.trip_smooth tb.Testbed.registry;
+  match
+    Testbed.launch_and_run tb ~script:Paper_scripts.business_trip
+      ~root:Paper_scripts.business_trip_root ~inputs:user_input
+  with
+  | Ok (_, status) -> ignore (expect_done ~output:"done" status)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_abort_auto_retry () =
+  (* an atomic task aborting due to a transient condition is restarted
+     automatically: "retries" is honoured *)
+  let script =
+    {|
+class A;
+taskclass Flaky {
+    inputs { input main { a of class A } };
+    outputs { outcome ok { }; abort outcome oops { } }
+};
+taskclass Root {
+    inputs { input main { a of class A } };
+    outputs { outcome done { }; outcome gaveUp { } }
+};
+compoundtask root of taskclass Root {
+    task flaky of taskclass Flaky {
+        implementation { "code" is "flaky", "retries" is "3" };
+        inputs { input main { inputobject a from { a of task root if input main } } }
+    };
+    outputs {
+        outcome done { notification from { task flaky if output ok } };
+        outcome gaveUp { notification from { task flaky if output oops } }
+    }
+}
+|}
+  in
+  let tb = Testbed.make () in
+  let flaky (ctx : Registry.context) =
+    if ctx.Registry.attempt <= 3 then Registry.finish "oops" [] else Registry.finish "ok" []
+  in
+  Registry.bind tb.Testbed.registry ~code:"flaky" flaky;
+  match
+    Testbed.launch_and_run tb ~script ~root:"root"
+      ~inputs:[ ("a", Value.obj ~cls:"A" Value.Unit) ]
+  with
+  | Ok (_, status) -> ignore (expect_done ~output:"done" status)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_abort_after_mark_is_protocol_violation () =
+  let script =
+    {|
+class A;
+taskclass Leaky {
+    inputs { input main { a of class A } };
+    outputs {
+        outcome ok { };
+        mark progress { p of class A }
+    }
+};
+taskclass Root {
+    inputs { input main { a of class A } };
+    outputs { outcome done { } }
+};
+compoundtask root of taskclass Root {
+    task leaky of taskclass Leaky {
+        implementation { "code" is "leaky" };
+        inputs { input main { inputobject a from { a of task root if input main } } }
+    };
+    outputs { outcome done { notification from { task leaky if output ok } } }
+}
+|}
+  in
+  (* Leaky's class is non-atomic (no abort outcome), but the impl tries
+     to finish with an undeclared abort-like output after marking: the
+     engine rejects a finish in a mark output and fails the task. *)
+  let tb = Testbed.make () in
+  let leaky _ctx =
+    {
+      Registry.steps =
+        [ Registry.Work (Sim.ms 1); Registry.Emit_mark { Registry.output = "progress"; objects = [ ("p", Value.Unit) ] } ];
+      finish = { Registry.output = "progress"; objects = [] };
+    }
+  in
+  Registry.bind tb.Testbed.registry ~code:"leaky" leaky;
+  match
+    Testbed.launch_and_run tb ~script ~root:"root" ~inputs:[ ("a", Value.obj ~cls:"A" Value.Unit) ]
+  with
+  | Ok (iid, status) -> (
+    check "instance cannot complete" true (status = Wstate.Wf_running);
+    match Engine.task_state tb.Testbed.engine iid ~path:[ "root"; "leaky" ] with
+    | Some (Wstate.Failed _) -> ()
+    | other ->
+      Alcotest.failf "expected failed task, got %s"
+        (match other with Some s -> Format.asprintf "%a" Wstate.pp_task_state s | None -> "none"))
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_impl_mark_early_release () =
+  (* a downstream task consumes a mark while the producer is still
+     executing (early release, Fig 2/3) *)
+  let script =
+    {|
+class A;
+taskclass Producer {
+    inputs { input main { a of class A } };
+    outputs {
+        outcome finished { };
+        mark partial { p of class A }
+    }
+};
+taskclass Eager {
+    inputs { input main { p of class A } };
+    outputs { outcome got { } }
+};
+taskclass Root {
+    inputs { input main { a of class A } };
+    outputs { outcome done { } }
+};
+compoundtask root of taskclass Root {
+    task producer of taskclass Producer {
+        implementation { "code" is "producer" };
+        inputs { input main { inputobject a from { a of task root if input main } } }
+    };
+    task eager of taskclass Eager {
+        implementation { "code" is "eager" };
+        inputs { input main { inputobject p from { p of task producer if output partial } } }
+    };
+    outputs { outcome done { notification from { task eager if output got } } }
+}
+|}
+  in
+  let tb = Testbed.make () in
+  let producer _ctx =
+    {
+      Registry.steps =
+        [
+          Registry.Work (Sim.ms 2);
+          Registry.Emit_mark { Registry.output = "partial"; objects = [ ("p", Value.Str "early") ] };
+          Registry.Work (Sim.ms 200);
+        ];
+      finish = { Registry.output = "finished"; objects = [] };
+    }
+  in
+  Registry.bind tb.Testbed.registry ~code:"producer" producer;
+  Registry.bind tb.Testbed.registry ~code:"eager" (Registry.const "got" []);
+  match
+    Testbed.launch_and_run tb ~script ~root:"root" ~inputs:[ ("a", Value.obj ~cls:"A" Value.Unit) ]
+  with
+  | Ok (iid, status) ->
+    ignore (expect_done ~output:"done" status);
+    let trace = Engine.trace tb.Testbed.engine in
+    check "eager completed off the mark" true
+      (Trace.first trace ~kind:"complete" ~detail:"root/eager -> got" <> None);
+    (* the compound reached its outcome while the producer was still
+       executing: the producer is abandoned, exactly the early-release
+       point of Fig 2/3 *)
+    (match Engine.task_state tb.Testbed.engine iid ~path:[ "root"; "producer" ] with
+    | Some (Wstate.Running _) -> ()
+    | other ->
+      Alcotest.failf "expected producer still running, got %s"
+        (match other with Some s -> Format.asprintf "%a" Wstate.pp_task_state s | None -> "none"))
+  | Error e -> Alcotest.failf "launch: %s" e
+
+(* --- input set priority and alternatives --- *)
+
+let test_first_declared_set_wins () =
+  let script =
+    {|
+class A;
+taskclass Dual {
+    inputs {
+        input first { a of class A };
+        input second { a of class A }
+    };
+    outputs { outcome done { } }
+};
+taskclass Root { inputs { input main { a of class A } }; outputs { outcome done { } } };
+compoundtask root of taskclass Root {
+    task dual of taskclass Dual {
+        implementation { "code" is "dual" };
+        inputs {
+            input first { inputobject a from { a of task root if input main } };
+            input second { inputobject a from { a of task root if input main } }
+        }
+    };
+    outputs { outcome done { notification from { task dual if output done } } }
+}
+|}
+  in
+  let tb = Testbed.make () in
+  let seen = ref "" in
+  Registry.bind tb.Testbed.registry ~code:"dual" (fun ctx ->
+      seen := ctx.Registry.input_set;
+      Registry.finish "done" []);
+  (match
+     Testbed.launch_and_run tb ~script ~root:"root" ~inputs:[ ("a", Value.obj ~cls:"A" Value.Unit) ]
+   with
+  | Ok (_, status) -> ignore (expect_done ~output:"done" status)
+  | Error e -> Alcotest.failf "launch: %s" e);
+  check_str "first declared set chosen" "first" !seen
+
+(* --- dynamic reconfiguration (§3) --- *)
+
+let reconfigure_ok tb transform =
+  let result = ref None in
+  (match Engine.instances tb.Testbed.engine with
+  | [ iid ] -> Engine.reconfigure tb.Testbed.engine iid ~transform (fun r -> result := Some r)
+  | _ -> Alcotest.fail "expected exactly one instance");
+  Testbed.run tb;
+  match !result with
+  | Some (Ok ()) -> ()
+  | Some (Error e) -> Alcotest.failf "reconfigure failed: %s" e
+  | None -> Alcotest.fail "reconfigure never completed"
+
+let test_reconfigure_add_task_mid_run () =
+  (* §3's scenario: add t5 depending on t2 and t4 while the workflow runs *)
+  let tb = Testbed.make () in
+  Impls.register_quickstart ~work:(Sim.ms 50) tb.Testbed.registry;
+  Registry.bind tb.Testbed.registry ~code:"quickstart.audit" (Registry.const "audited" []);
+  let audit_decl =
+    {|
+task t5 of taskclass Audit {
+    implementation { "code" is "quickstart.audit" };
+    inputs { input main {
+        notification from { task t2 if output transformed }
+    } }
+}
+|}
+  in
+  let add_audit_class script =
+    (* t5 needs a taskclass: inject it at the top *)
+    let cls =
+      Parser.script
+        "taskclass Audit { inputs { input main { } }; outputs { outcome audited { } } }"
+    in
+    Ok (cls @ script)
+  in
+  let iid =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.quickstart
+        ~root:Paper_scripts.quickstart_root ~inputs:(seed_input 3)
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  (* run a little, reconfigure while t2..t4 still pending *)
+  Sim.run ~until:(Sim.ms 20) tb.Testbed.sim;
+  reconfigure_ok tb (fun ast ->
+      match add_audit_class ast with
+      | Ok ast -> Reconfig.add_constituent ~scope:[ "diamond" ] ~decl:audit_decl ast
+      | Error e -> Error e);
+  Testbed.run tb;
+  (match Engine.task_state tb.Testbed.engine iid ~path:[ "diamond"; "t5" ] with
+  | Some (Wstate.Done { output; _ }) -> check_str "t5 ran" "audited" output
+  | other ->
+    Alcotest.failf "t5 state: %s"
+      (match other with Some s -> Format.asprintf "%a" Wstate.pp_task_state s | None -> "none"));
+  check_int "one reconfiguration" 1 (Engine.reconfigs_total tb.Testbed.engine)
+
+let test_reconfigure_rejects_invalid () =
+  let tb = Testbed.make () in
+  Impls.register_quickstart tb.Testbed.registry;
+  let iid =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.quickstart
+        ~root:Paper_scripts.quickstart_root ~inputs:(seed_input 3)
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  let bad_decl =
+    {|
+task t6 of taskclass Transform {
+    implementation { "code" is "x" };
+    inputs { input main { inputobject data from { data of task ghost if output transformed } } }
+}
+|}
+  in
+  let result = ref None in
+  Engine.reconfigure tb.Testbed.engine iid
+    ~transform:(Reconfig.add_constituent ~scope:[ "diamond" ] ~decl:bad_decl)
+    (fun r -> result := Some r);
+  Testbed.run tb;
+  (match !result with
+  | Some (Error msg) -> check "mentions unknown task" true (String.length msg > 0)
+  | Some (Ok ()) -> Alcotest.fail "invalid reconfiguration accepted"
+  | None -> Alcotest.fail "no reconfigure result");
+  check_int "no reconfiguration recorded" 0 (Engine.reconfigs_total tb.Testbed.engine)
+
+let test_online_upgrade_rebind () =
+  (* upgrade an implementation between two runs without touching the
+     script: registry-level rebinding (paper §3) *)
+  let tb = Testbed.make () in
+  Impls.register_quickstart tb.Testbed.registry;
+  let run () =
+    match
+      Testbed.launch_and_run tb ~script:Paper_scripts.quickstart
+        ~root:Paper_scripts.quickstart_root ~inputs:(seed_input 5)
+    with
+    | Ok (_, status) -> obj_str (expect_done ~output:"finished" status) "data"
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  let before = run () in
+  Registry.bind tb.Testbed.registry ~code:"quickstart.transform"
+    (fun (ctx : Registry.context) ->
+      let data =
+        match List.assoc_opt "data" ctx.Registry.inputs with
+        | Some { Value.payload = Value.List items; _ } -> items
+        | _ -> []
+      in
+      let tripled = List.map (function Value.Int n -> Value.Int (3 * n) | v -> v) data in
+      Registry.finish "transformed" [ ("data", Value.List tripled) ])
+    ;
+  let after = run () in
+  check_str "before upgrade doubles" "[10; 10]" before;
+  check_str "after upgrade triples" "[15; 15]" after
+
+let test_sub_workflow_binding () =
+  (* a task whose "code" is bound to a compound schema: the engine opens
+     it as a nested scope (implementation-as-script, §4.3) *)
+  let tb = Testbed.make () in
+  Impls.register_service_impact ~scenario:Impls.Impact_resolved tb.Testbed.registry;
+  let outer =
+    {|
+class AlarmsSource;
+class ResolutionReport;
+taskclass ServiceImpactApplication {
+    inputs { input main { alarmsSource of class AlarmsSource } };
+    outputs {
+        outcome resolved { resolutionReport of class ResolutionReport };
+        outcome notResolved { };
+        outcome serviceImpactApplicationFailure { }
+    }
+};
+taskclass Outer {
+    inputs { input main { alarmsSource of class AlarmsSource } };
+    outputs { outcome done { report of class ResolutionReport } }
+};
+compoundtask outer of taskclass Outer {
+    task impact of taskclass ServiceImpactApplication {
+        implementation { "code" is "impactScript" };
+        inputs { input main {
+            inputobject alarmsSource from { alarmsSource of task outer if input main }
+        } }
+    };
+    outputs {
+        outcome done {
+            outputobject report from { resolutionReport of task impact if output resolved }
+        }
+    }
+}
+|}
+  in
+  (* bind "impactScript" to the §5.1 compound *)
+  let sub =
+    match Frontend.compile Paper_scripts.service_impact ~root:Paper_scripts.service_impact_root with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "compile sub: %s" (Frontend.error_to_string e)
+  in
+  Registry.bind_script tb.Testbed.registry ~code:"impactScript" sub;
+  match Testbed.launch_and_run tb ~script:outer ~root:"outer" ~inputs:alarms_input with
+  | Ok (_, status) ->
+    let objects = expect_done ~output:"done" status in
+    check_str "nested script's report surfaced" "reroute+reschedule" (obj_str objects "report")
+  | Error e -> Alcotest.failf "launch: %s" e
+
+
+let test_gc_finished_instance () =
+  let tb = Testbed.make () in
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  let iid, status =
+    match
+      Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+        ~root:Paper_scripts.process_order_root ~inputs:order_input
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  ignore (expect_done ~output:"orderCompleted" status);
+  let result = ref None in
+  Engine.gc tb.Testbed.engine iid (fun r -> result := Some r);
+  Testbed.run tb;
+  check "gc succeeded" true (!result = Some (Ok ()));
+  check "instance forgotten" true (Engine.status tb.Testbed.engine iid = None);
+  check "no instances listed" true (Engine.instances tb.Testbed.engine = []);
+  (* a crash + recovery must not resurrect it *)
+  Testbed.crash tb "n0";
+  Testbed.recover tb "n0";
+  Testbed.run tb;
+  check "stays gone after recovery" true (Engine.status tb.Testbed.engine iid = None)
+
+let test_gc_refuses_running () =
+  let tb = Testbed.make () in
+  Impls.register_process_order ~work:(Sim.ms 50) ~scenario:Impls.order_ok tb.Testbed.registry;
+  let iid =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.process_order
+        ~root:Paper_scripts.process_order_root ~inputs:order_input
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  Sim.run ~until:(Sim.ms 10) tb.Testbed.sim;
+  let result = ref None in
+  Engine.gc tb.Testbed.engine iid (fun r -> result := Some r);
+  Testbed.run tb;
+  check "gc refused" true (match !result with Some (Error _) -> true | _ -> false);
+  check "instance finished normally afterwards" true
+    (match Engine.status tb.Testbed.engine iid with Some (Wstate.Wf_done _) -> true | _ -> false)
+
+(* The paper (§3): administrative applications — here, a reconfiguration
+   agent — can themselves be workflows. A workflow task's implementation
+   observes another running instance and reconfigures it. *)
+let test_admin_workflow_reconfigures_another () =
+  let tb = Testbed.make () in
+  Impls.register_quickstart ~work:(Sim.ms 60) tb.Testbed.registry;
+  Registry.bind tb.Testbed.registry ~code:"quickstart.audit" (Registry.const "audited" []);
+  let target =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.quickstart
+        ~root:Paper_scripts.quickstart_root ~inputs:(seed_input 2)
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch target: %s" e
+  in
+  (* the admin workflow: a single task whose implementation performs the
+     reconfiguration of [target] as its side effect *)
+  let admin_script =
+    {|
+class Req;
+taskclass Reconfigure {
+    inputs { input main { req of class Req } };
+    outputs { outcome reconfigured { }; outcome reconfigFailed { } }
+};
+taskclass Admin {
+    inputs { input main { req of class Req } };
+    outputs { outcome done { }; outcome failed { } }
+};
+compoundtask admin of taskclass Admin {
+    task agent of taskclass Reconfigure {
+        implementation { "code" is "admin.reconfigure" };
+        inputs { input main { inputobject req from { req of task admin if input main } } }
+    };
+    outputs {
+        outcome done { notification from { task agent if output reconfigured } };
+        outcome failed { notification from { task agent if output reconfigFailed } }
+    }
+}
+|}
+  in
+  let outcome = ref None in
+  Registry.bind tb.Testbed.registry ~code:"admin.reconfigure" (fun _ctx ->
+      Engine.reconfigure tb.Testbed.engine target
+        ~transform:(fun ast ->
+          let cls =
+            Parser.script
+              "taskclass Audit { inputs { input main { } }; outputs { outcome audited { } } }"
+          in
+          Reconfig.add_constituent ~scope:[ "diamond" ]
+            ~decl:
+              "task t5 of taskclass Audit { implementation { \"code\" is \"quickstart.audit\" }; inputs { input main { notification from { task t2 if output transformed } } } }"
+            (cls @ ast))
+        (fun r -> outcome := Some r);
+      (* the task takes long enough for the reconfiguration txn to land *)
+      Registry.finish ~work:(Sim.ms 20) "reconfigured" []);
+  (match
+     Testbed.launch_and_run tb ~script:admin_script ~root:"admin"
+       ~inputs:[ ("req", Value.obj ~cls:"Req" (Value.Str "add-t5")) ]
+   with
+  | Ok (_, status) -> ignore (expect_done ~output:"done" status)
+  | Error e -> Alcotest.failf "admin launch: %s" e);
+  check "reconfiguration applied by the admin workflow" true (!outcome = Some (Ok ()));
+  match Engine.task_state tb.Testbed.engine target ~path:[ "diamond"; "t5" ] with
+  | Some (Wstate.Done _) -> ()
+  | other ->
+    Alcotest.failf "t5: %s"
+      (match other with Some s -> Format.asprintf "%a" Wstate.pp_task_state s | None -> "none")
+
+
+let test_crash_during_launch_commit () =
+  (* Regression (found by fault_grid): a crash 2ms after launch lands
+     while the launch transaction is undecided; presumed abort kills it,
+     and the engine must re-persist the accepted launch at recovery. *)
+  let tb = Testbed.make ~engine_config:fast_engine () in
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 2) (fun () -> Testbed.crash tb "n0"));
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 40) (fun () -> Testbed.recover tb "n0"));
+  match
+    Testbed.launch_and_run ~until:(Sim.sec 60) tb ~script:Paper_scripts.process_order
+      ~root:Paper_scripts.process_order_root ~inputs:order_input
+  with
+  | Ok (_, status) -> ignore (expect_done ~output:"orderCompleted" status)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_partition_between_engine_and_host () =
+  (* dispatch crosses a partition that heals later: RPC retries and the
+     watchdog must get the task through *)
+  let tb = Testbed.make ~engine_config:fast_engine ~nodes:[ "n0"; "host" ] () in
+  Impls.register_quickstart ~work:(Sim.ms 5) tb.Testbed.registry;
+  let placed =
+    let marker = {|implementation { "code" is "quickstart.join" }|} in
+    let replacement = {|implementation { "code" is "quickstart.join", "location" is "host" }|} in
+    let src = Paper_scripts.quickstart in
+    let ml = String.length marker in
+    let rec go s i =
+      if i + ml > String.length s then s
+      else if String.sub s i ml = marker then
+        String.sub s 0 i ^ replacement ^ String.sub s (i + ml) (String.length s - i - ml)
+      else go s (i + 1)
+    in
+    go src 0
+  in
+  Network.partition_on tb.Testbed.net "n0" "host";
+  ignore
+    (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 300) (fun () ->
+         Network.partition_off tb.Testbed.net "n0" "host"));
+  match
+    Testbed.launch_and_run ~until:(Sim.sec 60) tb ~script:placed
+      ~root:Paper_scripts.quickstart_root ~inputs:(seed_input 4)
+  with
+  | Ok (_, status) -> ignore (expect_done ~output:"finished" status)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_many_concurrent_instances () =
+  let tb = Testbed.make () in
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  let iids =
+    List.init 40 (fun _ ->
+        match
+          Engine.launch tb.Testbed.engine ~script:Paper_scripts.process_order
+            ~root:Paper_scripts.process_order_root ~inputs:order_input
+        with
+        | Ok iid -> iid
+        | Error e -> Alcotest.failf "launch: %s" e)
+  in
+  Testbed.run tb;
+  List.iter
+    (fun iid ->
+      match Engine.status tb.Testbed.engine iid with
+      | Some (Wstate.Wf_done { output = "orderCompleted"; _ }) -> ()
+      | other ->
+        Alcotest.failf "%s: %s" iid
+          (match other with Some s -> Format.asprintf "%a" Wstate.pp_status s | None -> "none"))
+    iids;
+  check_int "forty instances listed" 40 (List.length (Engine.instances tb.Testbed.engine));
+  check_int "4 dispatches each" (40 * 4) (Engine.dispatches_total tb.Testbed.engine)
+
+
+let test_compact_bounds_storage () =
+  let tb = Testbed.make () in
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  let run_and_gc () =
+    match
+      Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+        ~root:Paper_scripts.process_order_root ~inputs:order_input
+    with
+    | Ok (iid, Wstate.Wf_done _) ->
+      Engine.gc tb.Testbed.engine iid (fun _ -> ());
+      Testbed.run tb
+    | Ok _ | Error _ -> Alcotest.fail "instance did not complete"
+  in
+  let wal_after n =
+    for _ = 1 to n do
+      run_and_gc ()
+    done;
+    Engine.compact tb.Testbed.engine;
+    ()
+  in
+  wal_after 3;
+  let p =
+    (* the testbed's participant lives on n0; measure its object store *)
+    Kvstore.wal_length (Participant.store (Testbed.participant tb "n0"))
+  in
+  wal_after 6;
+  let p' = Kvstore.wal_length (Participant.store (Testbed.participant tb "n0")) in
+  check "storage bounded across gc+compact cycles" true (p' <= p + 2)
+
+
+let test_user_cancel_instance () =
+  let tb = Testbed.make () in
+  Impls.register_process_order ~work:(Sim.ms 100) ~scenario:Impls.order_ok tb.Testbed.registry;
+  let iid =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.process_order
+        ~root:Paper_scripts.process_order_root ~inputs:order_input
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  Sim.run ~until:(Sim.ms 20) tb.Testbed.sim;
+  let result = ref None in
+  Engine.cancel tb.Testbed.engine iid ~reason:"operator request" (fun r -> result := Some r);
+  Testbed.run tb;
+  check "cancel accepted" true (!result = Some (Ok ()));
+  (match Engine.status tb.Testbed.engine iid with
+  | Some (Wstate.Wf_failed reason) -> check "reason recorded" true (String.length reason > 0)
+  | other ->
+    Alcotest.failf "status: %s"
+      (match other with Some s -> Format.asprintf "%a" Wstate.pp_status s | None -> "none"));
+  (* durable across a crash *)
+  Testbed.crash tb "n0";
+  Testbed.recover tb "n0";
+  Testbed.run tb;
+  check "cancellation durable" true
+    (match Engine.status tb.Testbed.engine iid with Some (Wstate.Wf_failed _) -> true | _ -> false)
+
+let test_user_abort_task_feeds_fan_in () =
+  (* forcing dispatch to abort while waiting/running must produce its
+     declared abort outcome, driving the orderCancelled fan-in (Fig 3's
+     user-forced abort from the wait state) *)
+  let tb = Testbed.make () in
+  Impls.register_process_order ~work:(Sim.ms 80) ~scenario:Impls.order_ok tb.Testbed.registry;
+  let iid =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.process_order
+        ~root:Paper_scripts.process_order_root ~inputs:order_input
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  (* dispatch is still waiting for paymentAuthorisation/checkStock *)
+  Sim.run ~until:(Sim.ms 10) tb.Testbed.sim;
+  let result = ref None in
+  Engine.abort_task tb.Testbed.engine iid ~path:[ "processOrderApplication"; "dispatch" ]
+    (fun r -> result := Some r);
+  Testbed.run tb;
+  check "abort accepted" true (!result = Some (Ok ()));
+  match Engine.status tb.Testbed.engine iid with
+  | Some (Wstate.Wf_done { output = "orderCancelled"; _ }) -> ()
+  | other ->
+    Alcotest.failf "status: %s"
+      (match other with Some s -> Format.asprintf "%a" Wstate.pp_status s | None -> "none")
+
+let test_admin_client_over_rpc () =
+  let tb = Testbed.make ~nodes:[ "n0"; "console" ] () in
+  Admin.serve tb.Testbed.engine;
+  Impls.register_process_order ~work:(Sim.ms 100) ~scenario:Impls.order_ok tb.Testbed.registry;
+  let iid =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.process_order
+        ~root:Paper_scripts.process_order_root ~inputs:order_input
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  let client = Admin.Client.create ~rpc:tb.Testbed.rpc ~src:"console" ~engine_node:"n0" in
+  Sim.run ~until:(Sim.ms 20) tb.Testbed.sim;
+  let listed = ref None and st = ref None and tasks = ref None in
+  Admin.Client.list_instances client (fun r -> listed := Some r);
+  Admin.Client.status client ~iid (fun r -> st := Some r);
+  Admin.Client.task_states client ~iid (fun r -> tasks := Some r);
+  Sim.run ~until:(Sim.ms 40) tb.Testbed.sim;
+  check "listed over rpc" true (!listed = Some (Ok [ iid ]));
+  check "status running over rpc" true (!st = Some (Ok (Some Wstate.Wf_running)));
+  (match !tasks with
+  | Some (Ok states) -> check "task states over rpc" true (List.length states >= 2)
+  | _ -> Alcotest.fail "task states failed");
+  let cancelled = ref None in
+  Admin.Client.cancel client ~iid ~reason:"console" (fun r -> cancelled := Some r);
+  Testbed.run tb;
+  check "cancel over rpc accepted" true (!cancelled = Some (Ok ()));
+  check "cancelled" true
+    (match Engine.status tb.Testbed.engine iid with Some (Wstate.Wf_failed _) -> true | _ -> false)
+
+
+let test_if_input_sibling_source () =
+  (* the paper's "i3 of task t2 if input main": a task consumes the
+     object another task RECEIVED, not produced — available as soon as
+     the sibling has chosen its input set *)
+  let script =
+    {|
+class A;
+taskclass Worker {
+    inputs { input main { a of class A } };
+    outputs { outcome done { } }
+};
+taskclass Observer {
+    inputs { input main { a of class A } };
+    outputs { outcome saw { a of class A } }
+};
+taskclass Root {
+    inputs { input main { a of class A } };
+    outputs { outcome done { a of class A } }
+};
+compoundtask root of taskclass Root {
+    task worker of taskclass Worker {
+        implementation { "code" is "slow.worker" };
+        inputs { input main { inputobject a from { a of task root if input main } } }
+    };
+    task observer of taskclass Observer {
+        implementation { "code" is "observer" };
+        inputs { input main { inputobject a from { a of task worker if input main } } }
+    };
+    outputs { outcome done { outputobject a from { a of task observer if output saw } } }
+}
+|}
+  in
+  let tb = Testbed.make () in
+  (* the worker runs for a long time; the observer must get the worker's
+     input as soon as the worker STARTS, and finish long before it *)
+  Registry.bind tb.Testbed.registry ~code:"slow.worker" (Registry.const ~work:(Sim.ms 500) "done" []);
+  Registry.bind tb.Testbed.registry ~code:"observer" (fun (ctx : Registry.context) ->
+      Registry.finish "saw" [ ("a", (List.assoc "a" ctx.Registry.inputs).Value.payload) ]);
+  match
+    Testbed.launch_and_run tb ~script ~root:"root"
+      ~inputs:[ ("a", Value.obj ~cls:"A" (Value.Str "payload")) ]
+  with
+  | Ok (_, status) ->
+    let objects = expect_done ~output:"done" status in
+    check_str "observer forwarded the worker's received input" "payload"
+      (obj_str objects "a");
+    let tr = Engine.trace tb.Testbed.engine in
+    let observer_done =
+      match Trace.first tr ~kind:"complete" ~detail:"root/observer -> saw" with
+      | Some e -> e.Trace.at
+      | None -> Alcotest.fail "observer never completed"
+    in
+    check "observer finished while the worker still ran" true (observer_done < Sim.ms 500)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_launch_rejects_invalid_script () =
+  let tb = Testbed.make () in
+  (match
+     Engine.launch tb.Testbed.engine ~script:"task t of taskclass Nope { }" ~root:"t" ~inputs:[]
+   with
+  | Error msg -> check "validation error surfaced" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "invalid script accepted");
+  match
+    Engine.launch tb.Testbed.engine ~script:Paper_scripts.quickstart ~root:"ghost" ~inputs:[]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown root accepted"
+
+let test_missing_external_input_stalls () =
+  (* launching without the root's input object: nothing can start *)
+  let tb = Testbed.make () in
+  Impls.register_quickstart tb.Testbed.registry;
+  match
+    Testbed.launch_and_run tb ~script:Paper_scripts.quickstart
+      ~root:Paper_scripts.quickstart_root ~inputs:[]
+  with
+  | Ok (iid, status) ->
+    check "still running" true (status = Wstate.Wf_running);
+    check "quiescent" true (Engine.quiescent tb.Testbed.engine iid)
+  | Error e -> Alcotest.failf "launch: %s" e
+
+
+let test_long_haul_soak () =
+  (* "executions could span arbitrarily large durations" (paper sec 1):
+     a workflow idles on a 2-simulated-hour timer, survives 30 crash
+     cycles meanwhile, and storage stays bounded via gc+compact of the
+     instances completed along the way *)
+  let script =
+    {|
+class Go;
+class Timer;
+taskclass LongWait {
+    inputs {
+        input main { go of class Go };
+        input timeout { t of class Timer }
+    };
+    outputs { outcome released { }; outcome nudged { } }
+};
+taskclass Root {
+    inputs { input main { go of class Go } };
+    outputs { outcome done { } }
+};
+compoundtask root of taskclass Root {
+    task waiter of taskclass LongWait {
+        implementation { "code" is "soak.waiter", "timeout" is "7200000" };
+        inputs {
+            input main { };
+            input timeout { }
+        }
+    };
+    outputs { outcome done { notification from { task waiter if output released } } }
+}
+|}
+  in
+  let engine_config =
+    { Engine.default_config with Engine.default_deadline = Sim.sec 2; system_max_attempts = 100 }
+  in
+  let tb = Testbed.make ~engine_config () in
+  Registry.bind tb.Testbed.registry ~code:"soak.waiter" (fun (ctx : Registry.context) ->
+      if ctx.Registry.input_set = "timeout" then Registry.finish "released" []
+      else Registry.finish "nudged" []);
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  (* periodic crashes: every 10 simulated minutes, down 5 s, 30 cycles *)
+  Fault.apply tb.Testbed.sim
+    (Fault.periodic_crashes ~node:"n0" ~period:(Sim.sec 600) ~down_for:(Sim.sec 5) ~count:30)
+    ~on:(function
+      | Fault.Crash n -> Testbed.crash tb n
+      | Fault.Restart n -> Testbed.recover tb n
+      | Fault.Partition_on _ | Fault.Partition_off _ -> ());
+  let soak_iid =
+    match
+      Engine.launch tb.Testbed.engine ~script ~root:"root"
+        ~inputs:[ ("go", Value.obj ~cls:"Go" Value.Unit) ]
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  (* churn: short instances run, complete, and are collected throughout *)
+  let churn_at minute =
+    ignore
+      (Sim.at tb.Testbed.sim ~time:(Sim.sec (minute * 60)) (fun () ->
+           if Node.up (Testbed.node tb "n0") then begin
+             match
+               Engine.launch tb.Testbed.engine ~script:Paper_scripts.process_order
+                 ~root:Paper_scripts.process_order_root ~inputs:order_input
+             with
+             | Ok iid ->
+               Engine.on_complete tb.Testbed.engine iid (fun _ ->
+                   Engine.gc tb.Testbed.engine iid (fun _ ->
+                       Engine.compact tb.Testbed.engine))
+             | Error _ -> ()
+           end))
+  in
+  List.iter churn_at [ 3; 23; 43; 63; 83; 103 ];
+  Sim.run ~until:(Sim.sec 9000) tb.Testbed.sim;
+  (match Engine.status tb.Testbed.engine soak_iid with
+  | Some (Wstate.Wf_done { output; _ }) -> check_str "released after 2 simulated hours" "done" output
+  | other ->
+    Alcotest.failf "soak status: %s"
+      (match other with Some s -> Format.asprintf "%a" Wstate.pp_status s | None -> "none"));
+  check "a dozen recoveries happened" true (Engine.recoveries_total tb.Testbed.engine >= 12);
+  let wal = Kvstore.wal_length (Participant.store (Testbed.participant tb "n0")) in
+  check "storage bounded after gc+compact churn" true (wal < 400)
+
+
+let test_history_survives_crash_and_gc () =
+  let tb = Testbed.make ~engine_config:fast_engine () in
+  Impls.register_process_order ~work:(Sim.ms 20) ~scenario:Impls.order_ok tb.Testbed.registry;
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 30) (fun () -> Testbed.crash tb "n0"));
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 120) (fun () -> Testbed.recover tb "n0"));
+  match
+    Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+      ~root:Paper_scripts.process_order_root ~inputs:order_input
+  with
+  | Ok (iid, status) ->
+    ignore (expect_done ~output:"orderCompleted" status);
+    let rows = Engine.history tb.Testbed.engine iid in
+    let kinds = List.map (fun (_, kind, _) -> kind) rows in
+    check "launch recorded" true (List.mem "launch" kinds);
+    check "completions recorded across the crash" true
+      (List.length (List.filter (( = ) "complete") kinds) >= 5);
+    check "final status recorded" true (List.mem "instance" kinds);
+    (* rows are time-ordered *)
+    let times = List.map (fun (at, _, _) -> at) rows in
+    check "chronological" true (List.sort compare times = times);
+    (* gc removes the audit log with the instance *)
+    Engine.gc tb.Testbed.engine iid (fun _ -> ());
+    Testbed.run tb;
+    check "collected with the instance" true (Engine.history tb.Testbed.engine iid = [])
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_history_over_admin_rpc () =
+  let tb = Testbed.make ~nodes:[ "n0"; "console" ] () in
+  Admin.serve tb.Testbed.engine;
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  match
+    Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+      ~root:Paper_scripts.process_order_root ~inputs:order_input
+  with
+  | Ok (iid, _) ->
+    let client = Admin.Client.create ~rpc:tb.Testbed.rpc ~src:"console" ~engine_node:"n0" in
+    let rows = ref None in
+    Admin.Client.history client ~iid (fun r -> rows := Some r);
+    Testbed.run tb;
+    (match !rows with
+    | Some (Ok rows) -> check "audit log fetched remotely" true (List.length rows >= 7)
+    | _ -> Alcotest.fail "history over rpc failed")
+  | Error e -> Alcotest.failf "launch: %s" e
+
+(* --- determinism --- *)
+
+let test_same_seed_same_trace () =
+  let run () =
+    let tb, _, status = run_trip { Impls.trip_smooth with Impls.hotel_fails_rounds = 1 } in
+    let trace = Engine.trace tb.Testbed.engine in
+    ( status,
+      List.map (fun (e : Trace.entry) -> (e.Trace.at, e.Trace.kind, e.Trace.detail)) (Trace.entries trace) )
+  in
+  let s1, t1 = run () in
+  let s2, t2 = run () in
+  check "same status" true (s1 = s2);
+  check "identical traces" true (t1 = t2)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "fig1",
+        [
+          Alcotest.test_case "quickstart completes" `Quick test_quickstart_completes;
+          Alcotest.test_case "fig1 ordering" `Quick test_quickstart_ordering_matches_fig1;
+        ] );
+      ( "service-impact",
+        [
+          Alcotest.test_case "resolved" `Quick test_impact_resolved;
+          Alcotest.test_case "not resolved" `Quick test_impact_not_resolved;
+          Alcotest.test_case "failure fan-in" `Quick test_impact_failure_fan_in;
+          Alcotest.test_case "no fault stalls" `Quick test_impact_no_fault_stalls;
+        ] );
+      ( "process-order",
+        [
+          Alcotest.test_case "completes" `Quick test_order_completes;
+          Alcotest.test_case "concurrent auth+stock" `Quick test_order_concurrent_auth_and_stock;
+          Alcotest.test_case "not authorised" `Quick test_order_cancelled_not_authorised;
+          Alcotest.test_case "no stock" `Quick test_order_cancelled_no_stock;
+          Alcotest.test_case "dispatch aborts" `Quick test_order_cancelled_dispatch_aborts;
+          Alcotest.test_case "capture never runs" `Quick test_order_payment_capture_never_runs_when_cancelled;
+        ] );
+      ( "business-trip",
+        [
+          Alcotest.test_case "smooth" `Quick test_trip_smooth;
+          Alcotest.test_case "mark before completion" `Quick test_trip_mark_before_completion;
+          Alcotest.test_case "compensation + retry loop" `Quick test_trip_compensation_and_retry_loop;
+          Alcotest.test_case "inner hotel repeats" `Quick test_trip_inner_hotel_repeats;
+          Alcotest.test_case "no flight" `Quick test_trip_no_flight_cancelled;
+          Alcotest.test_case "data failure" `Quick test_trip_data_failure_cancelled;
+          Alcotest.test_case "first available flight" `Quick test_trip_first_available_flight_wins;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "normal path" `Quick test_timer_normal_path;
+          Alcotest.test_case "timeout path" `Quick test_timer_expires;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "host crash redispatch" `Quick test_remote_host_crash_redispatch;
+          Alcotest.test_case "engine crash recovery" `Quick test_engine_crash_recovery_completes;
+          Alcotest.test_case "lossy network" `Quick test_lossy_network_still_completes;
+          Alcotest.test_case "abort auto-retry" `Quick test_abort_auto_retry;
+          Alcotest.test_case "crash during launch commit" `Quick test_crash_during_launch_commit;
+          Alcotest.test_case "partition engine/host" `Quick test_partition_between_engine_and_host;
+          Alcotest.test_case "forty concurrent instances" `Quick test_many_concurrent_instances;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "if-input sibling source" `Quick test_if_input_sibling_source;
+          Alcotest.test_case "launch rejects invalid" `Quick test_launch_rejects_invalid_script;
+          Alcotest.test_case "missing external input stalls" `Quick
+            test_missing_external_input_stalls;
+        ] );
+      ( "transitions",
+        [
+          Alcotest.test_case "abort after mark" `Quick test_abort_after_mark_is_protocol_violation;
+          Alcotest.test_case "mark early release" `Quick test_impl_mark_early_release;
+          Alcotest.test_case "first declared set wins" `Quick test_first_declared_set_wins;
+        ] );
+      ( "reconfiguration",
+        [
+          Alcotest.test_case "add task mid-run" `Quick test_reconfigure_add_task_mid_run;
+          Alcotest.test_case "rejects invalid" `Quick test_reconfigure_rejects_invalid;
+          Alcotest.test_case "online upgrade" `Quick test_online_upgrade_rebind;
+          Alcotest.test_case "sub-workflow binding" `Quick test_sub_workflow_binding;
+          Alcotest.test_case "admin workflow reconfigures" `Quick
+            test_admin_workflow_reconfigures_another;
+        ] );
+      ( "administration",
+        [
+          Alcotest.test_case "persistent history" `Quick test_history_survives_crash_and_gc;
+          Alcotest.test_case "history over rpc" `Quick test_history_over_admin_rpc;
+          Alcotest.test_case "cancel instance" `Quick test_user_cancel_instance;
+          Alcotest.test_case "user abort drives fan-in" `Quick test_user_abort_task_feeds_fan_in;
+          Alcotest.test_case "admin client over rpc" `Quick test_admin_client_over_rpc;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "collect finished" `Quick test_gc_finished_instance;
+          Alcotest.test_case "refuse running" `Quick test_gc_refuses_running;
+          Alcotest.test_case "compaction bounds storage" `Quick test_compact_bounds_storage;
+          Alcotest.test_case "long-haul soak (2 simulated hours)" `Quick test_long_haul_soak;
+        ] );
+      ("determinism", [ Alcotest.test_case "same seed same trace" `Quick test_same_seed_same_trace ]);
+    ]

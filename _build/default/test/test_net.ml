@@ -1,0 +1,234 @@
+(* Tests for the simulated network: wire codec, datagram semantics
+   (latency, loss, partitions, crashes) and the RPC layer (timeout,
+   retry, de-duplication). *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let make_net ?(config = Network.default_config) ?(seed = 5L) ids =
+  let sim = Sim.create ~seed () in
+  let net = Network.create ~config sim in
+  let nodes = List.map (fun id -> Network.add_node net ~id) ids in
+  (sim, net, nodes)
+
+(* --- Wire --- *)
+
+let test_wire_roundtrips () =
+  let enc = Wire.(triple string (list int) (option bool)) in
+  let dec = Wire.(decode (d_triple d_string (d_list d_int) (d_option d_bool))) in
+  let value = ("hello:world:3:", [ 1; -2; 30 ], Some true) in
+  check "roundtrip" true (dec (enc value) = value)
+
+let test_wire_rejects_garbage () =
+  let attempt input = match Wire.(decode d_string) input with exception Wire.Malformed _ -> true | _ -> false in
+  check "no separator" true (attempt "abc");
+  check "bad length" true (attempt "x:abc");
+  check "truncated" true (attempt "10:ab");
+  check "trailing" true (attempt "1:ab")
+
+let prop_wire_string_roundtrip =
+  QCheck.Test.make ~name:"wire strings roundtrip (incl. separators)" ~count:300
+    QCheck.(string)
+    (fun s -> Wire.(decode d_string) (Wire.string s) = s)
+
+let prop_wire_list_roundtrip =
+  QCheck.Test.make ~name:"wire lists of pairs roundtrip" ~count:200
+    QCheck.(list (pair string small_int))
+    (fun l ->
+      let enc = Wire.(list (pair string int)) in
+      Wire.(decode (d_list (d_pair d_string d_int))) (enc l) = l)
+
+(* --- Network --- *)
+
+let test_delivery_and_latency () =
+  let sim, net, _ = make_net [ "a"; "b" ] in
+  let got = ref None in
+  Node.serve (Network.node net "b") ~service:"echo" (fun ~src body ->
+      got := Some (src, body, Sim.now sim);
+      "");
+  Network.send net ~src:"a" ~dst:"b" ~service:"echo" ~body:"hi";
+  Sim.run sim;
+  (match !got with
+  | Some (src, body, at) ->
+    check "src" true (src = "a");
+    check "body" true (body = "hi");
+    check "latency >= base" true (at >= Network.default_config.base_latency)
+  | None -> Alcotest.fail "message not delivered");
+  check_int "delivered counter" 1 (Network.delivered_total net)
+
+let test_loss_drops_everything () =
+  let config = { Network.default_config with loss = 1.0 } in
+  let sim, net, _ = make_net ~config [ "a"; "b" ] in
+  let got = ref 0 in
+  Node.serve (Network.node net "b") ~service:"s" (fun ~src:_ _ -> incr got; "");
+  for _ = 1 to 20 do
+    Network.send net ~src:"a" ~dst:"b" ~service:"s" ~body:""
+  done;
+  Sim.run sim;
+  check_int "nothing delivered" 0 !got;
+  check_int "all dropped" 20 (Network.dropped_total net)
+
+let test_partition_blocks_and_heals () =
+  let sim, net, _ = make_net [ "a"; "b" ] in
+  let got = ref 0 in
+  Node.serve (Network.node net "b") ~service:"s" (fun ~src:_ _ -> incr got; "");
+  Network.partition_on net "a" "b";
+  Network.send net ~src:"a" ~dst:"b" ~service:"s" ~body:"";
+  Sim.run sim;
+  check_int "blocked" 0 !got;
+  Network.partition_off net "a" "b";
+  Network.send net ~src:"a" ~dst:"b" ~service:"s" ~body:"";
+  Sim.run sim;
+  check_int "healed" 1 !got
+
+let test_crashed_destination_drops () =
+  let sim, net, _ = make_net [ "a"; "b" ] in
+  let got = ref 0 in
+  Node.serve (Network.node net "b") ~service:"s" (fun ~src:_ _ -> incr got; "");
+  Node.crash (Network.node net "b");
+  Network.send net ~src:"a" ~dst:"b" ~service:"s" ~body:"";
+  Sim.run sim;
+  check_int "dropped at crashed node" 0 !got
+
+let test_crash_in_flight_drops_at_delivery () =
+  let sim, net, _ = make_net [ "a"; "b" ] in
+  let got = ref 0 in
+  Node.serve (Network.node net "b") ~service:"s" (fun ~src:_ _ -> incr got; "");
+  Network.send net ~src:"a" ~dst:"b" ~service:"s" ~body:"";
+  (* crash b before the message arrives *)
+  ignore (Sim.schedule sim ~delay:1 (fun () -> Node.crash (Network.node net "b")));
+  Sim.run sim;
+  check_int "in-flight message lost" 0 !got
+
+let test_crashed_source_sends_nothing () =
+  let sim, net, _ = make_net [ "a"; "b" ] in
+  Node.crash (Network.node net "a");
+  Network.send net ~src:"a" ~dst:"b" ~service:"s" ~body:"";
+  Sim.run sim;
+  check_int "nothing sent" 0 (Network.sent_total net)
+
+let test_node_hooks_fire_once () =
+  let _, net, _ = make_net [ "a" ] in
+  let n = Network.node net "a" in
+  let crashes = ref 0 and recoveries = ref 0 in
+  Node.on_crash n (fun () -> incr crashes);
+  Node.on_recover n (fun () -> incr recoveries);
+  Node.crash n;
+  Node.crash n;
+  Node.recover n;
+  Node.recover n;
+  check_int "crash hook idempotent" 1 !crashes;
+  check_int "recover hook idempotent" 1 !recoveries
+
+let test_service_withdrawn () =
+  let sim, net, _ = make_net [ "a"; "b" ] in
+  let got = ref 0 in
+  let b = Network.node net "b" in
+  Node.serve b ~service:"s" (fun ~src:_ _ -> incr got; "");
+  Node.withdraw b ~service:"s";
+  Network.send net ~src:"a" ~dst:"b" ~service:"s" ~body:"";
+  Sim.run sim;
+  check_int "withdrawn service gets nothing" 0 !got
+
+(* --- Rpc --- *)
+
+let make_rpc ?config ?seed ids =
+  let sim, net, nodes = make_net ?config ?seed ids in
+  let rpc = Rpc.create net in
+  List.iter (Rpc.attach rpc) nodes;
+  (sim, net, rpc)
+
+let test_rpc_call_ok () =
+  let sim, _, rpc = make_rpc [ "a"; "b" ] in
+  Node.serve (Network.node (Rpc.network rpc) "b") ~service:"double" (fun ~src:_ body -> body ^ body);
+  let result = ref None in
+  Rpc.call rpc ~src:"a" ~dst:"b" ~service:"double" ~body:"xy" (fun r -> result := Some r);
+  Sim.run sim;
+  check "reply" true (!result = Some (Ok "xyxy"))
+
+let test_rpc_unknown_service_errors () =
+  let sim, _, rpc = make_rpc [ "a"; "b" ] in
+  let result = ref None in
+  Rpc.call rpc ~src:"a" ~dst:"b" ~service:"nope" ~body:"" (fun r -> result := Some r);
+  Sim.run sim;
+  check "error" true (match !result with Some (Error _) -> true | _ -> false)
+
+let test_rpc_handler_exception_is_error () =
+  let sim, net, rpc = make_rpc [ "a"; "b" ] in
+  Node.serve (Network.node net "b") ~service:"boom" (fun ~src:_ _ -> failwith "kaboom");
+  let result = ref None in
+  Rpc.call rpc ~src:"a" ~dst:"b" ~service:"boom" ~body:"" (fun r -> result := Some r);
+  Sim.run sim;
+  check "error carries exception" true
+    (match !result with Some (Error e) -> String.length e > 0 | _ -> false)
+
+let test_rpc_timeout_on_dead_destination () =
+  let sim, net, rpc = make_rpc [ "a"; "b" ] in
+  Node.crash (Network.node net "b");
+  let result = ref None in
+  Rpc.call rpc ~src:"a" ~dst:"b" ~service:"s" ~body:"" ~timeout:(Sim.ms 5) ~retries:2 (fun r ->
+      result := Some r);
+  Sim.run sim;
+  check "timeout" true (!result = Some (Error "timeout"))
+
+let test_rpc_retries_through_loss_execute_once () =
+  (* 60% loss: retries must eventually get through, and dedup must keep
+     the handler execution count at one per call. *)
+  let config = { Network.default_config with loss = 0.6 } in
+  let sim, net, rpc = make_rpc ~config ~seed:9L [ "a"; "b" ] in
+  let executions = ref 0 in
+  Node.serve (Network.node net "b") ~service:"inc" (fun ~src:_ _ ->
+      incr executions;
+      "done");
+  let oks = ref 0 in
+  for _ = 1 to 10 do
+    Rpc.call rpc ~src:"a" ~dst:"b" ~service:"inc" ~body:"" ~timeout:(Sim.ms 4) ~retries:40
+      (function Ok _ -> incr oks | Error _ -> ())
+  done;
+  Sim.run sim;
+  check_int "all calls eventually succeed" 10 !oks;
+  check_int "handler ran exactly once per call" 10 !executions;
+  check "retries actually happened" true (Rpc.retries_total rpc > 0)
+
+let test_rpc_caller_crash_suppresses_callback () =
+  let sim, net, rpc = make_rpc [ "a"; "b" ] in
+  Node.serve (Network.node net "b") ~service:"s" (fun ~src:_ _ -> "r");
+  let fired = ref false in
+  Rpc.call rpc ~src:"a" ~dst:"b" ~service:"s" ~body:"" (fun _ -> fired := true);
+  Node.crash (Network.node net "a");
+  Sim.run sim;
+  check "callback suppressed after caller crash" false !fired
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_wire_string_roundtrip; prop_wire_list_roundtrip ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_wire_roundtrips;
+          Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery and latency" `Quick test_delivery_and_latency;
+          Alcotest.test_case "total loss" `Quick test_loss_drops_everything;
+          Alcotest.test_case "partition" `Quick test_partition_blocks_and_heals;
+          Alcotest.test_case "crashed destination" `Quick test_crashed_destination_drops;
+          Alcotest.test_case "crash in flight" `Quick test_crash_in_flight_drops_at_delivery;
+          Alcotest.test_case "crashed source" `Quick test_crashed_source_sends_nothing;
+          Alcotest.test_case "hooks idempotent" `Quick test_node_hooks_fire_once;
+          Alcotest.test_case "service withdrawn" `Quick test_service_withdrawn;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "call ok" `Quick test_rpc_call_ok;
+          Alcotest.test_case "unknown service" `Quick test_rpc_unknown_service_errors;
+          Alcotest.test_case "handler exception" `Quick test_rpc_handler_exception_is_error;
+          Alcotest.test_case "timeout on dead node" `Quick test_rpc_timeout_on_dead_destination;
+          Alcotest.test_case "retries + dedup" `Quick test_rpc_retries_through_loss_execute_once;
+          Alcotest.test_case "caller crash" `Quick test_rpc_caller_crash_suppresses_callback;
+        ] );
+      ("properties", qsuite);
+    ]

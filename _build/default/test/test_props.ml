@@ -1,0 +1,333 @@
+(* Generative properties across the stack:
+   - random syntactic ASTs round-trip through the pretty-printer/parser;
+   - random Value trees round-trip through the persistence codec;
+   - the wire decoder never fails with anything but Malformed on fuzz;
+   - the engine completes chain workloads under random crash schedules
+     (the paper's "eventually receives inputs despite a finite number of
+     crashes" claim, searched over schedules rather than hand-picked). *)
+
+let check = Alcotest.(check bool)
+
+(* --- random AST generation (syntactic, not semantic) --- *)
+
+let gen_name =
+  QCheck.Gen.(map (fun (c, n) -> Printf.sprintf "%c%d" c n) (pair (char_range 'a' 'z') (int_bound 99)))
+
+let gen_cname =
+  QCheck.Gen.(map (fun (c, n) -> Printf.sprintf "%c%d" c n) (pair (char_range 'A' 'Z') (int_bound 99)))
+
+let gen_cond =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun n -> Ast.On_output n) gen_name);
+        (2, map (fun n -> Ast.On_input n) gen_name);
+        (1, return Ast.Any);
+      ])
+
+let gen_object_source =
+  QCheck.Gen.(
+    map3
+      (fun os_object os_task os_cond -> { Ast.os_object; os_task; os_cond; os_loc = Loc.dummy })
+      gen_name gen_name gen_cond)
+
+let gen_notif_source =
+  QCheck.Gen.(
+    map2 (fun ns_task ns_cond -> { Ast.ns_task; ns_cond; ns_loc = Loc.dummy }) gen_name gen_cond)
+
+let gen_input_dep =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          map2
+            (fun d_name d_sources -> Ast.Dep_object { d_name; d_sources; d_loc = Loc.dummy })
+            gen_name
+            (list_size (int_range 1 3) gen_object_source) );
+        (1, map (fun l -> Ast.Dep_notification l) (list_size (int_range 1 3) gen_notif_source));
+      ])
+
+let gen_input_set_spec =
+  QCheck.Gen.(
+    map2
+      (fun iss_name iss_deps -> { Ast.iss_name; iss_deps; iss_loc = Loc.dummy })
+      gen_name
+      (list_size (int_range 0 3) gen_input_dep))
+
+let gen_impl =
+  QCheck.Gen.(
+    list_size (int_range 0 3)
+      (pair (oneofl [ "code"; "location"; "deadline"; "priority"; "agent" ]) gen_name))
+
+let gen_task_decl =
+  QCheck.Gen.(
+    map3
+      (fun td_name (td_class, td_impl) td_inputs ->
+        { Ast.td_name; td_class; td_impl; td_inputs; td_loc = Loc.dummy })
+      gen_name (pair gen_cname gen_impl)
+      (list_size (int_range 0 2) gen_input_set_spec))
+
+let gen_object_decl =
+  QCheck.Gen.(
+    map2 (fun od_name od_class -> { Ast.od_name; od_class; od_loc = Loc.dummy }) gen_name gen_cname)
+
+let gen_output_kind =
+  QCheck.Gen.oneofl [ Ast.Outcome; Ast.Abort_outcome; Ast.Repeat_outcome; Ast.Mark ]
+
+let gen_output_decl =
+  QCheck.Gen.(
+    map3
+      (fun outd_kind outd_name outd_objects ->
+        { Ast.outd_kind; outd_name; outd_objects; outd_loc = Loc.dummy })
+      gen_output_kind gen_name
+      (list_size (int_range 0 3) gen_object_decl))
+
+let gen_taskclass_decl =
+  QCheck.Gen.(
+    map3
+      (fun tcd_name input_sets tcd_outputs ->
+        let tcd_input_sets =
+          List.map
+            (fun (isd_name, isd_objects) -> { Ast.isd_name; isd_objects; isd_loc = Loc.dummy })
+            input_sets
+        in
+        { Ast.tcd_name; tcd_input_sets; tcd_outputs; tcd_loc = Loc.dummy })
+      gen_cname
+      (list_size (int_range 0 2) (pair gen_name (list_size (int_range 0 3) gen_object_decl)))
+      (list_size (int_range 0 3) gen_output_decl))
+
+let gen_output_binding =
+  QCheck.Gen.(
+    map3
+      (fun ob_kind ob_name deps -> { Ast.ob_kind; ob_name; ob_deps = deps; ob_loc = Loc.dummy })
+      gen_output_kind gen_name
+      (list_size (int_range 0 2)
+         (frequency
+            [
+              ( 2,
+                map2
+                  (fun o_name o_sources -> Ast.Out_object { o_name; o_sources; o_loc = Loc.dummy })
+                  gen_name
+                  (list_size (int_range 1 2) gen_object_source) );
+              (1, map (fun l -> Ast.Out_notification l) (list_size (int_range 1 2) gen_notif_source));
+            ])))
+
+let gen_compound_decl =
+  QCheck.Gen.(
+    map3
+      (fun cd_name (cd_class, cd_inputs) (constituents, cd_outputs) ->
+        {
+          Ast.cd_name;
+          cd_class;
+          cd_impl = [];
+          cd_inputs;
+          cd_constituents = List.map (fun td -> Ast.C_task td) constituents;
+          cd_outputs;
+          cd_loc = Loc.dummy;
+        })
+      gen_name
+      (pair gen_cname (list_size (int_range 0 2) gen_input_set_spec))
+      (pair (list_size (int_range 0 3) gen_task_decl) (list_size (int_range 0 2) gen_output_binding)))
+
+let gen_decl =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map (fun cls_name -> Ast.D_class { cls_name; cls_parent = None; cls_loc = Loc.dummy }) gen_cname);
+        ( 1,
+          map2
+            (fun cls_name parent ->
+              Ast.D_class { cls_name; cls_parent = Some parent; cls_loc = Loc.dummy })
+            gen_cname gen_cname );
+        (3, map (fun tc -> Ast.D_taskclass tc) gen_taskclass_decl);
+        (3, map (fun td -> Ast.D_task td) gen_task_decl);
+        (2, map (fun cd -> Ast.D_compound cd) gen_compound_decl);
+        ( 1,
+          map3
+            (fun ti_name ti_template ti_args ->
+              Ast.D_template_inst { ti_name; ti_template; ti_args; ti_loc = Loc.dummy })
+            gen_name gen_name
+            (list_size (int_range 0 3) gen_name) );
+      ])
+
+let gen_script = QCheck.Gen.(list_size (int_range 1 8) gen_decl)
+
+let arb_script = QCheck.make ~print:(fun ast -> Pretty.to_string ast) gen_script
+
+let prop_pretty_parse_roundtrip =
+  QCheck.Test.make ~name:"random ASTs round-trip through pretty-print + parse" ~count:300
+    arb_script (fun ast ->
+      let printed = Pretty.to_string ast in
+      match Parser.script_result printed with
+      | Error _ -> false
+      | Ok reparsed -> Pretty.to_string reparsed = printed)
+
+(* --- Value codec --- *)
+
+let gen_value =
+  QCheck.Gen.(
+    sized
+      (fix (fun self n ->
+           if n <= 1 then
+             frequency
+               [
+                 (1, return Value.Unit);
+                 (2, map (fun b -> Value.Bool b) bool);
+                 (3, map (fun i -> Value.Int i) int);
+                 (3, map (fun s -> Value.Str s) string);
+               ]
+           else
+             frequency
+               [
+                 (2, map (fun s -> Value.Str s) string);
+                 (2, map (fun l -> Value.List l) (list_size (int_range 0 4) (self (n / 2))));
+                 (1, map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2)));
+               ])))
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"values round-trip through the persistence codec" ~count:500
+    (QCheck.make gen_value) (fun v -> Value.decode (Value.encode v) = v)
+
+let prop_obj_bindings_roundtrip =
+  QCheck.Test.make ~name:"object bindings round-trip" ~count:200
+    QCheck.(make Gen.(list_size (int_range 0 5) (pair string_small gen_value)))
+    (fun bindings ->
+      let objs = List.map (fun (n, v) -> (n, Value.obj ~cls:("C" ^ n) v)) bindings in
+      Value.decode_bindings (Value.encode_bindings objs) = objs)
+
+(* --- wire fuzz --- *)
+
+let prop_wire_fuzz_no_crash =
+  QCheck.Test.make ~name:"wire decoder fails only with Malformed on fuzz" ~count:500
+    QCheck.string (fun input ->
+      match Wire.decode Wire.d_string input with
+      | _ -> true
+      | exception Wire.Malformed _ -> true)
+
+let prop_task_state_codec_fuzz =
+  QCheck.Test.make ~name:"task-state decoder fails only with Malformed on fuzz" ~count:300
+    QCheck.string (fun input ->
+      match Wstate.decode_task_state input with
+      | _ -> true
+      | exception Wire.Malformed _ -> true)
+
+(* --- fault-schedule search --- *)
+
+let prop_engine_survives_random_crash_schedules =
+  (* a chain of 6 tasks (5ms each); up to 4 crash/recovery cycles at
+     random instants within the first 400ms; the engine must still reach
+     the right outcome with the seed intact. *)
+  QCheck.Test.make ~name:"engine completes under arbitrary finite crash schedules" ~count:25
+    QCheck.(
+      make
+        ~print:(fun (times, down) ->
+          Printf.sprintf "crashes at %s ms, down %d ms"
+            (String.concat "," (List.map string_of_int times))
+            down)
+        Gen.(pair (list_size (int_range 0 4) (int_range 1 400)) (int_range 10 50)))
+    (fun (crash_times_ms, down_ms) ->
+      let engine_config =
+        { Engine.default_config with Engine.default_deadline = Sim.ms 80; system_max_attempts = 200 }
+      in
+      let tb = Testbed.make ~engine_config () in
+      Workloads.register ~work:(Sim.ms 5) tb.Testbed.registry;
+      let plan =
+        List.concat_map
+          (fun at_ms -> Fault.crash_restart ~node:"n0" ~at:(Sim.ms at_ms) ~down_for:(Sim.ms down_ms))
+          (List.sort_uniq compare crash_times_ms)
+      in
+      (* crash_restart pairs can interleave out of order across cycles;
+         Node.crash/recover are idempotent so this is safe *)
+      Fault.apply tb.Testbed.sim plan ~on:(function
+        | Fault.Crash n -> Testbed.crash tb n
+        | Fault.Restart n -> Testbed.recover tb n
+        | Fault.Partition_on _ | Fault.Partition_off _ -> ());
+      let script, root = Workloads.chain ~n:6 in
+      match
+        Testbed.launch_and_run ~until:(Sim.sec 120) tb ~script ~root ~inputs:Workloads.seed_inputs
+      with
+      | Ok (_, Wstate.Wf_done { output = "finished"; objects }) -> (
+        match List.assoc_opt "data" objects with
+        | Some { Value.payload = Value.Str "seed"; _ } -> true
+        | _ -> false)
+      | _ -> false)
+
+let prop_lossy_network_random_seeds =
+  QCheck.Test.make ~name:"order processing completes under 30% loss for any seed" ~count:15
+    QCheck.int64 (fun seed ->
+      let config = { Network.default_config with Network.loss = 0.3 } in
+      let tb = Testbed.make ~config ~seed () in
+      Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+      match
+        Testbed.launch_and_run ~until:(Sim.sec 120) tb ~script:Paper_scripts.process_order
+          ~root:Paper_scripts.process_order_root
+          ~inputs:[ ("order", Value.obj ~cls:"Order" (Value.Str "o")) ]
+      with
+      | Ok (_, Wstate.Wf_done { output = "orderCompleted"; _ }) -> true
+      | _ -> false)
+
+(* --- gantt smoke --- *)
+
+let test_gantt_renders_fig1 () =
+  let tb = Testbed.make () in
+  Impls.register_quickstart tb.Testbed.registry;
+  ignore
+    (Testbed.launch_and_run tb ~script:Paper_scripts.quickstart
+       ~root:Paper_scripts.quickstart_root
+       ~inputs:[ ("seed", Value.obj ~cls:"Data" (Value.Int 1)) ]);
+  let chart = Gantt.render (Engine.trace tb.Testbed.engine) in
+  let lines = String.split_on_char '\n' chart in
+  check "five rows (diamond + four tasks)" true
+    (List.length (List.filter (fun l -> l <> "") lines) = 5);
+  check "contains t4 row" true
+    (List.exists
+       (fun l -> String.length l > 10 && String.sub l 0 10 = "diamond/t4")
+       lines)
+
+let test_gantt_empty_trace () =
+  Alcotest.(check string) "empty" "" (Gantt.render (Trace.create ()))
+
+
+let test_gantt_shows_running_tasks () =
+  (* an instance cancelled mid-run renders open-ended bars *)
+  let tb = Testbed.make () in
+  Impls.register_process_order ~work:(Sim.ms 200) ~scenario:Impls.order_ok tb.Testbed.registry;
+  (match
+     Engine.launch tb.Testbed.engine ~script:Paper_scripts.process_order
+       ~root:Paper_scripts.process_order_root
+       ~inputs:[ ("order", Value.obj ~cls:"Order" (Value.Str "o")) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "launch: %s" e);
+  Sim.run ~until:(Sim.ms 50) tb.Testbed.sim;
+  let chart = Gantt.render (Engine.trace tb.Testbed.engine) in
+  let contains needle =
+    let n = String.length needle and h = String.length chart in
+    let rec at i = i + n <= h && (String.sub chart i n = needle || at (i + 1)) in
+    at 0
+  in
+  check "open-ended bar for running task" true (contains "(running)")
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pretty_parse_roundtrip;
+      prop_value_roundtrip;
+      prop_obj_bindings_roundtrip;
+      prop_wire_fuzz_no_crash;
+      prop_task_state_codec_fuzz;
+      prop_engine_survives_random_crash_schedules;
+      prop_lossy_network_random_seeds;
+    ]
+
+let () =
+  Alcotest.run "props"
+    [
+      ("generative", qsuite);
+      ( "gantt",
+        [
+          Alcotest.test_case "renders fig1" `Quick test_gantt_renders_fig1;
+          Alcotest.test_case "running tasks open-ended" `Quick test_gantt_shows_running_tasks;
+          Alcotest.test_case "empty trace" `Quick test_gantt_empty_trace;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for the workflow repository service: validated storage,
+   versioning, inspection, crash durability, and the RPC client
+   (including launch-from-repository). *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let make () =
+  let tb = Testbed.make ~nodes:[ "n0"; "repo" ] () in
+  let repo = Repository.create ~rpc:tb.Testbed.rpc ~node:(Testbed.node tb "repo") in
+  let client = Repo_client.create ~rpc:tb.Testbed.rpc ~src:"n0" ~repo_node:"repo" in
+  (tb, repo, client)
+
+let store_ok repo ~name ~source =
+  match Repository.store repo ~name ~source with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "store: %s" e
+
+let test_store_and_fetch () =
+  let _, repo, _ = make () in
+  let v = store_ok repo ~name:"order" ~source:Paper_scripts.process_order in
+  check_int "first version" 1 v;
+  match Repository.fetch repo ~name:"order" () with
+  | Ok source -> check "same source" true (source = Paper_scripts.process_order)
+  | Error e -> Alcotest.failf "fetch: %s" e
+
+let test_store_rejects_invalid () =
+  let _, repo, _ = make () in
+  match Repository.store repo ~name:"bad" ~source:"task t of taskclass Missing { }" with
+  | Error _ -> check "rejected" true (Repository.head repo ~name:"bad" = None)
+  | Ok _ -> Alcotest.fail "invalid script accepted"
+
+let test_versioning () =
+  let _, repo, _ = make () in
+  ignore (store_ok repo ~name:"s" ~source:Paper_scripts.quickstart);
+  let v2 = store_ok repo ~name:"s" ~source:Paper_scripts.process_order in
+  check_int "second version" 2 v2;
+  Alcotest.(check (list int)) "history" [ 1; 2 ] (Repository.history repo ~name:"s");
+  (match Repository.fetch repo ~name:"s" ~version:1 () with
+  | Ok source -> check "old version intact" true (source = Paper_scripts.quickstart)
+  | Error e -> Alcotest.failf "fetch v1: %s" e);
+  match Repository.fetch repo ~name:"s" () with
+  | Ok source -> check "head is v2" true (source = Paper_scripts.process_order)
+  | Error e -> Alcotest.failf "fetch head: %s" e
+
+let test_list_and_inspect () =
+  let _, repo, _ = make () in
+  ignore (store_ok repo ~name:"order" ~source:Paper_scripts.process_order);
+  ignore (store_ok repo ~name:"trip" ~source:Paper_scripts.business_trip);
+  Alcotest.(check (list string)) "names sorted" [ "order"; "trip" ] (Repository.list_names repo);
+  match Repository.inspect repo ~name:"trip" with
+  | Ok s ->
+    check_int "head" 1 s.Repository.s_head;
+    Alcotest.(check (list string)) "roots" [ "tripReservation" ] s.Repository.s_roots;
+    check_int "task count" 11 s.Repository.s_task_count
+  | Error e -> Alcotest.failf "inspect: %s" e
+
+let test_crash_durability () =
+  let tb, repo, _ = make () in
+  ignore (store_ok repo ~name:"order" ~source:Paper_scripts.process_order);
+  Testbed.crash tb "repo";
+  check "unavailable while down" true
+    (match Repository.fetch repo ~name:"order" () with
+    | exception Kvstore.Unavailable _ -> true
+    | _ -> false);
+  Testbed.recover tb "repo";
+  match Repository.fetch repo ~name:"order" () with
+  | Ok source -> check "script survived the crash" true (source = Paper_scripts.process_order)
+  | Error e -> Alcotest.failf "fetch after recovery: %s" e
+
+let test_client_roundtrip () =
+  let tb, _, client = make () in
+  let stored = ref None in
+  Repo_client.store client ~name:"order" ~source:Paper_scripts.process_order (fun r ->
+      stored := Some r);
+  Testbed.run tb;
+  check "stored over rpc" true (!stored = Some (Ok 1));
+  let names = ref None in
+  Repo_client.list_names client (fun r -> names := Some r);
+  let summary = ref None in
+  Repo_client.inspect client ~name:"order" (fun r -> summary := Some r);
+  let fetched = ref None in
+  Repo_client.fetch client ~name:"order" (fun r -> fetched := Some r);
+  Testbed.run tb;
+  check "listed" true (!names = Some (Ok [ "order" ]));
+  (match !summary with
+  | Some (Ok s) -> check_int "five tasks" 5 s.Repository.s_task_count
+  | _ -> Alcotest.fail "inspect over rpc failed");
+  match !fetched with
+  | Some (Ok source) -> check "fetched" true (source = Paper_scripts.process_order)
+  | _ -> Alcotest.fail "fetch over rpc failed"
+
+let test_client_error_for_unknown () =
+  let tb, _, client = make () in
+  let result = ref None in
+  Repo_client.fetch client ~name:"ghost" (fun r -> result := Some r);
+  Testbed.run tb;
+  check "error surfaced" true (match !result with Some (Error _) -> true | _ -> false)
+
+let test_launch_from_repo () =
+  let tb, repo, client = make () in
+  Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
+  ignore (store_ok repo ~name:"order" ~source:Paper_scripts.process_order);
+  let launched = ref None in
+  Repo_client.launch client ~engine:tb.Testbed.engine ~name:"order"
+    ~root:Paper_scripts.process_order_root
+    ~inputs:[ ("order", Value.obj ~cls:"Order" (Value.Str "o1")) ]
+    (fun r -> launched := Some r);
+  Testbed.run tb;
+  match !launched with
+  | Some (Ok iid) -> (
+    match Engine.status tb.Testbed.engine iid with
+    | Some (Wstate.Wf_done { output; _ }) -> Alcotest.(check string) "outcome" "orderCompleted" output
+    | other ->
+      Alcotest.failf "status: %s"
+        (match other with Some s -> Format.asprintf "%a" Wstate.pp_status s | None -> "none"))
+  | Some (Error e) -> Alcotest.failf "launch: %s" e
+  | None -> Alcotest.fail "launch never completed"
+
+let () =
+  Alcotest.run "repo"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "store and fetch" `Quick test_store_and_fetch;
+          Alcotest.test_case "rejects invalid" `Quick test_store_rejects_invalid;
+          Alcotest.test_case "versioning" `Quick test_versioning;
+          Alcotest.test_case "list and inspect" `Quick test_list_and_inspect;
+          Alcotest.test_case "crash durability" `Quick test_crash_durability;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_client_roundtrip;
+          Alcotest.test_case "unknown name" `Quick test_client_error_for_unknown;
+          Alcotest.test_case "launch from repo" `Quick test_launch_from_repo;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Unit and property tests for the discrete-event kernel:
+   heap ordering, RNG determinism, event scheduling semantics. *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* --- Heap --- *)
+
+let test_heap_orders_elements () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  check "empty" true (Heap.is_empty h);
+  check "pop none" true (Heap.pop h = None);
+  check "peek none" true (Heap.peek h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"heap length tracks pushes and pops" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let before = Heap.length h in
+      ignore (Heap.pop h);
+      before = List.length xs && Heap.length h = max 0 (before - 1))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  let take rng = List.init 20 (fun _ -> Rng.next_int64 rng) in
+  check "same seed, same stream" true (take a = take b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let child = Rng.split a in
+  check "child differs from parent" true (Rng.next_int64 a <> Rng.next_int64 child)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float stays within bounds" ~count:500 QCheck.int64 (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng 3.0 in
+      v >= 0.0 && v < 3.0)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 3L in
+  check "p=0 never" true (not (List.exists Fun.id (List.init 50 (fun _ -> Rng.bernoulli rng 0.0))));
+  check "p=1 always" true (List.for_all Fun.id (List.init 50 (fun _ -> Rng.bernoulli rng 1.0)))
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11L in
+  let xs = List.init 30 Fun.id in
+  let ys = Rng.shuffle rng xs in
+  check "same multiset" true (List.sort compare ys = xs)
+
+(* --- Sim --- *)
+
+let test_sim_runs_in_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Sim.now sim) :: !log in
+  ignore (Sim.schedule sim ~delay:30 (note "c"));
+  ignore (Sim.schedule sim ~delay:10 (note "a"));
+  ignore (Sim.schedule sim ~delay:20 (note "b"));
+  Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "time order" [ ("a", 10); ("b", 20); ("c", 30) ] (List.rev !log)
+
+let test_sim_fifo_at_equal_time () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> ignore (Sim.schedule sim ~delay:5 (fun () -> log := tag :: !log)))
+    [ "first"; "second"; "third" ];
+  Sim.run sim;
+  Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~delay:5 (fun () -> fired := true) in
+  Sim.cancel sim h;
+  Sim.run sim;
+  check "cancelled event does not fire" false !fired
+
+let test_sim_until_leaves_future_events () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.schedule sim ~delay:10 (fun () -> incr fired));
+  ignore (Sim.schedule sim ~delay:100 (fun () -> incr fired));
+  Sim.run ~until:50 sim;
+  check_int "only the first fired" 1 !fired;
+  check_int "clock advanced to the limit" 50 (Sim.now sim);
+  Sim.run sim;
+  check_int "second fires on resume" 2 !fired
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  let record () = times := Sim.now sim :: !times in
+  ignore
+    (Sim.schedule sim ~delay:10 (fun () ->
+         record ();
+         ignore (Sim.schedule sim ~delay:10 record)));
+  Sim.run sim;
+  Alcotest.(check (list int)) "chained delays accumulate" [ 10; 20 ] (List.rev !times)
+
+let test_sim_negative_delay_clamped () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:10 (fun () -> ()));
+  Sim.run sim;
+  let at = ref (-1) in
+  ignore (Sim.schedule sim ~delay:(-5) (fun () -> at := Sim.now sim));
+  Sim.run sim;
+  check_int "fires at current time" 10 !at
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  ignore (Sim.schedule sim ~delay:1 (fun () -> incr count));
+  ignore (Sim.schedule sim ~delay:2 (fun () -> incr count));
+  check "step consumes one event" true (Sim.step sim);
+  check_int "one fired" 1 !count;
+  check "second step" true (Sim.step sim);
+  check "empty afterwards" false (Sim.step sim)
+
+(* --- Trace --- *)
+
+let test_trace_records_in_order () =
+  let sim = Sim.create () in
+  let trace = Trace.create () in
+  ignore (Sim.schedule sim ~delay:5 (fun () -> Trace.record trace ~at:(Sim.now sim) ~kind:"start" "t1"));
+  ignore (Sim.schedule sim ~delay:9 (fun () -> Trace.record trace ~at:(Sim.now sim) ~kind:"finish" "t1"));
+  Sim.run sim;
+  let entries = Trace.entries trace in
+  check_int "two entries" 2 (List.length entries);
+  check "find by kind" true (List.length (Trace.find trace ~kind:"start") = 1);
+  check "first lookup" true (Trace.first trace ~kind:"finish" ~detail:"t1" <> None);
+  check "missing lookup" true (Trace.first trace ~kind:"finish" ~detail:"t2" = None)
+
+(* --- Fault plans --- *)
+
+let test_fault_plan_applies_in_order () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  let plan =
+    Fault.(crash_restart ~node:"a" ~at:10 ~down_for:5 @+ partition ~a:"a" ~b:"b" ~at:12 ~heal_after:4)
+  in
+  Fault.apply sim plan ~on:(fun action -> seen := (Sim.now sim, action) :: !seen);
+  Sim.run sim;
+  let expect =
+    [
+      (10, Fault.Crash "a");
+      (12, Fault.Partition_on ("a", "b"));
+      (15, Fault.Restart "a");
+      (16, Fault.Partition_off ("a", "b"));
+    ]
+  in
+  check "actions fire at planned times" true (List.rev !seen = expect)
+
+let test_fault_periodic_count () =
+  let plan = Fault.periodic_crashes ~node:"n" ~period:100 ~down_for:10 ~count:3 in
+  check_int "two actions per cycle" 6 (List.length plan)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_heap_sorts; prop_heap_length; prop_rng_int_in_bounds; prop_rng_float_in_bounds ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "orders elements" `Quick test_heap_orders_elements;
+          Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "time order" `Quick test_sim_runs_in_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_sim_fifo_at_equal_time;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "run until" `Quick test_sim_until_leaves_future_events;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay_clamped;
+          Alcotest.test_case "step" `Quick test_sim_step;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "records in order" `Quick test_trace_records_in_order ] );
+      ( "fault",
+        [
+          Alcotest.test_case "plan applies in order" `Quick test_fault_plan_applies_in_order;
+          Alcotest.test_case "periodic count" `Quick test_fault_periodic_count;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the stable-storage layer: WAL semantics and the
+   crash-recoverable key/value store. *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str_opt = Alcotest.(check (option string))
+
+(* --- Wal --- *)
+
+let test_wal_append_order () =
+  let wal = Wal.create ~name:"w" in
+  List.iter (Wal.append wal) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ] (Wal.records wal);
+  check_int "length" 3 (Wal.length wal)
+
+let test_wal_rewrite () =
+  let wal = Wal.create ~name:"w" in
+  List.iter (Wal.append wal) [ 1; 2; 3; 4 ];
+  Wal.rewrite wal [ 9 ];
+  Alcotest.(check (list int)) "compacted" [ 9 ] (Wal.records wal);
+  check_int "appended_total survives rewrite" 4 (Wal.appended_total wal)
+
+(* --- Kvstore --- *)
+
+let test_kv_basic () =
+  let s = Kvstore.create ~name:"s" in
+  Kvstore.put s "a" "1";
+  Kvstore.put s "b" "2";
+  Kvstore.put s "a" "3";
+  check_str_opt "overwrite" (Some "3") (Kvstore.get s "a");
+  check_str_opt "other key" (Some "2") (Kvstore.get s "b");
+  check_str_opt "missing" None (Kvstore.get s "zz");
+  check "mem" true (Kvstore.mem s "a");
+  Kvstore.delete s "a";
+  check "deleted" false (Kvstore.mem s "a");
+  Alcotest.(check (list string)) "keys sorted" [ "b" ] (Kvstore.keys s)
+
+let test_kv_delete_missing_writes_nothing () =
+  let s = Kvstore.create ~name:"s" in
+  Kvstore.put s "a" "1";
+  let before = Kvstore.writes_total s in
+  Kvstore.delete s "nope";
+  check_int "no stable write for missing delete" before (Kvstore.writes_total s)
+
+let test_kv_crash_recover () =
+  let s = Kvstore.create ~name:"s" in
+  Kvstore.put s "a" "1";
+  Kvstore.put s "b" "2";
+  Kvstore.delete s "a";
+  Kvstore.crash s;
+  check "unavailable while down" true
+    (match Kvstore.get s "b" with
+    | exception Kvstore.Unavailable _ -> true
+    | _ -> false);
+  Kvstore.recover s;
+  check_str_opt "survives crash" (Some "2") (Kvstore.get s "b");
+  check_str_opt "delete survives crash" None (Kvstore.get s "a");
+  check_int "one replay" 1 (Kvstore.replays_total s)
+
+let test_kv_checkpoint_preserves_content () =
+  let s = Kvstore.create ~name:"s" in
+  for i = 0 to 49 do
+    Kvstore.put s (Printf.sprintf "k%02d" i) (string_of_int i)
+  done;
+  Kvstore.delete s "k07";
+  let wal_before = Kvstore.wal_length s in
+  Kvstore.checkpoint s;
+  check "wal shrank" true (Kvstore.wal_length s < wal_before);
+  Kvstore.crash s;
+  Kvstore.recover s;
+  check_str_opt "content after checkpoint+crash" (Some "13") (Kvstore.get s "k13");
+  check_str_opt "delete preserved" None (Kvstore.get s "k07");
+  check_int "49 keys" 49 (List.length (Kvstore.keys s))
+
+let test_kv_fold_sorted () =
+  let s = Kvstore.create ~name:"s" in
+  List.iter (fun (k, v) -> Kvstore.put s k v) [ ("c", "3"); ("a", "1"); ("b", "2") ];
+  let collected = Kvstore.fold s ~init:[] ~f:(fun acc k v -> (k, v) :: acc) in
+  Alcotest.(check (list (pair string string)))
+    "sorted key order" [ ("a", "1"); ("b", "2"); ("c", "3") ] (List.rev collected)
+
+(* Property: a random workload with a crash/recover in the middle agrees
+   with a pure Map model. *)
+
+type op = Put of string * string | Del of string | Crash_recover
+
+let op_gen =
+  let open QCheck.Gen in
+  let key = map (Printf.sprintf "k%d") (int_bound 8) in
+  frequency
+    [
+      (6, map2 (fun k v -> Put (k, string_of_int v)) key small_int);
+      (2, map (fun k -> Del k) key);
+      (1, return Crash_recover);
+    ]
+
+let op_print = function
+  | Put (k, v) -> Printf.sprintf "put %s=%s" k v
+  | Del k -> Printf.sprintf "del %s" k
+  | Crash_recover -> "crash/recover"
+
+let prop_kv_matches_model =
+  let arb = QCheck.make ~print:QCheck.Print.(list op_print) (QCheck.Gen.list_size (QCheck.Gen.int_range 0 60) op_gen) in
+  QCheck.Test.make ~name:"kvstore agrees with a Map model across crashes" ~count:200 arb
+    (fun ops ->
+      let module M = Map.Make (String) in
+      let store = Kvstore.create ~name:"model-test" in
+      let apply model = function
+        | Put (k, v) ->
+          Kvstore.put store k v;
+          M.add k v model
+        | Del k ->
+          Kvstore.delete store k;
+          M.remove k model
+        | Crash_recover ->
+          Kvstore.crash store;
+          Kvstore.recover store;
+          model
+      in
+      let model = List.fold_left apply M.empty ops in
+      let store_bindings = Kvstore.fold store ~init:[] ~f:(fun acc k v -> (k, v) :: acc) in
+      List.rev store_bindings = M.bindings model)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "append order" `Quick test_wal_append_order;
+          Alcotest.test_case "rewrite" `Quick test_wal_rewrite;
+        ] );
+      ( "kvstore",
+        [
+          Alcotest.test_case "basic ops" `Quick test_kv_basic;
+          Alcotest.test_case "delete missing" `Quick test_kv_delete_missing_writes_nothing;
+          Alcotest.test_case "crash/recover" `Quick test_kv_crash_recover;
+          Alcotest.test_case "checkpoint" `Quick test_kv_checkpoint_preserves_content;
+          Alcotest.test_case "fold sorted" `Quick test_kv_fold_sorted;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_kv_matches_model ]);
+    ]

@@ -1,0 +1,425 @@
+(* Tests for the transaction layer: locking, atomic commitment across
+   nodes, nested transactions, and crash recovery of both participants
+   and coordinators. *)
+
+let check = Alcotest.(check bool)
+
+let check_str_opt = Alcotest.(check (option string))
+
+open Txn
+
+(* --- Lock table --- *)
+
+let test_lock_read_sharing () =
+  let l = Lock.create () in
+  check "r1" true (Lock.read l ~key:"k" ~txid:"t1" = Lock.Granted);
+  check "r2 shares" true (Lock.read l ~key:"k" ~txid:"t2" = Lock.Granted);
+  check "writer blocked" true (match Lock.write l ~key:"k" ~txid:"t3" with Lock.Conflict _ -> true | _ -> false)
+
+let test_lock_write_exclusive () =
+  let l = Lock.create () in
+  check "w1" true (Lock.write l ~key:"k" ~txid:"t1" = Lock.Granted);
+  check "w2 conflicts" true (Lock.write l ~key:"k" ~txid:"t2" = Lock.Conflict "t1");
+  check "r2 conflicts" true (Lock.read l ~key:"k" ~txid:"t2" = Lock.Conflict "t1");
+  check "owner rereads" true (Lock.read l ~key:"k" ~txid:"t1" = Lock.Granted)
+
+let test_lock_upgrade () =
+  let l = Lock.create () in
+  check "read" true (Lock.read l ~key:"k" ~txid:"t1" = Lock.Granted);
+  check "sole reader upgrades" true (Lock.write l ~key:"k" ~txid:"t1" = Lock.Granted);
+  check "holds write" true (Lock.holds_write l ~key:"k" ~txid:"t1");
+  ignore (Lock.read l ~key:"j" ~txid:"t1");
+  ignore (Lock.read l ~key:"j" ~txid:"t2");
+  check "shared key cannot upgrade" true
+    (match Lock.write l ~key:"j" ~txid:"t1" with Lock.Conflict _ -> true | _ -> false)
+
+let test_lock_release_all () =
+  let l = Lock.create () in
+  ignore (Lock.write l ~key:"a" ~txid:"t1");
+  ignore (Lock.read l ~key:"b" ~txid:"t1");
+  ignore (Lock.read l ~key:"b" ~txid:"t2");
+  Lock.release_all l ~txid:"t1";
+  Alcotest.(check (list string)) "t1 holds nothing" [] (Lock.held_keys l ~txid:"t1");
+  Alcotest.(check (list string)) "t2 keeps its read" [ "b" ] (Lock.held_keys l ~txid:"t2");
+  check "a is free for others" true (Lock.write l ~key:"a" ~txid:"t3" = Lock.Granted)
+
+(* --- Single-node transactions --- *)
+
+let test_commit_visible () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"a" ~key:"x" ~value:"42";
+         return ()));
+  check_str_opt "committed value" (Some "42")
+    (Participant.committed_value (Harness.participant c "a") ~key:"x")
+
+let test_read_your_writes () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  let seen =
+    Harness.exec_ok c
+      (Txn.run mgr (fun t ->
+           write t ~node:"a" ~key:"x" ~value:"v1";
+           let* v = read t ~node:"a" ~key:"x" in
+           return v))
+  in
+  check_str_opt "buffered write visible" (Some "v1") seen
+
+let test_abort_discards () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  let t = Txn.begin_ mgr in
+  write t ~node:"a" ~key:"x" ~value:"ghost";
+  Txn.abort t;
+  Harness.run c;
+  check_str_opt "nothing committed" None
+    (Participant.committed_value (Harness.participant c "a") ~key:"x")
+
+let test_conflict_and_retry () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  (* t1 write-locks x via prepare by committing slowly? Simpler: t1 reads
+     x and stays open; t2's commit (write x) must conflict at prepare,
+     then succeed after t1 aborts. *)
+  let t1 = Txn.begin_ mgr in
+  let got_t1_read = ref false in
+  (read t1 ~node:"a" ~key:"x") (fun r -> got_t1_read := (r = Ok None));
+  Harness.run c;
+  check "t1 read-locked x" true !got_t1_read;
+  let t2_result = ref None in
+  (Txn.run mgr ~max_attempts:2 (fun t2 ->
+       write t2 ~node:"a" ~key:"x" ~value:"two";
+       return ()))
+    (fun r -> t2_result := Some r);
+  Harness.run c;
+  check "t2 blocked by t1's read lock" true
+    (match !t2_result with Some (Error (`Conflict _)) -> true | _ -> false);
+  Txn.abort t1;
+  Harness.exec_ok c
+    (Txn.run mgr (fun t3 ->
+         write t3 ~node:"a" ~key:"x" ~value:"three";
+         return ()));
+  check_str_opt "after t1 abort, writes go through" (Some "three")
+    (Participant.committed_value (Harness.participant c "a") ~key:"x")
+
+(* --- Multi-node atomicity --- *)
+
+let test_two_node_commit () =
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"a" ~key:"x" ~value:"1";
+         write t ~node:"b" ~key:"y" ~value:"2";
+         return ()));
+  check_str_opt "a applied" (Some "1") (Participant.committed_value (Harness.participant c "a") ~key:"x");
+  check_str_opt "b applied" (Some "2") (Participant.committed_value (Harness.participant c "b") ~key:"y")
+
+let test_atomicity_under_conflict () =
+  (* b's key is write-locked by another transaction: the 2PC must abort
+     and NEITHER node may apply anything. *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr_b = Harness.manager c "b" in
+  let blocker = Txn.begin_ mgr_b in
+  let ok = ref false in
+  (read blocker ~node:"b" ~key:"y") (fun r -> ok := (r = Ok None));
+  Harness.run c;
+  check "blocker locked y" true !ok;
+  let mgr_a = Harness.manager c "a" in
+  let result =
+    Harness.exec c
+      (Txn.run mgr_a ~max_attempts:1 (fun t ->
+           write t ~node:"a" ~key:"x" ~value:"1";
+           write t ~node:"b" ~key:"y" ~value:"2";
+           return ()))
+  in
+  check "aborted" true (match result with Error (`Conflict _) -> true | _ -> false);
+  check_str_opt "a did not apply" None
+    (Participant.committed_value (Harness.participant c "a") ~key:"x");
+  check_str_opt "b did not apply" None
+    (Participant.committed_value (Harness.participant c "b") ~key:"y")
+
+let test_isolation_no_dirty_read () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"a" ~key:"x" ~value:"committed";
+         return ()));
+  let t1 = Txn.begin_ mgr in
+  write t1 ~node:"a" ~key:"x" ~value:"uncommitted";
+  (* t1 has not prepared: its write is buffered at the coordinator, so a
+     reader sees the committed value (no dirty reads by construction). *)
+  let seen =
+    Harness.exec_ok c
+      (Txn.run mgr (fun t2 ->
+           let* v = read t2 ~node:"a" ~key:"x" in
+           return v))
+  in
+  check_str_opt "no dirty read" (Some "committed") seen;
+  Txn.abort t1
+
+(* --- Nested transactions --- *)
+
+let test_nested_commit_merges () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun top ->
+         let child = Txn.begin_child top in
+         write child ~node:"a" ~key:"x" ~value:"from-child";
+         let* () = Txn.commit child in
+         let* v = read top ~node:"a" ~key:"x" in
+         check_str_opt "parent sees child's write" (Some "from-child") v;
+         return ()));
+  check_str_opt "committed at top" (Some "from-child")
+    (Participant.committed_value (Harness.participant c "a") ~key:"x")
+
+let test_nested_abort_discards_child_only () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun top ->
+         write top ~node:"a" ~key:"keep" ~value:"yes";
+         let child = Txn.begin_child top in
+         write child ~node:"a" ~key:"drop" ~value:"no";
+         Txn.abort child;
+         return ()));
+  let p = Harness.participant c "a" in
+  check_str_opt "parent write survives" (Some "yes") (Participant.committed_value p ~key:"keep");
+  check_str_opt "child write gone" None (Participant.committed_value p ~key:"drop")
+
+let test_nested_child_wins_merge () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun top ->
+         write top ~node:"a" ~key:"x" ~value:"parent";
+         let child = Txn.begin_child top in
+         write child ~node:"a" ~key:"x" ~value:"child";
+         let* () = Txn.commit child in
+         return ()));
+  check_str_opt "child's later write wins" (Some "child")
+    (Participant.committed_value (Harness.participant c "a") ~key:"x")
+
+(* --- Crash recovery --- *)
+
+let test_participant_crash_after_prepare_commits_eventually () =
+  (* Crash participant b moments after the transaction starts committing;
+     the coordinator's commit push retries until b recovers; b's recovery
+     re-acquires locks and the status poll finishes the job. *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  let result = ref None in
+  (Txn.run mgr (fun t ->
+       write t ~node:"b" ~key:"y" ~value:"v";
+       return ()))
+    (fun r -> result := Some r);
+  (* let prepare land, then crash b for a while *)
+  ignore (Sim.schedule c.Harness.sim ~delay:(Sim.ms 3) (fun () -> Harness.crash c "b"));
+  ignore (Sim.schedule c.Harness.sim ~delay:(Sim.ms 200) (fun () -> Harness.recover c "b"));
+  Harness.run c;
+  check "commit completed" true (!result = Some (Ok ()));
+  check_str_opt "applied after recovery" (Some "v")
+    (Participant.committed_value (Harness.participant c "b") ~key:"y")
+
+let test_coordinator_crash_before_decision_presumed_abort () =
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  let result = ref None in
+  (Txn.run mgr ~max_attempts:1 (fun t ->
+       write t ~node:"b" ~key:"y" ~value:"doomed";
+       return ()))
+    (fun r -> result := Some r);
+  (* crash the coordinator before prepares can complete the round trip *)
+  Harness.crash c "a";
+  ignore (Sim.schedule c.Harness.sim ~delay:(Sim.ms 300) (fun () -> Harness.recover c "a"));
+  Sim.run ~until:(Sim.sec 5) c.Harness.sim;
+  check "caller callback suppressed by crash" true (!result = None);
+  check_str_opt "no value applied" None
+    (Participant.committed_value (Harness.participant c "b") ~key:"y");
+  Alcotest.(check (list string))
+    "participant b eventually clears prepared state" []
+    (Participant.prepared_txids (Harness.participant c "b"));
+  (* y must be writable again: locks were released *)
+  Harness.exec_ok c
+    (Txn.run (Harness.manager c "b") (fun t ->
+         write t ~node:"b" ~key:"y" ~value:"alive";
+         return ()));
+  check_str_opt "lock released, new writer wins" (Some "alive")
+    (Participant.committed_value (Harness.participant c "b") ~key:"y")
+
+let test_coordinator_crash_after_decision_resumes_commit () =
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  (* Delay b's application by partitioning it right after prepare, so the
+     decision is logged but the commit messages can't reach b. Then crash
+     the coordinator and recover it: recovery must resume the commit. *)
+  let result = ref None in
+  (Txn.run mgr (fun t ->
+       write t ~node:"b" ~key:"y" ~value:"decided";
+       return ()))
+    (fun r -> result := Some r);
+  (* Cut the link the moment the decision is logged at a: the commit
+     messages are in flight and get dropped at delivery time, leaving b
+     prepared and the commit phase unfinished. *)
+  let rec sever_on_decision () =
+    if Txn.committed_count mgr >= 1 then Network.partition_on c.Harness.net "a" "b"
+    else ignore (Sim.schedule c.Harness.sim ~delay:50 sever_on_decision)
+  in
+  ignore (Sim.schedule c.Harness.sim ~delay:50 sever_on_decision);
+  ignore (Sim.schedule c.Harness.sim ~delay:(Sim.ms 60) (fun () -> Harness.crash c "a"));
+  ignore
+    (Sim.schedule c.Harness.sim ~delay:(Sim.ms 120)
+       (fun () ->
+         Network.partition_off c.Harness.net "a" "b";
+         Harness.recover c "a"));
+  Sim.run ~until:(Sim.sec 10) c.Harness.sim;
+  check_str_opt "decision reached b after coordinator recovery" (Some "decided")
+    (Participant.committed_value (Harness.participant c "b") ~key:"y");
+  check "recovery resumed a commit" true (Txn.resumed_commits (Harness.manager c "a") >= 1)
+
+let test_commit_survives_lossy_network () =
+  let config = { Network.default_config with loss = 0.4 } in
+  let c = Harness.cluster ~config ~seed:17L [ "a"; "b"; "cc" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"a" ~key:"k" ~value:"1";
+         write t ~node:"b" ~key:"k" ~value:"2";
+         write t ~node:"cc" ~key:"k" ~value:"3";
+         return ()));
+  List.iter
+    (fun (node, v) ->
+      check_str_opt ("applied at " ^ node) (Some v)
+        (Participant.committed_value (Harness.participant c node) ~key:"k"))
+    [ ("a", "1"); ("b", "2"); ("cc", "3") ]
+
+let test_sequential_transactions_accumulate () =
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  let transfer i =
+    Txn.run mgr (fun t ->
+        let* balance = read t ~node:"b" ~key:"balance" in
+        let current = match balance with Some s -> int_of_string s | None -> 0 in
+        write t ~node:"b" ~key:"balance" ~value:(string_of_int (current + i));
+        return ())
+  in
+  List.iter (fun i -> Harness.exec_ok c (transfer i)) [ 1; 2; 3; 4; 5 ];
+  check_str_opt "sum accumulated" (Some "15")
+    (Participant.committed_value (Harness.participant c "b") ~key:"balance")
+
+let test_checkpoint_compacts_logs () =
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  for i = 1 to 20 do
+    Harness.exec_ok c
+      (Txn.run mgr (fun t ->
+           write t ~node:"a" ~key:"x" ~value:(string_of_int i);
+           return ()))
+  done;
+  let p = Harness.participant c "a" in
+  let before = Participant.log_length p in
+  Participant.checkpoint p;
+  check "intentions log compacted" true (Participant.log_length p < before);
+  Harness.crash c "a";
+  Harness.recover c "a";
+  check_str_opt "state intact after compaction + crash" (Some "20")
+    (Participant.committed_value p ~key:"x")
+
+
+
+let test_concurrent_increments_serialize () =
+  (* K transactions started at the same instant all read-modify-write one
+     counter; conflicts force retries; strict 2PL + retry must serialize
+     them: the final value is exactly K *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  let k = 8 in
+  let done_count = ref 0 in
+  let increment () =
+    (Txn.run mgr ~max_attempts:64 (fun t ->
+         let* v = read t ~node:"b" ~key:"counter" in
+         let current = match v with Some s -> int_of_string s | None -> 0 in
+         write t ~node:"b" ~key:"counter" ~value:(string_of_int (current + 1));
+         return ()))
+      (function
+        | Ok () -> incr done_count
+        | Error e -> Alcotest.failf "increment failed: %s" (Txn.error_to_string e))
+  in
+  for _ = 1 to k do
+    increment ()
+  done;
+  Harness.run c;
+  Alcotest.(check int) "all committed" k !done_count;
+  check_str_opt "serialized to exactly k" (Some (string_of_int k))
+    (Participant.committed_value (Harness.participant c "b") ~key:"counter")
+
+let test_compact_bounds_coordinator_log () =
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  for i = 1 to 25 do
+    Harness.exec_ok c
+      (Txn.run mgr (fun t ->
+           write t ~node:"b" ~key:"x" ~value:(string_of_int i);
+           return ()))
+  done;
+  Txn.compact mgr;
+  (* only incarnation records remain; correctness preserved across crash *)
+  Harness.crash c "a";
+  Harness.recover c "a";
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"b" ~key:"x" ~value:"after";
+         return ()));
+  check_str_opt "state correct after compaction + crash" (Some "after")
+    (Participant.committed_value (Harness.participant c "b") ~key:"x")
+
+let () =
+  Alcotest.run "tx"
+    [
+      ( "locks",
+        [
+          Alcotest.test_case "read sharing" `Quick test_lock_read_sharing;
+          Alcotest.test_case "write exclusive" `Quick test_lock_write_exclusive;
+          Alcotest.test_case "upgrade" `Quick test_lock_upgrade;
+          Alcotest.test_case "release all" `Quick test_lock_release_all;
+        ] );
+      ( "local",
+        [
+          Alcotest.test_case "commit visible" `Quick test_commit_visible;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "abort discards" `Quick test_abort_discards;
+          Alcotest.test_case "conflict then retry" `Quick test_conflict_and_retry;
+          Alcotest.test_case "no dirty read" `Quick test_isolation_no_dirty_read;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "two-node commit" `Quick test_two_node_commit;
+          Alcotest.test_case "atomic abort" `Quick test_atomicity_under_conflict;
+          Alcotest.test_case "lossy network" `Quick test_commit_survives_lossy_network;
+          Alcotest.test_case "sequential accumulate" `Quick test_sequential_transactions_accumulate;
+          Alcotest.test_case "concurrent increments serialize" `Quick
+            test_concurrent_increments_serialize;
+        ] );
+      ( "nested",
+        [
+          Alcotest.test_case "commit merges" `Quick test_nested_commit_merges;
+          Alcotest.test_case "abort child only" `Quick test_nested_abort_discards_child_only;
+          Alcotest.test_case "child wins merge" `Quick test_nested_child_wins_merge;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "participant crash after prepare" `Quick
+            test_participant_crash_after_prepare_commits_eventually;
+          Alcotest.test_case "coordinator crash pre-decision" `Quick
+            test_coordinator_crash_before_decision_presumed_abort;
+          Alcotest.test_case "coordinator crash post-decision" `Quick
+            test_coordinator_crash_after_decision_resumes_commit;
+          Alcotest.test_case "checkpoint" `Quick test_checkpoint_compacts_logs;
+          Alcotest.test_case "coordinator log compaction" `Quick
+            test_compact_bounds_coordinator_log;
+        ] );
+    ]
