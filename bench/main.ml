@@ -58,9 +58,15 @@ let header title =
 
 let fig1 () =
   header "F1 (Fig 1): inter-task dependencies — t2,t3 after t1; t4 after both";
-  let tb, status =
-    run_on_testbed ~register:(Impls.register_quickstart ?work:None)
-      ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root ~inputs:seed_inputs ()
+  let tb = Testbed.make () in
+  Impls.register_quickstart ?work:None tb.Testbed.registry;
+  (* the Gantt rows come straight off the typed event bus *)
+  let recorder = Gantt.recorder () in
+  Gantt.attach recorder (Sim.events tb.Testbed.sim);
+  let _, status =
+    must
+      (Testbed.launch_and_run tb ~script:Paper_scripts.quickstart
+         ~root:Paper_scripts.quickstart_root ~inputs:seed_inputs)
   in
   Printf.printf "outcome: %s\n" (status_output status);
   let trace = Engine.trace tb.Testbed.engine in
@@ -71,7 +77,7 @@ let fig1 () =
         Printf.printf "  %8d us  %-8s  %s\n" e.Trace.at e.Trace.kind e.Trace.detail)
     (Trace.entries trace);
   print_endline "";
-  print_string (Gantt.render trace)
+  print_string (Gantt.render_events recorder)
 
 let fig2 () =
   header "F2 (Fig 2): input sets and ordered alternative sources";
@@ -581,6 +587,57 @@ let bench_tests () =
   in
   Test.make_grouped ~name:"rdal" (figures @ frontend @ substrate @ ablation)
 
+(* --- machine-readable engine metrics (BENCH_engine.json) --- *)
+
+(* A perf trajectory for future engine changes: wall-clock dispatch
+   throughput on a long chain, wall-clock recovery replay, and the full
+   typed-event/metrics registry of the throughput run. *)
+let bench_json () =
+  header "BENCH: engine metrics JSON";
+  let chain_n = 128 in
+  let script, root = Workloads.chain ~n:chain_n in
+  let tb = Testbed.make () in
+  Workloads.register ?work:None tb.Testbed.registry;
+  let t0 = Sys.time () in
+  let _, status = must (Testbed.launch_and_run tb ~script ~root ~inputs:Workloads.seed_inputs) in
+  let chain_wall = Sys.time () -. t0 in
+  (match status with
+  | Wstate.Wf_done _ -> ()
+  | Wstate.Wf_running | Wstate.Wf_failed _ -> failwith "bench_json: chain did not complete");
+  let dispatches = Engine.dispatches_total tb.Testbed.engine in
+  (* recovery replay: crash the engine node mid-chain, clock the rebuild *)
+  let recovery_n = 64 in
+  let script2, root2 = Workloads.chain ~n:recovery_n in
+  let tb2 = Testbed.make () in
+  Workloads.register ~work:(Sim.ms 10) tb2.Testbed.registry;
+  ignore
+    (must (Engine.launch tb2.Testbed.engine ~script:script2 ~root:root2 ~inputs:Workloads.seed_inputs));
+  Sim.run ~until:(Sim.ms 200) tb2.Testbed.sim;
+  Testbed.crash tb2 "n0";
+  let t1 = Sys.time () in
+  Testbed.recover tb2 "n0";
+  let recovery_wall = Sys.time () -. t1 in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"rdal-bench-engine/1\",\n\
+      \  \"chain\": { \"tasks\": %d, \"wall_s\": %.6f, \"dispatches\": %d, \
+       \"dispatches_per_sec\": %.1f },\n\
+      \  \"recovery\": { \"tasks\": %d, \"replay_wall_s\": %.6f, \"recoveries\": %d },\n\
+      \  \"events\": %s\n\
+       }\n"
+      chain_n chain_wall dispatches
+      (if chain_wall > 0. then float_of_int dispatches /. chain_wall else 0.)
+      recovery_n recovery_wall
+      (Engine.recoveries_total tb2.Testbed.engine)
+      (Metrics.to_json (Engine.metrics tb.Testbed.engine))
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json (%d dispatches in %.3fs; recovery replay %.6fs)\n"
+    dispatches chain_wall recovery_wall
+
 let run_benchmarks () =
   header "Part 2: wall-clock benchmarks (Bechamel, monotonic clock)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -625,4 +682,5 @@ let () =
   a6_loss_sweep ();
   a2_reconfig ();
   a3_alternatives ();
+  bench_json ();
   run_benchmarks ()

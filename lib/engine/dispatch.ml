@@ -1,0 +1,63 @@
+type t = {
+  rpc : Rpc.t;
+  node : Node.t;
+  mgr : Txn.manager;
+  participant : Participant.t;
+  sim : Sim.t;
+}
+
+let create ~rpc ~node ~mgr ~participant =
+  { rpc; node; mgr; participant; sim = Network.sim (Rpc.network rpc) }
+
+let sim t = t.sim
+
+let node_id t = Node.id t.node
+
+let persist t writes k =
+  let node = node_id t in
+  let io =
+    Txn.run t.mgr (fun txn ->
+        List.iter
+          (function
+            | key, Some value -> Txn.write txn ~node ~key ~value
+            | key, None -> Txn.delete txn ~node ~key)
+          writes;
+        Txn.return ())
+  in
+  io (function
+    | Ok () -> k ()
+    | Error e -> Sim.emit t.sim (Event.Txn_failed { detail = Txn.error_to_string e }))
+
+let send_exec t ~host ~retries req k =
+  Sim.emit t.sim
+    (Event.Task_dispatched
+       {
+         path = Wstate.path_to_string req.Wfmsg.x_path;
+         code = req.Wfmsg.x_code;
+         host;
+         attempt = req.Wfmsg.x_attempt;
+       });
+  Rpc.call t.rpc ~src:(node_id t) ~dst:host ~service:Wfmsg.service_exec
+    ~body:(Wfmsg.enc_exec req) ~retries k
+
+let committed_value t ~key = Participant.committed_value t.participant ~key
+
+let committed_keys t = Participant.committed_keys t.participant
+
+let committed_history t ~iid =
+  let prefix = Printf.sprintf "wf:%s:h:" iid in
+  let rows =
+    List.filter_map
+      (fun key ->
+        if String.starts_with ~prefix key then
+          Option.map Wstate.decode_history (committed_value t ~key)
+        else None)
+      (committed_keys t)
+  in
+  List.sort compare rows
+
+let on_apply t f = Participant.on_apply t.participant f
+
+let compact t =
+  Participant.checkpoint t.participant;
+  Txn.compact t.mgr

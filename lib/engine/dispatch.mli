@@ -1,0 +1,45 @@
+(** The effect layer between the pure scheduler core and the substrate:
+    everything the engine does that touches transactions, RPC or the
+    participant's committed store goes through here, so [Engine] itself
+    stays an orchestrator and {!Sched} stays pure.
+
+    Each operation announces itself on the simulator's event bus
+    ({!Event}): dispatches emit [Task_dispatched], failed persists emit
+    [Txn_failed]. *)
+
+type t
+
+val create :
+  rpc:Rpc.t -> node:Node.t -> mgr:Txn.manager -> participant:Participant.t -> t
+
+val sim : t -> Sim.t
+
+val node_id : t -> string
+
+val persist : t -> (string * string option) list -> (unit -> unit) -> unit
+(** Apply a write set ([Some] = put, [None] = delete) on the engine
+    node under one top-level transaction (retried on conflict/timeout by
+    {!Txn.run}); the continuation runs only on commit. A final failure
+    emits [Txn_failed] and drops the continuation — the evaluation pump
+    re-derives the actions on its next pass. *)
+
+val send_exec : t -> host:string -> retries:int -> Wfmsg.exec_req -> ((string, string) result -> unit) -> unit
+(** Dispatch one implementation execution to a task host (emits
+    [Task_dispatched], then the at-least-once RPC). *)
+
+val committed_value : t -> key:string -> string option
+(** Read the engine node's committed store outside any transaction. *)
+
+val committed_keys : t -> string list
+
+val committed_history : t -> iid:string -> (Sim.time * string * string) list
+(** An instance's persistent audit rows (at, kind, detail) from the
+    committed store, sorted by time then sequence. *)
+
+val on_apply : t -> (Txrecord.write list -> unit) -> unit
+(** Observe committed writes applied on the engine node (including by
+    the recovery termination protocol). *)
+
+val compact : t -> unit
+(** Checkpoint the object store and compact the coordinator's decision
+    log. *)

@@ -1,3 +1,13 @@
+(* The execution service, layered:
+
+   - Sched    — pure scheduling core (readiness, selection, Fig 3 rules)
+   - Instate  — per-instance mirrors + action -> writes translation
+   - Dispatch — effects: transactions, RPC dispatch, committed reads
+   - Event/Metrics/Trace — typed observability spine (Sim.events)
+
+   This module orchestrates: it runs the evaluation pump, owns epochs
+   and watchdogs, and wires crash/recovery. *)
+
 type config = {
   default_deadline : Sim.time;
   dispatch_rpc_retries : int;
@@ -13,798 +23,269 @@ let default_config =
     default_timeout = Sim.sec 10;
   }
 
-type inst = {
-  iid : string;
-  mutable script_text : string;
-  mutable schema : Schema.task;
-  mutable status : Wstate.status;
-  mutable external_inputs : (string * Value.obj) list;
-  states : (string, Wstate.task_state) Hashtbl.t;
-  chosen : (string, Wstate.chosen) Hashtbl.t;
-  marks : (string, (string * (string * Value.obj) list) list) Hashtbl.t;
-  repeats : (string, string * (string * Value.obj) list) Hashtbl.t;
-  timers : (string, unit) Hashtbl.t;  (* fired; key = "path|set" *)
-  timer_arms : (string, Sim.time) Hashtbl.t;  (* persisted deadlines; key = "path|set" *)
-  timers_armed : (string, int) Hashtbl.t;  (* volatile; value = attempt armed for *)
-  mutable callbacks : (Wstate.status -> unit) list;
-  mutable hseq : int;  (* next persistent-history index *)
-  mutable dirty : bool;
-  mutable inflight : bool;
-  mutable concluding : bool;
-}
-
 type t = {
   sim : Sim.t;
   rpc : Rpc.t;
   node : Node.t;
-  mgr : Txn.manager;
-  participant : Participant.t;
+  disp : Dispatch.t;
   reg : Registry.t;
   config : config;
   tracer : Trace.t;
-  rng : Rng.t;
-  insts : (string, inst) Hashtbl.t;
+  metrics : Metrics.t;
+  rng : Rng.t;  (* split once at creation to keep downstream seeds stable *)
+  insts : (string, Instate.t) Hashtbl.t;
   mutable inst_order : string list;
   mutable seq : int;
   mutable epoch : int;
-  mutable dispatches : int;
-  mutable completions : int;
-  mutable system_retries : int;
-  mutable marks_count : int;
-  mutable reconfigs : int;
-  mutable recoveries : int;
-  mutable orphans : inst list;
+  mutable orphans : Instate.t list;
       (* running instances held in memory when the node crashed; any
          whose launch transaction presumed-aborted are re-persisted
          after recovery (an accepted launch must survive) *)
 }
 
 let node_id t = Node.id t.node
-
 let node t = t.node
-
 let rpc t = t.rpc
-
 let trace t = t.tracer
-
+let metrics t = t.metrics
 let registry t = t.reg
-
 let pkey = Wstate.path_to_string
-
-let record t kind detail = Trace.record t.tracer ~at:(Sim.now t.sim) ~kind detail
-
-let starts_with ~prefix s =
-  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
-
-(* --- mirror accessors (no record = implicit Waiting, attempt 1) --- *)
-
-let get_state inst path = Hashtbl.find_opt inst.states (pkey path)
-
-let waiting_attempt inst path =
-  match get_state inst path with
-  | None -> Some 1
-  | Some (Wstate.Waiting { attempt }) -> Some attempt
-  | Some (Wstate.Running _ | Wstate.Done _ | Wstate.Failed _) -> None
-
-let running_attempt inst path =
-  match get_state inst path with Some (Wstate.Running { attempt; _ }) -> attempt | _ -> 1
-
-let get_chosen inst path = Hashtbl.find_opt inst.chosen (pkey path)
-
-let get_marks inst path =
-  match Hashtbl.find_opt inst.marks (pkey path) with Some l -> l | None -> []
-
-let get_repeat inst path = Hashtbl.find_opt inst.repeats (pkey path)
-
-let timer_fired inst path ~set = Hashtbl.mem inst.timers (pkey path ^ "|" ^ set)
-
-(* A task can only make progress while every enclosing compound scope
-   is still open (Running) and the instance itself is running. *)
-let rec scope_open inst path =
-  match path with
-  | [] | [ _ ] -> true
-  | _ -> (
-    let parent = List.filteri (fun i _ -> i < List.length path - 1) path in
-    match get_state inst parent with
-    | Some (Wstate.Running _) -> scope_open inst parent
-    | _ -> false)
-
-let task_live inst path = inst.status = Wstate.Wf_running && scope_open inst path
+let emit t ev = Sim.emit t.sim ev
 
 (* --- schema navigation (through dynamically bound sub-workflows) --- *)
 
-type effective =
-  | E_fn of string
-  | E_compound of { children : Schema.task list; bindings : Schema.binding list; alias : string }
-  | E_missing of string
+let effective_body t task = Registry.effective t.reg task
+let iview t inst = Instate.view inst ~effective:(effective_body t)
+let find_task_node t inst path = Instate.find_node inst ~effective:(effective_body t) path
+let task_live t inst path = Sched.task_live (iview t inst) path
 
-let effective_body t (task : Schema.task) =
-  match task.Schema.body with
-  | Schema.Compound { children; bindings } ->
-    E_compound { children; bindings; alias = task.Schema.name }
-  | Schema.Simple -> (
-    match Ast.impl_code task.Schema.impl with
-    | None -> E_missing "no code binding"
-    | Some code -> (
-      match Registry.find t.reg ~code with
-      | Some (Registry.Fn _) -> E_fn code
-      | Some (Registry.Sub_workflow sub) -> (
-        match sub.Schema.body with
-        | Schema.Compound { children; bindings } ->
-          E_compound { children; bindings; alias = sub.Schema.name }
-        | Schema.Simple -> E_missing (code ^ " is bound to a non-compound schema"))
-      | None -> E_missing ("no implementation bound for code " ^ code)))
+(* --- spans from implementation kvs + config --- *)
 
-let rec find_node t (task : Schema.task) = function
-  | [] -> Some task
-  | name :: rest -> (
-    match effective_body t task with
-    | E_compound { children; _ } -> (
-      match List.find_opt (fun (c : Schema.task) -> c.Schema.name = name) children with
-      | Some child -> find_node t child rest
-      | None -> None)
-    | E_fn _ | E_missing _ -> None)
+let deadline_span t task =
+  match Sched.impl_ms task ~key:"deadline" with
+  | Some n -> Sim.ms n
+  | None -> t.config.default_deadline
 
-let find_task_node t inst path =
-  match path with
-  | root :: rest when root = inst.schema.Schema.name -> find_node t inst.schema rest
-  | _ -> None
+let timeout_span t task =
+  match Sched.impl_ms task ~key:"timeout" with
+  | Some n -> Sim.ms n
+  | None -> t.config.default_timeout
 
-(* --- availability --- *)
+let persist t writes k = Dispatch.persist t.disp writes k
 
-type ctx = {
-  c_inst : inst;
-  c_scope : Wstate.path;
-  c_enclosing : string option;
-  c_scope_set : string option;
-  c_scope_inputs : (string * Value.obj) list;
-  c_siblings : Schema.task list;
-}
+(* --- applying scheduler actions --- *)
 
-let is_sibling ctx name = List.exists (fun (s : Schema.task) -> s.Schema.name = name) ctx.c_siblings
-
-let mark_objects ctx path oc = List.assoc_opt oc (get_marks ctx.c_inst path)
-
-let obj_source_value ctx (os : Schema.obj_source) =
-  let sibling = is_sibling ctx os.Schema.s_task in
-  if (not sibling) && ctx.c_enclosing = Some os.Schema.s_task then
-    match os.Schema.s_cond with
-    | Schema.C_input set when ctx.c_scope_set = Some set ->
-      List.assoc_opt os.Schema.s_obj ctx.c_scope_inputs
-    | Schema.C_input _ | Schema.C_output _ | Schema.C_any -> None
-  else if not sibling then None
-  else begin
-    let path = ctx.c_scope @ [ os.Schema.s_task ] in
-    let inst = ctx.c_inst in
-    match os.Schema.s_cond with
-    | Schema.C_output oc -> (
-      match get_state inst path with
-      | Some (Wstate.Done { output; objects; _ }) when output = oc ->
-        List.assoc_opt os.Schema.s_obj objects
-      | _ -> (
-        match mark_objects ctx path oc with
-        | Some objects -> List.assoc_opt os.Schema.s_obj objects
-        | None -> (
-          match get_repeat inst path with
-          | Some (out, objects) when out = oc -> List.assoc_opt os.Schema.s_obj objects
-          | Some _ | None -> None)))
-    | Schema.C_input set -> (
-      match get_chosen inst path with
-      | Some c when c.Wstate.c_set = set -> List.assoc_opt os.Schema.s_obj c.Wstate.c_inputs
-      | Some _ | None -> None)
-    | Schema.C_any -> (
-      let from_marks () =
-        List.find_map (fun (_, objects) -> List.assoc_opt os.Schema.s_obj objects) (get_marks inst path)
-      in
-      match get_state inst path with
-      | Some (Wstate.Done { objects; kind; _ }) when kind <> Ast.Repeat_outcome -> (
-        match List.assoc_opt os.Schema.s_obj objects with
-        | Some v -> Some v
-        | None -> from_marks ())
-      | _ -> from_marks ())
-  end
-
-let notif_satisfied ctx (ns : Schema.notif_source) =
-  let sibling = is_sibling ctx ns.Schema.n_task in
-  if (not sibling) && ctx.c_enclosing = Some ns.Schema.n_task then
-    match ns.Schema.n_cond with
-    | Schema.C_input set -> ctx.c_scope_set = Some set
-    | Schema.C_output _ -> false
-    | Schema.C_any -> true
-  else if not sibling then false
-  else begin
-    let path = ctx.c_scope @ [ ns.Schema.n_task ] in
-    let inst = ctx.c_inst in
-    match ns.Schema.n_cond with
-    | Schema.C_output oc -> (
-      match get_state inst path with
-      | Some (Wstate.Done { output; _ }) when output = oc -> true
-      | _ -> (
-        mark_objects ctx path oc <> None
-        || match get_repeat inst path with Some (out, _) -> out = oc | None -> false))
-    | Schema.C_input set -> (
-      match get_chosen inst path with Some c -> c.Wstate.c_set = set | None -> false)
-    | Schema.C_any -> (
-      match get_state inst path with
-      | Some (Wstate.Done { kind; _ }) -> kind <> Ast.Repeat_outcome
-      | _ -> false)
-  end
-
-let notif_groups_satisfied ctx groups =
-  List.for_all (fun group -> List.exists (notif_satisfied ctx) group) groups
-
-let timer_class = "Timer"
-
-let try_input_set ctx ~path (s : Schema.input_set) =
-  if not (notif_groups_satisfied ctx s.Schema.is_notifications) then `No
-  else begin
-    let resolve (io : Schema.input_object) =
-      match io.Schema.io_sources with
-      | [] ->
-        if io.Schema.io_class = timer_class then
-          if timer_fired ctx.c_inst path ~set:s.Schema.is_name then
-            Some (io.Schema.io_name, Value.obj ~cls:timer_class Value.Unit)
-          else None
-        else if ctx.c_enclosing = None then
-          Option.map
-            (fun v -> (io.Schema.io_name, v))
-            (List.assoc_opt io.Schema.io_name ctx.c_inst.external_inputs)
-        else None
-      | sources ->
-        Option.map (fun v -> (io.Schema.io_name, v)) (List.find_map (obj_source_value ctx) sources)
-    in
-    let resolved = List.map resolve s.Schema.is_objects in
-    if List.for_all Option.is_some resolved then `Yes (s.Schema.is_name, List.map Option.get resolved)
-    else begin
-      let pending_timer =
-        List.exists2
-          (fun (io : Schema.input_object) r ->
-            r = None && io.Schema.io_sources = [] && io.Schema.io_class = timer_class)
-          s.Schema.is_objects resolved
-      in
-      if pending_timer then `Arm_timer s.Schema.is_name else `No
-    end
-  end
-
-(* --- actions --- *)
-
-type action =
-  | Start of {
-      a_path : Wstate.path;
-      a_task : Schema.task;
-      a_set : string;
-      a_inputs : (string * Value.obj) list;
-      a_attempt : int;
-    }
-  | Fire_mark of { a_path : Wstate.path; a_name : string; a_objects : (string * Value.obj) list }
-  | Do_repeat of {
-      a_path : Wstate.path;
-      a_name : string;
-      a_objects : (string * Value.obj) list;
-      a_attempt : int;
-    }
-  | Complete of {
-      a_path : Wstate.path;
-      a_name : string;
-      a_kind : Ast.output_kind;
-      a_objects : (string * Value.obj) list;
-      a_attempt : int;
-    }
-  | Fail_task of { a_path : Wstate.path; a_reason : string }
-  | Arm_timer of { a_path : Wstate.path; a_set : string; a_task : Schema.task; a_attempt : int }
-
-let binding_ready ctx (b : Schema.binding) =
-  if not (notif_groups_satisfied ctx b.Schema.b_notifications) then None
-  else begin
-    let resolve (name, sources) =
-      Option.map (fun v -> (name, v)) (List.find_map (obj_source_value ctx) sources)
-    in
-    let resolved = List.map resolve b.Schema.b_objects in
-    if List.for_all Option.is_some resolved then Some (List.map Option.get resolved) else None
-  end
-
-(* One scan pass; actions come back in declaration order. *)
-let rec scan_task t inst ~ctx (task : Schema.task) acc =
-  let path = ctx.c_scope @ [ task.Schema.name ] in
-  match get_state inst path with
-  | Some (Wstate.Done _ | Wstate.Failed _) -> acc
-  | None | Some (Wstate.Waiting _) -> scan_waiting inst ~ctx task path acc
-  | Some (Wstate.Running _) -> (
-    match effective_body t task with
-    | E_compound { children; bindings; alias } -> scan_scope t inst ~path ~children ~bindings ~alias acc
-    | E_fn _ | E_missing _ -> acc)
-
-and scan_waiting inst ~ctx task path acc =
-  match waiting_attempt inst path with
-  | None -> acc
-  | Some attempt ->
-    let fold acc (s : Schema.input_set) =
-      match acc with
-      | `Started _ -> acc
-      | `Pending timers -> (
-        match try_input_set ctx ~path s with
-        | `Yes (set, inputs) -> `Started (set, inputs)
-        | `Arm_timer set -> `Pending (set :: timers)
-        | `No -> `Pending timers)
-    in
-    (match List.fold_left fold (`Pending []) task.Schema.inputs with
-    | `Started (set, inputs) ->
-      Start { a_path = path; a_task = task; a_set = set; a_inputs = inputs; a_attempt = attempt }
-      :: acc
-    | `Pending timers ->
-      List.fold_left
-        (fun acc set -> Arm_timer { a_path = path; a_set = set; a_task = task; a_attempt = attempt } :: acc)
-        acc timers)
-
-and scan_scope t inst ~path ~children ~bindings ~alias acc =
-  let chosen = get_chosen inst path in
-  let ctx =
-    {
-      c_inst = inst;
-      c_scope = path;
-      c_enclosing = Some alias;
-      c_scope_set = Option.map (fun c -> c.Wstate.c_set) chosen;
-      c_scope_inputs = (match chosen with Some c -> c.Wstate.c_inputs | None -> []);
-      c_siblings = children;
-    }
+(* Mirror update + the matching typed event, per action, in pass order
+   (the trace subscriber turns the events into the legacy log). *)
+let apply_and_announce t inst action =
+  let now = Sim.now t.sim in
+  let duration =
+    match action with
+    | Sched.Complete { a_path; _ } -> (
+      match Instate.get_state inst a_path with
+      | Some (Wstate.Running { started; _ }) -> now - started
+      | _ -> 0)
+    | _ -> 0
   in
-  let attempt = running_attempt inst path in
-  let ready kinds =
-    List.find_map
-      (fun (b : Schema.binding) ->
-        if List.mem b.Schema.b_kind kinds then
-          Option.map (fun objects -> (b, objects)) (binding_ready ctx b)
-        else None)
-      bindings
-  in
-  match ready [ Ast.Outcome; Ast.Abort_outcome ] with
-  | Some (b, objects) ->
-    Complete
-      { a_path = path; a_name = b.Schema.b_name; a_kind = b.Schema.b_kind; a_objects = objects; a_attempt = attempt }
-    :: acc
-  | None -> (
-    match ready [ Ast.Repeat_outcome ] with
-    | Some (b, objects) ->
-      Do_repeat { a_path = path; a_name = b.Schema.b_name; a_objects = objects; a_attempt = attempt + 1 }
-      :: acc
-    | None ->
-      let fired = get_marks inst path in
-      let acc =
-        List.fold_left
-          (fun acc (b : Schema.binding) ->
-            if b.Schema.b_kind = Ast.Mark && not (List.mem_assoc b.Schema.b_name fired) then
-              match binding_ready ctx b with
-              | Some objects ->
-                Fire_mark { a_path = path; a_name = b.Schema.b_name; a_objects = objects } :: acc
-              | None -> acc
-            else acc)
-          acc bindings
-      in
-      List.fold_left (fun acc child -> scan_task t inst ~ctx child acc) acc children)
-
-let scan t inst =
-  let root_ctx =
-    {
-      c_inst = inst;
-      c_scope = [];
-      c_enclosing = None;
-      c_scope_set = None;
-      c_scope_inputs = [];
-      c_siblings = [ inst.schema ];
-    }
-  in
-  List.rev (scan_task t inst ~ctx:root_ctx inst.schema [])
-
-(* --- persistence helpers --- *)
-
-let wrap_outputs (task : Schema.task) ~output objects =
-  match Schema.output_named task output with
-  | None -> List.map (fun (n, v) -> (n, Value.obj ~cls:"?" v)) objects
-  | Some out ->
-    List.map
-      (fun (name, cls) ->
-        let payload = match List.assoc_opt name objects with Some v -> v | None -> Value.Unit in
-        (name, Value.obj ~cls payload))
-      out.Schema.out_objects
-
-let impl_span task ~key ~default =
-  match List.assoc_opt key task.Schema.impl with
-  | Some ms -> ( match int_of_string_opt ms with Some n -> Sim.ms n | None -> default)
-  | None -> default
-
-let deadline_span t task = impl_span task ~key:"deadline" ~default:t.config.default_deadline
-
-let timeout_span t task = impl_span task ~key:"timeout" ~default:t.config.default_timeout
-
-(* "priority" implementation binding (paper §4.3's keyword list):
-   higher-priority ready tasks are dispatched first within a pass. *)
-let impl_priority (task : Schema.task) =
-  match List.assoc_opt "priority" task.Schema.impl with
-  | Some n -> ( match int_of_string_opt n with Some n -> n | None -> 0)
-  | None -> 0
-
-let impl_abort_retries (task : Schema.task) =
-  match List.assoc_opt "retries" task.Schema.impl with
-  | Some n -> ( match int_of_string_opt n with Some n -> n | None -> 0)
-  | None -> 0
-
-let persist t writes k =
-  let node = node_id t in
-  let io =
-    Txn.run t.mgr (fun txn ->
-        List.iter
-          (function
-            | key, Some value -> Txn.write txn ~node ~key ~value
-            | key, None -> Txn.delete txn ~node ~key)
-          writes;
-        Txn.return ())
-  in
-  io (function
-    | Ok () -> k ()
-    | Error e -> record t "txn-failed" (Txn.error_to_string e))
-
-(* store keys of every record strictly below [path], plus [path]'s own
-   chosen and timer records (cleared when a compound repeats) *)
-let subtree_keys inst path =
-  let iid = inst.iid in
-  let p = pkey path in
-  let descendant other =
-    String.length other > String.length p && String.sub other 0 (String.length p + 1) = p ^ "/"
-  in
-  let collect tbl mk acc =
-    Hashtbl.fold (fun key _ acc -> if descendant key then mk key :: acc else acc) tbl acc
-  in
-  let split k = String.split_on_char '/' k in
-  let acc = collect inst.states (fun k -> Wstate.key_task iid (split k)) [] in
-  let acc = collect inst.chosen (fun k -> Wstate.key_chosen iid (split k)) acc in
-  let acc = collect inst.marks (fun k -> Wstate.key_marks iid (split k)) acc in
-  let acc = collect inst.repeats (fun k -> Wstate.key_repeat iid (split k)) acc in
-  let acc =
-    Hashtbl.fold
-      (fun key () acc ->
-        match String.rindex_opt key '|' with
-        | Some i ->
-          let kpath = String.sub key 0 i in
-          let set = String.sub key (i + 1) (String.length key - i - 1) in
-          if descendant kpath || kpath = p then Wstate.key_timer iid (split kpath) ~set :: acc
-          else acc
-        | None -> acc)
-      inst.timers acc
-  in
-  Hashtbl.fold
-    (fun key _ acc ->
-      match String.rindex_opt key '|' with
-      | Some i ->
-        let kpath = String.sub key 0 i in
-        let set = String.sub key (i + 1) (String.length key - i - 1) in
-        if descendant kpath || kpath = p then Wstate.key_timer_arm iid (split kpath) ~set :: acc
-        else acc
-      | None -> acc)
-    inst.timer_arms acc
-
-let wipe_subtree_mirror inst path =
-  let p = pkey path in
-  let descendant other =
-    String.length other > String.length p && String.sub other 0 (String.length p + 1) = p ^ "/"
-  in
-  let purge tbl pred =
-    let doomed = Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) tbl [] in
-    List.iter (Hashtbl.remove tbl) doomed
-  in
-  purge inst.states descendant;
-  purge inst.chosen (fun k -> descendant k || k = p);
-  purge inst.marks descendant;
-  purge inst.repeats descendant;
-  let timer_pred key =
-    match String.rindex_opt key '|' with
-    | Some i ->
-      let kpath = String.sub key 0 i in
-      descendant kpath || kpath = p
-    | None -> false
-  in
-  purge inst.timers timer_pred;
-  purge inst.timer_arms timer_pred;
-  purge inst.timers_armed timer_pred
-
-(* every effectful action also appends one persistent history row in
-   the same transaction — the durable audit log behind Fig 4's
-   monitoring tools (volatile traces die with the process) *)
-let history_write t inst ~kind ~detail =
-  let n = inst.hseq in
-  inst.hseq <- n + 1;
-  (Wstate.key_history inst.iid n, Some (Wstate.encode_history (Sim.now t.sim, kind, detail)))
-
-let action_history t inst = function
-  | Arm_timer _ -> []
-  | Start { a_path; a_attempt; _ } ->
-    [ history_write t inst ~kind:"start" ~detail:(Printf.sprintf "%s (attempt %d)" (pkey a_path) a_attempt) ]
-  | Fire_mark { a_path; a_name; _ } ->
-    [ history_write t inst ~kind:"mark" ~detail:(pkey a_path ^ " " ^ a_name) ]
-  | Do_repeat { a_path; a_name; _ } ->
-    [ history_write t inst ~kind:"repeat" ~detail:(pkey a_path ^ " " ^ a_name) ]
-  | Complete { a_path; a_name; _ } ->
-    [ history_write t inst ~kind:"complete" ~detail:(pkey a_path ^ " -> " ^ a_name) ]
-  | Fail_task { a_path; a_reason } ->
-    [ history_write t inst ~kind:"task-failed" ~detail:(pkey a_path ^ ": " ^ a_reason) ]
-
-let action_writes t inst action =
-  let iid = inst.iid in
+  Instate.apply_action_mirror inst ~now ~deadline_of:(deadline_span t) action;
   match action with
-  | Arm_timer _ -> []
-  | Start { a_path; a_task; a_set; a_inputs; a_attempt } ->
-    let now = Sim.now t.sim in
-    let running =
-      Wstate.Running
-        { attempt = a_attempt; set = a_set; started = now; deadline = now + deadline_span t a_task }
-    in
-    [
-      (Wstate.key_task iid a_path, Some (Wstate.encode_task_state running));
-      ( Wstate.key_chosen iid a_path,
-        Some (Wstate.encode_chosen { Wstate.c_set = a_set; c_inputs = a_inputs }) );
-    ]
-  | Fire_mark { a_path; a_name; a_objects } ->
-    let marks = get_marks inst a_path @ [ (a_name, a_objects) ] in
-    [ (Wstate.key_marks iid a_path, Some (Wstate.encode_marks marks)) ]
-  | Do_repeat { a_path; a_name; a_objects; a_attempt } ->
-    [
-      (Wstate.key_repeat iid a_path, Some (Wstate.encode_repeat (a_name, a_objects)));
-      ( Wstate.key_task iid a_path,
-        Some (Wstate.encode_task_state (Wstate.Waiting { attempt = a_attempt })) );
-      (Wstate.key_chosen iid a_path, None);
-    ]
-    @ List.map (fun key -> (key, None)) (subtree_keys inst a_path)
-  | Complete { a_path; a_name; a_kind; a_objects; a_attempt } ->
-    let state =
-      Wstate.Done { attempt = a_attempt; output = a_name; kind = a_kind; objects = a_objects }
-    in
-    [ (Wstate.key_task iid a_path, Some (Wstate.encode_task_state state)) ]
-  | Fail_task { a_path; a_reason } ->
-    [ (Wstate.key_task iid a_path, Some (Wstate.encode_task_state (Wstate.Failed a_reason))) ]
+  | Sched.Start _ | Sched.Arm_timer _ -> ()
+  | Sched.Fire_mark { a_path; a_name; _ } ->
+    emit t (Event.Task_marked { path = pkey a_path; mark = a_name })
+  | Sched.Do_repeat { a_path; a_name; a_attempt; _ } ->
+    emit t (Event.Task_repeated { path = pkey a_path; output = a_name; attempt = a_attempt })
+  | Sched.Complete { a_path; a_name; a_kind; _ } ->
+    emit t
+      (Event.Task_completed
+         {
+           path = pkey a_path;
+           output = a_name;
+           aborted = a_kind = Ast.Abort_outcome;
+           duration;
+         })
+  | Sched.Fail_task { a_path; a_reason } ->
+    emit t (Event.Task_failed { path = pkey a_path; reason = a_reason })
 
-let apply_action_mirror t inst action =
-  match action with
-  | Arm_timer _ -> ()
-  | Start { a_path; a_task; a_set; a_inputs; a_attempt } ->
-    let now = Sim.now t.sim in
-    Hashtbl.replace inst.states (pkey a_path)
-      (Wstate.Running
-         { attempt = a_attempt; set = a_set; started = now; deadline = now + deadline_span t a_task });
-    Hashtbl.replace inst.chosen (pkey a_path) { Wstate.c_set = a_set; c_inputs = a_inputs }
-  | Fire_mark { a_path; a_name; a_objects } ->
-    t.marks_count <- t.marks_count + 1;
-    Hashtbl.replace inst.marks (pkey a_path) (get_marks inst a_path @ [ (a_name, a_objects) ]);
-    record t "mark" (Printf.sprintf "%s %s" (pkey a_path) a_name)
-  | Do_repeat { a_path; a_name; a_objects; a_attempt } ->
-    Hashtbl.replace inst.repeats (pkey a_path) (a_name, a_objects);
-    wipe_subtree_mirror inst a_path;
-    Hashtbl.replace inst.states (pkey a_path) (Wstate.Waiting { attempt = a_attempt });
-    record t "repeat" (Printf.sprintf "%s %s (attempt %d)" (pkey a_path) a_name a_attempt)
-  | Complete { a_path; a_name; a_kind; a_objects; a_attempt } ->
-    Hashtbl.replace inst.states (pkey a_path)
-      (Wstate.Done { attempt = a_attempt; output = a_name; kind = a_kind; objects = a_objects });
-    record t "complete" (Printf.sprintf "%s -> %s" (pkey a_path) a_name)
-  | Fail_task { a_path; a_reason } ->
-    Hashtbl.replace inst.states (pkey a_path) (Wstate.Failed a_reason);
-    record t "task-failed" (Printf.sprintf "%s: %s" (pkey a_path) a_reason)
+let action_payload t inst action =
+  Instate.action_writes inst ~now:(Sim.now t.sim) ~deadline_of:(deadline_span t) action
+  @ Instate.action_history inst ~now:(Sim.now t.sim) action
 
 (* --- the evaluation pump, dispatch, watchdog, failure handling --- *)
 
 let rec mark_dirty t inst =
-  inst.dirty <- true;
-  if not inst.inflight then begin
-    inst.inflight <- true;
+  inst.Instate.dirty <- true;
+  if not inst.Instate.inflight then begin
+    inst.Instate.inflight <- true;
     let epoch = t.epoch in
     ignore
       (Sim.schedule t.sim ~delay:0 (fun () ->
-           if t.epoch = epoch && Node.up t.node then pump t inst else inst.inflight <- false))
+           if t.epoch = epoch && Node.up t.node then pump t inst
+           else inst.Instate.inflight <- false))
   end
 
 and pump t inst =
-  inst.dirty <- false;
-  if inst.status <> Wstate.Wf_running then inst.inflight <- false
+  inst.Instate.dirty <- false;
+  if inst.Instate.status <> Wstate.Wf_running then inst.Instate.inflight <- false
   else begin
-    let actions = scan t inst in
+    let actions = Sched.scan (iview t inst) ~root:inst.Instate.schema in
     let actions =
       List.filter
         (function
-          | Arm_timer { a_path; a_set; a_attempt; _ } ->
-            Hashtbl.find_opt inst.timers_armed (pkey a_path ^ "|" ^ a_set) <> Some a_attempt
-          | Start _ | Fire_mark _ | Do_repeat _ | Complete _ | Fail_task _ -> true)
+          | Sched.Arm_timer { a_path; a_set; a_attempt; _ } ->
+            Hashtbl.find_opt inst.Instate.timers_armed (pkey a_path ^ "|" ^ a_set)
+            <> Some a_attempt
+          | _ -> true)
         actions
     in
     List.iter (arm_timer_action t inst) actions;
     let effectful =
-      List.filter (function Arm_timer _ -> false | _ -> true) actions
+      Sched.prioritise (List.filter (function Sched.Arm_timer _ -> false | _ -> true) actions)
     in
-    (* dispatch higher-priority starts first (stable for equal priority);
-       non-start actions keep their scan order and commit in the same
-       transaction regardless *)
-    let starts, rest = List.partition (function Start _ -> true | _ -> false) effectful in
-    let starts =
-      List.stable_sort
-        (fun a b ->
-          match (a, b) with
-          | Start { a_task = x; _ }, Start { a_task = y; _ } ->
-            compare (impl_priority y) (impl_priority x)
-          | _ -> 0)
-        starts
-    in
-    let effectful = rest @ starts in
     if effectful = [] then begin
-      inst.inflight <- false;
+      inst.Instate.inflight <- false;
       finalize t inst;
-      if inst.dirty then mark_dirty t inst
+      if inst.Instate.dirty then mark_dirty t inst
     end
     else begin
-      let writes =
-        List.concat_map (fun a -> action_writes t inst a @ action_history t inst a) effectful
-      in
+      let writes = List.concat_map (action_payload t inst) effectful in
       persist t writes (fun () ->
-          List.iter (apply_action_mirror t inst) effectful;
+          List.iter (apply_and_announce t inst) effectful;
           List.iter (action_side_effects t inst) effectful;
-          inst.inflight <- false;
+          inst.Instate.inflight <- false;
           finalize t inst;
           mark_dirty t inst)
     end
   end
 
 and arm_timer_action t inst = function
-  | Arm_timer { a_path; a_set; a_task; a_attempt } ->
+  | Sched.Arm_timer { a_path; a_set; a_task; a_attempt } ->
     let key = pkey a_path ^ "|" ^ a_set in
-    Hashtbl.replace inst.timers_armed key a_attempt;
+    Hashtbl.replace inst.Instate.timers_armed key a_attempt;
     let epoch = t.epoch in
     let fire () =
-      if t.epoch = epoch && Node.up t.node && waiting_attempt inst a_path = Some a_attempt then
+      if
+        t.epoch = epoch && Node.up t.node
+        && Sched.waiting_attempt (iview t inst) a_path = Some a_attempt
+      then
         persist t
-          [ (Wstate.key_timer inst.iid a_path ~set:a_set, Some "1") ]
+          [ (Wstate.key_timer inst.Instate.iid a_path ~set:a_set, Some "1") ]
           (fun () ->
-            Hashtbl.replace inst.timers key ();
-            record t "timeout" (Printf.sprintf "%s input %s" (pkey a_path) a_set);
+            Hashtbl.replace inst.Instate.timers key ();
+            emit t (Event.Timer_fired { path = pkey a_path; set = a_set });
             mark_dirty t inst)
     in
     (* the deadline persists across crashes: recovery resumes the
        remaining wait rather than restarting the whole timeout *)
-    (match Hashtbl.find_opt inst.timer_arms key with
+    (match Hashtbl.find_opt inst.Instate.timer_arms key with
     | Some deadline -> ignore (Sim.schedule t.sim ~delay:(max 0 (deadline - Sim.now t.sim)) fire)
     | None ->
       let deadline = Sim.now t.sim + timeout_span t a_task in
       persist t
-        [ (Wstate.key_timer_arm inst.iid a_path ~set:a_set, Some (string_of_int deadline)) ]
+        [ (Wstate.key_timer_arm inst.Instate.iid a_path ~set:a_set, Some (string_of_int deadline)) ]
         (fun () ->
-          Hashtbl.replace inst.timer_arms key deadline;
+          Hashtbl.replace inst.Instate.timer_arms key deadline;
           ignore (Sim.schedule t.sim ~delay:(max 0 (deadline - Sim.now t.sim)) fire)))
-  | Start _ | Fire_mark _ | Do_repeat _ | Complete _ | Fail_task _ -> ()
+  | Sched.Start _ | Sched.Fire_mark _ | Sched.Do_repeat _ | Sched.Complete _ | Sched.Fail_task _
+    -> ()
 
 and action_side_effects t inst = function
-  | Start ({ a_task; _ } as s) -> (
+  | Sched.Start { a_path; a_task; a_set; a_inputs; a_attempt } -> (
     match effective_body t a_task with
-    | E_compound _ -> record t "scope-open" (pkey s.a_path)
-    | E_fn code ->
-      record t "start" (Printf.sprintf "%s (attempt %d)" (pkey s.a_path) s.a_attempt);
-      dispatch t inst ~path:s.a_path ~task:a_task ~code ~set:s.a_set ~inputs:s.a_inputs
-        ~attempt:s.a_attempt
-    | E_missing reason -> fail_policy t inst ~path:s.a_path ~task:a_task ~reason)
-  | Arm_timer _ | Fire_mark _ | Do_repeat _ | Complete _ | Fail_task _ -> ()
+    | Sched.E_compound _ -> emit t (Event.Scope_opened { path = pkey a_path })
+    | Sched.E_fn code ->
+      emit t (Event.Task_started { path = pkey a_path; attempt = a_attempt });
+      dispatch t inst ~path:a_path ~task:a_task ~code ~set:a_set ~inputs:a_inputs
+        ~attempt:a_attempt
+    | Sched.E_missing reason -> fail_policy t inst ~path:a_path ~task:a_task ~reason)
+  | Sched.Arm_timer _ | Sched.Fire_mark _ | Sched.Do_repeat _ | Sched.Complete _
+  | Sched.Fail_task _ -> ()
 
 and dispatch t inst ~path ~task ~code ~set ~inputs ~attempt =
-  t.dispatches <- t.dispatches + 1;
   let host = match Ast.impl_location task.Schema.impl with Some n -> n | None -> node_id t in
-  let req =
-    {
-      Wfmsg.x_iid = inst.iid;
-      x_path = path;
-      x_attempt = attempt;
-      x_code = code;
-      x_set = set;
-      x_inputs = inputs;
-    }
-  in
   let epoch = t.epoch in
-  let handle = function
-    | Ok reply when reply = Wfmsg.reply_ok -> ()
-    | Ok _ ->
-      if t.epoch = epoch then
-        fail_policy t inst ~path ~task ~reason:("host has no implementation for " ^ code)
-    | Error _ -> if t.epoch = epoch then retry_task t inst ~path ~task
-  in
-  Rpc.call t.rpc ~src:(node_id t) ~dst:host ~service:Wfmsg.service_exec ~body:(Wfmsg.enc_exec req)
-    ~retries:t.config.dispatch_rpc_retries handle;
+  Dispatch.send_exec t.disp ~host ~retries:t.config.dispatch_rpc_retries
+    { Wfmsg.x_iid = inst.Instate.iid; x_path = path; x_attempt = attempt; x_code = code;
+      x_set = set; x_inputs = inputs }
+    (function
+      | Ok reply when reply = Wfmsg.reply_ok -> ()
+      | Ok _ ->
+        if t.epoch = epoch then
+          fail_policy t inst ~path ~task ~reason:("host has no implementation for " ^ code)
+      | Error _ -> if t.epoch = epoch then retry_task t inst ~path ~task);
   schedule_watchdog t inst ~path ~task ~attempt
 
 and schedule_watchdog ?delay t inst ~path ~task ~attempt =
   let epoch = t.epoch in
   let span = match delay with Some d -> d | None -> deadline_span t task + Sim.ms 1 in
   let check () =
-    if t.epoch = epoch && Node.up t.node && task_live inst path then
-      match get_state inst path with
+    if t.epoch = epoch && Node.up t.node && task_live t inst path then
+      match Instate.get_state inst path with
       | Some (Wstate.Running { attempt = a; _ }) when a = attempt ->
-        record t "watchdog" (pkey path);
+        emit t (Event.Watchdog_fired { path = pkey path });
         retry_task t inst ~path ~task
       | _ -> ()
   in
   ignore (Sim.schedule t.sim ~delay:span check)
 
 and retry_task t inst ~path ~task =
-  if not (task_live inst path) then ()
+  if not (task_live t inst path) then ()
   else
-  match get_state inst path with
-  | Some (Wstate.Running { attempt; set; _ }) ->
-    if attempt >= t.config.system_max_attempts then
-      fail_policy t inst ~path ~task ~reason:(Printf.sprintf "gave up after %d attempts" attempt)
-    else begin
-      t.system_retries <- t.system_retries + 1;
-      let now = Sim.now t.sim in
-      let next = attempt + 1 in
-      let running =
-        Wstate.Running { attempt = next; set; started = now; deadline = now + deadline_span t task }
-      in
-      let inputs = match get_chosen inst path with Some c -> c.Wstate.c_inputs | None -> [] in
-      persist t
-        [ (Wstate.key_task inst.iid path, Some (Wstate.encode_task_state running)) ]
-        (fun () ->
-          Hashtbl.replace inst.states (pkey path) running;
-          record t "retry" (Printf.sprintf "%s (attempt %d)" (pkey path) next);
-          match effective_body t task with
-          | E_fn code -> dispatch t inst ~path ~task ~code ~set ~inputs ~attempt:next
-          | E_compound _ | E_missing _ -> mark_dirty t inst)
-    end
-  | _ -> ()
+    match Instate.get_state inst path with
+    | Some (Wstate.Running { attempt; set; _ }) ->
+      if attempt >= t.config.system_max_attempts then
+        fail_policy t inst ~path ~task ~reason:(Printf.sprintf "gave up after %d attempts" attempt)
+      else begin
+        let now = Sim.now t.sim in
+        let next = attempt + 1 in
+        let running =
+          Wstate.Running { attempt = next; set; started = now; deadline = now + deadline_span t task }
+        in
+        let inputs =
+          match Instate.get_chosen inst path with Some c -> c.Wstate.c_inputs | None -> []
+        in
+        persist t
+          [ (Wstate.key_task inst.Instate.iid path, Some (Wstate.encode_task_state running)) ]
+          (fun () ->
+            Hashtbl.replace inst.Instate.states (pkey path) running;
+            emit t (Event.Task_retried { path = pkey path; attempt = next });
+            match effective_body t task with
+            | Sched.E_fn code -> dispatch t inst ~path ~task ~code ~set ~inputs ~attempt:next
+            | Sched.E_compound _ | Sched.E_missing _ -> mark_dirty t inst)
+      end
+    | _ -> ()
 
 and fail_policy t inst ~path ~task ~reason =
-  (* Fig 3: a system failure maps onto an abort outcome when the
-     taskclass declares one; otherwise the task fails outright. *)
-  let attempt = running_attempt inst path in
-  let abort_out =
-    List.find_opt
-      (fun (o : Schema.output) -> o.Schema.out_kind = Ast.Abort_outcome)
-      task.Schema.outputs
-  in
-  let action =
-    match abort_out with
-    | Some out ->
-      Complete
-        {
-          a_path = path;
-          a_name = out.Schema.out_name;
-          a_kind = Ast.Abort_outcome;
-          a_objects = wrap_outputs task ~output:out.Schema.out_name [];
-          a_attempt = attempt;
-        }
-    | None -> Fail_task { a_path = path; a_reason = reason }
-  in
-  persist t
-    (action_writes t inst action @ action_history t inst action)
-    (fun () ->
-      apply_action_mirror t inst action;
+  let attempt = Sched.running_attempt (iview t inst) path in
+  let action = Sched.fail_action task ~path ~attempt ~reason in
+  persist t (action_payload t inst action) (fun () ->
+      apply_and_announce t inst action;
       mark_dirty t inst)
 
 and finalize t inst =
-  if inst.status = Wstate.Wf_running && not inst.concluding then begin
-    let rpath = [ inst.schema.Schema.name ] in
+  if inst.Instate.status = Wstate.Wf_running && not inst.Instate.concluding then begin
+    let rpath = [ inst.Instate.schema.Schema.name ] in
     let conclude status =
-      inst.concluding <- true;
-      let meta =
-        {
-          Wstate.m_script = inst.script_text;
-          m_root = inst.schema.Schema.name;
-          m_inputs = inst.external_inputs;
-          m_status = status;
-        }
-      in
+      inst.Instate.concluding <- true;
+      let meta = Instate.meta inst ~status in
       persist t
         [
-          (Wstate.key_meta inst.iid, Some (Wstate.encode_meta meta));
-          history_write t inst ~kind:"instance"
+          (Wstate.key_meta inst.Instate.iid, Some (Wstate.encode_meta meta));
+          Instate.history_write inst ~now:(Sim.now t.sim) ~kind:"instance"
             ~detail:(Format.asprintf "%a" Wstate.pp_status status);
         ]
         (fun () ->
-          inst.status <- status;
-          record t "instance" (Format.asprintf "%s %a" inst.iid Wstate.pp_status status);
-          let callbacks = inst.callbacks in
-          inst.callbacks <- [];
+          inst.Instate.status <- status;
+          emit t
+            (Event.Wf_concluded
+               {
+                 iid = inst.Instate.iid;
+                 status = Format.asprintf "%a" Wstate.pp_status status;
+               });
+          let callbacks = inst.Instate.callbacks in
+          inst.Instate.callbacks <- [];
           List.iter (fun cb -> cb status) callbacks)
     in
-    match get_state inst rpath with
+    match Instate.get_state inst rpath with
     | Some (Wstate.Done { output; objects; _ }) -> conclude (Wstate.Wf_done { output; objects })
     | Some (Wstate.Failed reason) -> conclude (Wstate.Wf_failed reason)
     | None | Some (Wstate.Waiting _ | Wstate.Running _) -> ()
@@ -812,67 +293,38 @@ and finalize t inst =
 
 (* --- reports from task hosts --- *)
 
-let impl_error_prefix = "$impl-error"
-
 let apply_one t inst action =
-  persist t
-    (action_writes t inst action @ action_history t inst action)
-    (fun () ->
-      apply_action_mirror t inst action;
+  persist t (action_payload t inst action) (fun () ->
+      apply_and_announce t inst action;
       mark_dirty t inst)
 
 let process_report t inst ~task ~attempt ~is_mark (r : Wfmsg.report) =
   let path = r.Wfmsg.r_path in
-  if starts_with ~prefix:impl_error_prefix r.Wfmsg.r_output then retry_task t inst ~path ~task
-  else
-    match Schema.output_named task r.Wfmsg.r_output with
-    | None ->
-      fail_policy t inst ~path ~task
-        ~reason:(Printf.sprintf "implementation produced undeclared output %s" r.Wfmsg.r_output)
-    | Some out -> (
-      let objects = wrap_outputs task ~output:out.Schema.out_name r.Wfmsg.r_objects in
-      match out.Schema.out_kind with
-      | Ast.Mark when is_mark ->
-        if not (List.mem_assoc out.Schema.out_name (get_marks inst path)) then
-          apply_one t inst
-            (Fire_mark { a_path = path; a_name = out.Schema.out_name; a_objects = objects })
-      | Ast.Mark ->
-        fail_policy t inst ~path ~task
-          ~reason:(Printf.sprintf "implementation finished in mark output %s" out.Schema.out_name)
-      | Ast.Outcome | Ast.Abort_outcome | Ast.Repeat_outcome when is_mark ->
-        fail_policy t inst ~path ~task
-          ~reason:(Printf.sprintf "mark report names non-mark output %s" out.Schema.out_name)
-      | Ast.Abort_outcome when get_marks inst path <> [] ->
-        (* Fig 3: a task that released a mark may not abort *)
-        apply_one t inst
-          (Fail_task { a_path = path; a_reason = "abort outcome after mark (protocol violation)" })
-      | Ast.Abort_outcome when attempt <= impl_abort_retries task ->
-        record t "auto-restart" (pkey path);
-        retry_task t inst ~path ~task
-      | Ast.Repeat_outcome ->
-        apply_one t inst
-          (Do_repeat
-             { a_path = path; a_name = out.Schema.out_name; a_objects = objects; a_attempt = attempt + 1 })
-      | Ast.Outcome | Ast.Abort_outcome ->
-        t.completions <- t.completions + 1;
-        apply_one t inst
-          (Complete
-             {
-               a_path = path;
-               a_name = out.Schema.out_name;
-               a_kind = out.Schema.out_kind;
-               a_objects = objects;
-               a_attempt = attempt;
-             }))
+  match
+    Sched.report_decision (iview t inst) ~task ~path ~attempt ~is_mark ~output:r.Wfmsg.r_output
+      ~objects:r.Wfmsg.r_objects
+  with
+  | Sched.D_retry -> retry_task t inst ~path ~task
+  | Sched.D_auto_restart ->
+    emit t (Event.Task_auto_restarted { path = pkey path });
+    retry_task t inst ~path ~task
+  | Sched.D_fail reason -> fail_policy t inst ~path ~task ~reason
+  | Sched.D_ignore -> ()
+  | Sched.D_apply (Sched.Complete { a_name; _ } as action) ->
+    (* counted when the implementation's final outcome arrives, before
+       the completion is made durable (historical accounting) *)
+    emit t (Event.Impl_completed { path = pkey path; output = a_name });
+    apply_one t inst action
+  | Sched.D_apply action -> apply_one t inst action
 
 let handle_report t ~is_mark ~src:_ body =
   let r = Wfmsg.dec_report body in
   (match Hashtbl.find_opt t.insts r.Wfmsg.r_iid with
   | None -> ()
-  | Some inst when inst.status <> Wstate.Wf_running -> ()
-  | Some inst when not (task_live inst r.Wfmsg.r_path) -> ()
+  | Some inst when inst.Instate.status <> Wstate.Wf_running -> ()
+  | Some inst when not (task_live t inst r.Wfmsg.r_path) -> ()
   | Some inst -> (
-    match (get_state inst r.Wfmsg.r_path, find_task_node t inst r.Wfmsg.r_path) with
+    match (Instate.get_state inst r.Wfmsg.r_path, find_task_node t inst r.Wfmsg.r_path) with
     | Some (Wstate.Running { attempt; _ }), Some task ->
       process_report t inst ~task ~attempt ~is_mark r
     | _ -> ()));
@@ -881,7 +333,7 @@ let handle_report t ~is_mark ~src:_ body =
 (* --- recovery --- *)
 
 let rebuild_instance t iid =
-  let read key = Participant.committed_value t.participant ~key in
+  let read key = Dispatch.committed_value t.disp ~key in
   match read (Wstate.key_meta iid) with
   | None -> ()
   | Some meta_raw -> (
@@ -890,97 +342,31 @@ let rebuild_instance t iid =
       match read (Wstate.key_reconf iid) with Some s -> s | None -> meta.Wstate.m_script
     in
     match Frontend.load script_text with
-    | Error _ -> record t "recovery-error" (iid ^ ": stored script no longer parses")
+    | Error _ -> emit t (Event.Recovery_error { detail = iid ^ ": stored script no longer parses" })
     | Ok ast -> (
       match Schema.of_script ast ~root:meta.Wstate.m_root with
-      | Error msg -> record t "recovery-error" (Printf.sprintf "%s: %s" iid msg)
+      | Error msg -> emit t (Event.Recovery_error { detail = Printf.sprintf "%s: %s" iid msg })
       | Ok schema ->
         let inst =
-          {
-            iid;
-            script_text;
-            schema;
-            status = meta.Wstate.m_status;
-            external_inputs = meta.Wstate.m_inputs;
-            states = Hashtbl.create 32;
-            chosen = Hashtbl.create 32;
-            marks = Hashtbl.create 8;
-            repeats = Hashtbl.create 8;
-            timers = Hashtbl.create 8;
-            timer_arms = Hashtbl.create 8;
-            timers_armed = Hashtbl.create 8;
-            callbacks = [];
-            hseq = 0;
-            dirty = false;
-            inflight = false;
-            concluding = false;
-          }
+          Instate.create ~iid ~script_text ~schema ~status:meta.Wstate.m_status
+            ~external_inputs:meta.Wstate.m_inputs
         in
-        let prefix = Wstate.task_prefix iid in
-        let load_key key =
-          if starts_with ~prefix key then begin
-            let rest = String.sub key (String.length prefix) (String.length key - String.length prefix) in
-            match String.index_opt rest ':' with
-            | None -> () (* meta / reconf *)
-            | Some i -> (
-              let tag = String.sub rest 0 i in
-              let remainder = String.sub rest (i + 1) (String.length rest - i - 1) in
-              let value () = Option.get (read key) in
-              match tag with
-              | "t" -> Hashtbl.replace inst.states remainder (Wstate.decode_task_state (value ()))
-              | "c" -> Hashtbl.replace inst.chosen remainder (Wstate.decode_chosen (value ()))
-              | "m" -> Hashtbl.replace inst.marks remainder (Wstate.decode_marks (value ()))
-              | "r" -> Hashtbl.replace inst.repeats remainder (Wstate.decode_repeat (value ()))
-              | "timer" -> (
-                match String.rindex_opt remainder ':' with
-                | Some j ->
-                  let kpath = String.sub remainder 0 j in
-                  let set = String.sub remainder (j + 1) (String.length remainder - j - 1) in
-                  Hashtbl.replace inst.timers (kpath ^ "|" ^ set) ()
-                | None -> ())
-              | "h" ->
-                (* history rows are read on demand; track the counter *)
-                (match int_of_string_opt remainder with
-                | Some n -> inst.hseq <- max inst.hseq (n + 1)
-                | None -> ())
-              | "timerarm" -> (
-                match String.rindex_opt remainder ':' with
-                | Some j -> (
-                  let kpath = String.sub remainder 0 j in
-                  let set = String.sub remainder (j + 1) (String.length remainder - j - 1) in
-                  match int_of_string_opt (value ()) with
-                  | Some deadline -> Hashtbl.replace inst.timer_arms (kpath ^ "|" ^ set) deadline
-                  | None -> ())
-                | None -> ())
-              | _ -> ())
-          end
-        in
-        List.iter load_key (Participant.committed_keys t.participant);
+        Instate.load_committed inst ~read ~keys:(Dispatch.committed_keys t.disp);
         Hashtbl.replace t.insts iid inst;
-        let restart_watchdog key state =
-          match state with
-          | Wstate.Running { attempt; deadline; _ } -> (
-            let path = String.split_on_char '/' key in
-            match find_task_node t inst path with
-            | Some task -> (
-              match effective_body t task with
-              | E_fn _ ->
-                (* honour the persisted deadline: an execution orphaned
-                   by the crash is re-dispatched as soon as it expires *)
-                let remaining = max 0 (deadline - Sim.now t.sim) + Sim.ms 1 in
-                schedule_watchdog ~delay:remaining t inst ~path ~task ~attempt
-              | E_compound _ | E_missing _ -> ())
-            | None -> ())
-          | Wstate.Waiting _ | Wstate.Done _ | Wstate.Failed _ -> ()
-        in
-        Hashtbl.iter restart_watchdog inst.states;
-        if inst.status = Wstate.Wf_running then mark_dirty t inst))
+        (* honour persisted deadlines: executions orphaned by the crash
+           are re-dispatched as soon as they expire *)
+        List.iter
+          (fun (path, task, attempt, deadline) ->
+            let remaining = max 0 (deadline - Sim.now t.sim) + Sim.ms 1 in
+            schedule_watchdog ~delay:remaining t inst ~path ~task ~attempt)
+          (Instate.running_leaves inst ~effective:(effective_body t));
+        if inst.Instate.status = Wstate.Wf_running then mark_dirty t inst))
 
 (* A commit finished by the recovery termination protocol can add an
    instance to the store after [recover] already scanned it: reconcile
    whenever such a commit lands. *)
 let reconcile t =
-  match Participant.committed_value t.participant ~key:Wstate.key_insts with
+  match Dispatch.committed_value t.disp ~key:Wstate.key_insts with
   | None -> ()
   | Some raw ->
     let iids = Wstate.decode_insts raw in
@@ -1000,68 +386,48 @@ let reconcile t =
    The orphan stays in [t.orphans] until this attempt actually runs —
    another crash before the timer fires must not lose it (each recovery
    re-schedules the survivors). *)
-let relaunch_orphan t (orphan : inst) =
+let relaunch_orphan t (orphan : Instate.t) =
   let epoch = t.epoch in
   let retry_delay = Sim.ms 120 in
-  let forget () = t.orphans <- List.filter (fun o -> o.iid <> orphan.iid) t.orphans in
+  let forget () =
+    t.orphans <- List.filter (fun (o : Instate.t) -> o.Instate.iid <> orphan.Instate.iid) t.orphans
+  in
   let attempt () =
     if t.epoch = epoch && Node.up t.node then
-    if
-      Hashtbl.mem t.insts orphan.iid
-      || Participant.committed_value t.participant ~key:(Wstate.key_meta orphan.iid) <> None
-    then forget () (* became durable after all; reconcile covers it *)
-    else begin
-      forget ();
-      let inst =
-        {
-          orphan with
-          status = Wstate.Wf_running;
-          states = Hashtbl.create 32;
-          chosen = Hashtbl.create 32;
-          marks = Hashtbl.create 8;
-          repeats = Hashtbl.create 8;
-          timers = Hashtbl.create 8;
-          timer_arms = Hashtbl.create 8;
-          timers_armed = Hashtbl.create 8;
-          dirty = false;
-          inflight = false;
-          concluding = false;
-        }
-      in
-      let meta =
-        {
-          Wstate.m_script = inst.script_text;
-          m_root = inst.schema.Schema.name;
-          m_inputs = inst.external_inputs;
-          m_status = Wstate.Wf_running;
-        }
-      in
-      if not (List.mem inst.iid t.inst_order) then t.inst_order <- t.inst_order @ [ inst.iid ];
-      Hashtbl.replace t.insts inst.iid inst;
-      record t "relaunch" inst.iid;
-      persist t
-        [
-          (Wstate.key_insts, Some (Wstate.encode_insts t.inst_order));
-          (Wstate.key_meta inst.iid, Some (Wstate.encode_meta meta));
-        ]
-        (fun () -> mark_dirty t inst)
-    end
+      if
+        Hashtbl.mem t.insts orphan.Instate.iid
+        || Dispatch.committed_value t.disp ~key:(Wstate.key_meta orphan.Instate.iid) <> None
+      then forget () (* became durable after all; reconcile covers it *)
+      else begin
+        forget ();
+        let inst = Instate.reset orphan in
+        let meta = Instate.meta inst ~status:Wstate.Wf_running in
+        if not (List.mem inst.Instate.iid t.inst_order) then
+          t.inst_order <- t.inst_order @ [ inst.Instate.iid ];
+        Hashtbl.replace t.insts inst.Instate.iid inst;
+        emit t (Event.Wf_relaunched { iid = inst.Instate.iid });
+        persist t
+          [
+            (Wstate.key_insts, Some (Wstate.encode_insts t.inst_order));
+            (Wstate.key_meta inst.Instate.iid, Some (Wstate.encode_meta meta));
+          ]
+          (fun () -> mark_dirty t inst)
+      end
   in
   ignore (Sim.schedule t.sim ~delay:retry_delay attempt)
 
 let recover t () =
   t.epoch <- t.epoch + 1;
-  t.recoveries <- t.recoveries + 1;
   Hashtbl.reset t.insts;
-  (match Participant.committed_value t.participant ~key:Wstate.key_insts with
+  (match Dispatch.committed_value t.disp ~key:Wstate.key_insts with
   | None -> t.inst_order <- []
   | Some raw ->
     let iids = Wstate.decode_insts raw in
     t.inst_order <- iids;
     List.iter (rebuild_instance t) iids);
-  t.orphans <- List.filter (fun o -> not (Hashtbl.mem t.insts o.iid)) t.orphans;
+  t.orphans <- List.filter (fun (o : Instate.t) -> not (Hashtbl.mem t.insts o.Instate.iid)) t.orphans;
   List.iter (relaunch_orphan t) t.orphans;
-  record t "recovery" (Printf.sprintf "%d instance(s)" (List.length t.inst_order))
+  emit t (Event.Recovery_replayed { instances = List.length t.inst_order })
 
 (* --- construction and public API --- *)
 
@@ -1070,27 +436,30 @@ let attach_host_on t node =
 
 let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg () =
   let sim = Network.sim (Rpc.network rpc) in
+  let tracer = Trace.create () in
+  let metrics = Metrics.create () in
+  (* the legacy trace is now a bus subscriber; engine-originated events
+     render to their historical kind/detail strings, the rest to None *)
+  Event.subscribe (Sim.events sim) (fun ~at ev ->
+      match Event.to_trace ev with
+      | Some (kind, detail) -> Trace.record tracer ~at ~kind detail
+      | None -> ());
+  Metrics.attach metrics (Sim.events sim);
   let t =
     {
       sim;
       rpc;
       node;
-      mgr;
-      participant;
+      disp = Dispatch.create ~rpc ~node ~mgr ~participant;
       reg;
       config;
-      tracer = Trace.create ();
+      tracer;
+      metrics;
       rng = Rng.split (Sim.rng sim);
       insts = Hashtbl.create 8;
       inst_order = [];
       seq = 0;
       epoch = 1;
-      dispatches = 0;
-      completions = 0;
-      system_retries = 0;
-      marks_count = 0;
-      reconfigs = 0;
-      recoveries = 0;
       orphans = [];
     }
   in
@@ -1100,12 +469,13 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
       t.epoch <- t.epoch + 1;
       let running =
         Hashtbl.fold
-          (fun _ inst acc -> if inst.status = Wstate.Wf_running then inst :: acc else acc)
+          (fun _ (inst : Instate.t) acc ->
+            if inst.Instate.status = Wstate.Wf_running then inst :: acc else acc)
           t.insts []
       in
       t.orphans <- running @ t.orphans);
   Node.on_recover node (recover t);
-  Participant.on_apply participant (fun writes ->
+  Dispatch.on_apply t.disp (fun writes ->
       if List.exists (fun (key, _) -> key = Wstate.key_insts) writes then begin
         let epoch = t.epoch in
         ignore
@@ -1118,66 +488,40 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
 let attach_host t node = attach_host_on t node
 
 let launch t ~script ~root ~inputs =
-  match Frontend.load script with
+  match Frontend.compile script ~root with
   | Error e -> Error (Frontend.error_to_string e)
-  | Ok ast -> (
-    match Schema.of_script ast ~root with
-    | Error msg -> Error msg
-    | Ok schema ->
-      t.seq <- t.seq + 1;
-      let iid = Printf.sprintf "wf-%d-%d" t.epoch t.seq in
-      let inst =
-        {
-          iid;
-          script_text = script;
-          schema;
-          status = Wstate.Wf_running;
-          external_inputs = inputs;
-          states = Hashtbl.create 32;
-          chosen = Hashtbl.create 32;
-          marks = Hashtbl.create 8;
-          repeats = Hashtbl.create 8;
-          timers = Hashtbl.create 8;
-          timer_arms = Hashtbl.create 8;
-          timers_armed = Hashtbl.create 8;
-          callbacks = [];
-          hseq = 0;
-          dirty = false;
-          inflight = false;
-          concluding = false;
-        }
-      in
-      let meta =
-        {
-          Wstate.m_script = script;
-          m_root = root;
-          m_inputs = inputs;
-          m_status = Wstate.Wf_running;
-        }
-      in
-      let order = t.inst_order @ [ iid ] in
-      (* visible immediately: callers can attach on_complete before the
-         launch transaction commits; scheduling starts once durable *)
-      t.inst_order <- order;
-      Hashtbl.replace t.insts iid inst;
-      record t "launch" (Printf.sprintf "%s root=%s" iid root);
-      persist t
-        [
-          (Wstate.key_insts, Some (Wstate.encode_insts order));
-          (Wstate.key_meta iid, Some (Wstate.encode_meta meta));
-          history_write t inst ~kind:"launch" ~detail:("root=" ^ root);
-        ]
-        (fun () -> mark_dirty t inst);
-      Ok iid)
+  | Ok schema ->
+    t.seq <- t.seq + 1;
+    let iid = Printf.sprintf "wf-%d-%d" t.epoch t.seq in
+    let inst =
+      Instate.create ~iid ~script_text:script ~schema ~status:Wstate.Wf_running
+        ~external_inputs:inputs
+    in
+    let meta = Instate.meta inst ~status:Wstate.Wf_running in
+    let order = t.inst_order @ [ iid ] in
+    (* visible immediately: callers can attach on_complete before the
+       launch transaction commits; scheduling starts once durable *)
+    t.inst_order <- order;
+    Hashtbl.replace t.insts iid inst;
+    emit t (Event.Wf_launched { iid; root });
+    persist t
+      [
+        (Wstate.key_insts, Some (Wstate.encode_insts order));
+        (Wstate.key_meta iid, Some (Wstate.encode_meta meta));
+        Instate.history_write inst ~now:(Sim.now t.sim) ~kind:"launch" ~detail:("root=" ^ root);
+      ]
+      (fun () -> mark_dirty t inst);
+    Ok iid
 
-let status t iid = Option.map (fun inst -> inst.status) (Hashtbl.find_opt t.insts iid)
+let status t iid =
+  Option.map (fun (inst : Instate.t) -> inst.Instate.status) (Hashtbl.find_opt t.insts iid)
 
 let on_complete t iid cb =
   match Hashtbl.find_opt t.insts iid with
   | None -> ()
   | Some inst -> (
-    match inst.status with
-    | Wstate.Wf_running -> inst.callbacks <- inst.callbacks @ [ cb ]
+    match inst.Instate.status with
+    | Wstate.Wf_running -> inst.Instate.callbacks <- inst.Instate.callbacks @ [ cb ]
     | done_or_failed -> cb done_or_failed)
 
 let instances t = t.inst_order
@@ -1185,69 +529,43 @@ let instances t = t.inst_order
 let task_state t iid ~path =
   match Hashtbl.find_opt t.insts iid with
   | None -> None
-  | Some inst -> get_state inst path
+  | Some inst -> Instate.get_state inst path
 
 let task_states t iid =
   match Hashtbl.find_opt t.insts iid with
   | None -> []
   | Some inst ->
-    let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) inst.states [] in
+    let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) inst.Instate.states [] in
     List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
 let marks_of t iid ~path =
-  match Hashtbl.find_opt t.insts iid with None -> [] | Some inst -> get_marks inst path
+  match Hashtbl.find_opt t.insts iid with None -> [] | Some inst -> Instate.get_marks inst path
 
-let history t iid =
-  let prefix = Printf.sprintf "wf:%s:h:" iid in
-  let rows =
-    List.filter_map
-      (fun key ->
-        if starts_with ~prefix key then
-          Option.map Wstate.decode_history (Participant.committed_value t.participant ~key)
-        else None)
-      (Participant.committed_keys t.participant)
-  in
-  List.sort compare rows
+let history t iid = Dispatch.committed_history t.disp ~iid
 
 let quiescent t iid =
   match Hashtbl.find_opt t.insts iid with
   | None -> false
   | Some inst ->
-    let leaf_running key state =
-      match state with
-      | Wstate.Running _ -> (
-        match find_task_node t inst (String.split_on_char '/' key) with
-        | Some task -> ( match effective_body t task with E_fn _ -> true | _ -> false)
-        | None -> false)
-      | Wstate.Waiting _ | Wstate.Done _ | Wstate.Failed _ -> false
-    in
-    inst.status = Wstate.Wf_running
-    && not (Hashtbl.fold (fun key state acc -> acc || leaf_running key state) inst.states false)
+    inst.Instate.status = Wstate.Wf_running
+    && Instate.running_leaves inst ~effective:(effective_body t) = []
 
 let cancel t iid ~reason k =
   match Hashtbl.find_opt t.insts iid with
   | None -> k (Error ("no such instance " ^ iid))
-  | Some inst when inst.status <> Wstate.Wf_running ->
-    ignore inst;
+  | Some inst when inst.Instate.status <> Wstate.Wf_running ->
     k (Error ("instance " ^ iid ^ " already finished"))
   | Some inst ->
     let status = Wstate.Wf_failed ("cancelled: " ^ reason) in
-    let meta =
-      {
-        Wstate.m_script = inst.script_text;
-        m_root = inst.schema.Schema.name;
-        m_inputs = inst.external_inputs;
-        m_status = status;
-      }
-    in
-    inst.concluding <- true;
+    let meta = Instate.meta inst ~status in
+    inst.Instate.concluding <- true;
     persist t
       [ (Wstate.key_meta iid, Some (Wstate.encode_meta meta)) ]
       (fun () ->
-        inst.status <- status;
-        record t "cancel" (Printf.sprintf "%s: %s" iid reason);
-        let callbacks = inst.callbacks in
-        inst.callbacks <- [];
+        inst.Instate.status <- status;
+        emit t (Event.Wf_cancelled { iid; reason });
+        let callbacks = inst.Instate.callbacks in
+        inst.Instate.callbacks <- [];
         List.iter (fun cb -> cb status) callbacks;
         k (Ok ()))
 
@@ -1255,29 +573,25 @@ let abort_task t iid ~path k =
   match Hashtbl.find_opt t.insts iid with
   | None -> k (Error ("no such instance " ^ iid))
   | Some inst -> (
-    match (get_state inst path, find_task_node t inst path) with
+    match (Instate.get_state inst path, find_task_node t inst path) with
     | (None | Some (Wstate.Waiting _ | Wstate.Running _)), Some task ->
-      record t "user-abort" (pkey path);
+      emit t (Event.User_aborted { path = pkey path });
       fail_policy t inst ~path ~task ~reason:"aborted by user";
       k (Ok ())
-    | Some (Wstate.Done _ | Wstate.Failed _), _ ->
-      k (Error (pkey path ^ " already finished"))
+    | Some (Wstate.Done _ | Wstate.Failed _), _ -> k (Error (pkey path ^ " already finished"))
     | _, None -> k (Error ("no task at path " ^ pkey path)))
 
-let compact t =
-  Participant.checkpoint t.participant;
-  Txn.compact t.mgr
+let compact t = Dispatch.compact t.disp
 
 let gc t iid k =
   match Hashtbl.find_opt t.insts iid with
   | None -> k (Error ("no such instance " ^ iid))
-  | Some inst when inst.status = Wstate.Wf_running ->
-    ignore inst;
+  | Some inst when inst.Instate.status = Wstate.Wf_running ->
     k (Error ("instance " ^ iid ^ " is still running"))
   | Some _ ->
     let prefix = Wstate.task_prefix iid in
     let doomed =
-      List.filter (starts_with ~prefix) (Participant.committed_keys t.participant)
+      List.filter (fun key -> String.starts_with ~prefix key) (Dispatch.committed_keys t.disp)
     in
     let order = List.filter (fun i -> i <> iid) t.inst_order in
     let writes =
@@ -1287,54 +601,33 @@ let gc t iid k =
     persist t writes (fun () ->
         t.inst_order <- order;
         Hashtbl.remove t.insts iid;
-        record t "gc" iid;
+        emit t (Event.Wf_collected { iid });
         k (Ok ()))
 
 let reconfigure t iid ~transform k =
   match Hashtbl.find_opt t.insts iid with
   | None -> k (Error ("no such instance " ^ iid))
   | Some inst -> (
-    match Parser.script_result inst.script_text with
-    | Error (msg, _) -> k (Error ("current script no longer parses: " ^ msg))
-    | Ok ast -> (
-      match transform ast with
-      | Error msg -> k (Error msg)
-      | Ok ast' -> (
-        match Template.expand ast' with
-        | Error (msg, _) -> k (Error msg)
-        | Ok expanded -> (
-          match Validate.ok expanded with
-          | Error issues ->
-            k
-              (Error
-                 (String.concat "; "
-                    (List.map
-                       (fun i -> Format.asprintf "%a" Validate.pp_issue i)
-                       issues)))
-          | Ok () -> (
-            let root = inst.schema.Schema.name in
-            match Schema.of_script expanded ~root with
-            | Error msg -> k (Error msg)
-            | Ok schema ->
-              let text = Pretty.to_string expanded in
-              persist t
-                [ (Wstate.key_reconf iid, Some text) ]
-                (fun () ->
-                  inst.script_text <- text;
-                  inst.schema <- schema;
-                  t.reconfigs <- t.reconfigs + 1;
-                  record t "reconfigure" iid;
-                  mark_dirty t inst;
-                  k (Ok ())))))))
+    match
+      Reconfig.rewrite ~script:inst.Instate.script_text
+        ~root:inst.Instate.schema.Schema.name ~transform
+    with
+    | Error msg -> k (Error msg)
+    | Ok (text, schema) ->
+      persist t
+        [ (Wstate.key_reconf iid, Some text) ]
+        (fun () ->
+          inst.Instate.script_text <- text;
+          inst.Instate.schema <- schema;
+          emit t (Event.Wf_reconfigured { iid });
+          mark_dirty t inst;
+          k (Ok ())))
 
-let dispatches_total t = t.dispatches
+(* --- introspection counters (metrics registry, fed by the bus) --- *)
 
-let completions_total t = t.completions
-
-let system_retries_total t = t.system_retries
-
-let marks_total t = t.marks_count
-
-let reconfigs_total t = t.reconfigs
-
-let recoveries_total t = t.recoveries
+let dispatches_total t = Metrics.value t.metrics "engine.dispatches"
+let completions_total t = Metrics.value t.metrics "engine.completions"
+let system_retries_total t = Metrics.value t.metrics "engine.system_retries"
+let marks_total t = Metrics.value t.metrics "engine.marks"
+let reconfigs_total t = Metrics.value t.metrics "engine.reconfigs"
+let recoveries_total t = Metrics.value t.metrics "engine.recoveries"

@@ -49,6 +49,11 @@ val rpc : t -> Rpc.t
 
 val trace : t -> Trace.t
 
+val metrics : t -> Metrics.t
+(** The engine's metrics registry: counters and histograms accumulated
+    from the typed event bus (see {!Event} and {!Metrics.attach}). Dump
+    with {!Metrics.to_json}. *)
+
 val registry : t -> Registry.t
 
 val attach_host : t -> Node.t -> Exec_host.t

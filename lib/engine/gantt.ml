@@ -55,8 +55,8 @@ let collect trace =
   List.iter visit (Trace.entries trace);
   List.rev_map (Hashtbl.find rows) !order
 
-let render ?(width = 60) trace =
-  match collect trace with
+let render_rows ~width rows =
+  match rows with
   | [] -> ""
   | rows ->
     let t0 = List.fold_left (fun acc r -> min acc r.started) max_int rows in
@@ -91,3 +91,37 @@ let render ?(width = 60) trace =
     in
     List.iter render_row rows;
     Buffer.contents buf
+
+let render ?(width = 60) trace = render_rows ~width (collect trace)
+
+(* --- typed recorder: same chart, fed by the event bus --- *)
+
+type recorder = { rows : (string, row) Hashtbl.t; mutable order : string list }
+
+let recorder () = { rows = Hashtbl.create 16; order = [] }
+
+let attach r bus =
+  let row_for path at =
+    match Hashtbl.find_opt r.rows path with
+    | Some row -> row
+    | None ->
+      let row = { path; started = at; finished = None; outcome = ""; marks = [] } in
+      Hashtbl.replace r.rows path row;
+      r.order <- path :: r.order;
+      row
+  in
+  Event.subscribe bus (fun ~at ev ->
+      match ev with
+      | Event.Task_started { path; _ } | Event.Scope_opened { path } ->
+        ignore (row_for path at)
+      | Event.Task_completed { path; output; _ } ->
+        let row = row_for path at in
+        row.finished <- Some at;
+        row.outcome <- output
+      | Event.Task_marked { path; _ } ->
+        let row = row_for path at in
+        row.marks <- at :: row.marks
+      | _ -> ())
+
+let render_events ?(width = 60) r =
+  render_rows ~width (List.rev_map (Hashtbl.find r.rows) r.order)

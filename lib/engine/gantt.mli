@@ -9,3 +9,20 @@
 val render : ?width:int -> Trace.t -> string
 (** [width] is the number of columns of the bar area (default 60). An
     empty trace renders an empty string. *)
+
+(** {1 Typed recorder}
+
+    The same chart fed directly from the typed event bus instead of the
+    legacy trace: subscribe a recorder before the run, render after. *)
+
+type recorder
+
+val recorder : unit -> recorder
+
+val attach : recorder -> Event.bus -> unit
+(** Subscribe to [Task_started]/[Scope_opened], [Task_completed] and
+    [Task_marked] events. *)
+
+val render_events : ?width:int -> recorder -> string
+(** Render what the recorder saw; identical output to {!render} over
+    the legacy trace of the same run. *)

@@ -1,0 +1,33 @@
+(** Metrics registry: counters and histograms fed by the typed event
+    bus, replacing the mutable counters that used to live on
+    [Engine.t].
+
+    {!attach} subscribes the registry to a bus; every {!Event.t} bumps a
+    generic [events.<tag>] counter, and engine-relevant events also bump
+    the stable [engine.*] counters backing the [Engine.*_total]
+    accessors. {!to_json} renders everything for machine consumption
+    (the bench harness writes it to [BENCH_engine.json]). *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Event.bus -> unit
+(** Subscribe to [bus]; call once, at setup. *)
+
+val incr : ?by:int -> t -> string -> unit
+
+val observe : t -> string -> int -> unit
+(** Record one histogram sample. *)
+
+val value : t -> string -> int
+(** Current counter value; 0 if never incremented. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val samples : t -> string -> int list
+(** Raw histogram samples in recording order; [] if unknown. *)
+
+val to_json : t -> string
+(** [{"counters":{...},"histograms":{name:{count,min,max,mean,p50,p95,p99}}}] *)

@@ -204,3 +204,26 @@ let rebind_implementation ~scope ~task ~code script =
       let cs = List.map update cd.Ast.cd_constituents in
       if !seen then Ok { cd with Ast.cd_constituents = cs }
       else Error (Printf.sprintf "no constituent %s in %s" task cd.Ast.cd_name))
+
+(* The engine-side rewrite pipeline: parse the instance's current
+   script, apply a transform, re-expand templates, re-validate, and
+   re-render. Kept here so Engine.reconfigure only persists and swaps. *)
+let rewrite ~script ~root ~transform =
+  match Parser.script_result script with
+  | Error (msg, _) -> Error ("current script no longer parses: " ^ msg)
+  | Ok ast -> (
+    match transform ast with
+    | Error msg -> Error msg
+    | Ok ast' -> (
+      match Template.expand ast' with
+      | Error (msg, _) -> Error msg
+      | Ok expanded -> (
+        match Validate.ok expanded with
+        | Error issues ->
+          Error
+            (String.concat "; "
+               (List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues))
+        | Ok () -> (
+          match Schema.of_script expanded ~root with
+          | Error msg -> Error msg
+          | Ok schema -> Ok (Pretty.to_string expanded, schema)))))

@@ -50,3 +50,13 @@ val rebind_implementation :
   scope:string list -> task:string -> code:string -> Ast.script -> (Ast.script, string) result
 (** Point a constituent's ["code"] binding at a different implementation
     name (script-level online upgrade). *)
+
+val rewrite :
+  script:string ->
+  root:string ->
+  transform:(Ast.script -> (Ast.script, string) result) ->
+  (string * Schema.task, string) result
+(** Parse [script], apply [transform], re-expand, re-validate and
+    re-resolve [root]; returns the pretty-printed new script text and
+    its schema. The engine persists the text and swaps the schema in
+    atomically. *)

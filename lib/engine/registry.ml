@@ -40,3 +40,23 @@ let names t =
 let finish ?(work = Sim.ms 1) output objects = { steps = [ Work work ]; finish = { output; objects } }
 
 let const ?work output objects _ctx = finish ?work output objects
+
+(* What scheduling sees through a task's binding: a compound scope
+   (inline, or a bound sub-workflow script, paper §4.3), a leaf
+   function, or a binding error surfaced as a task failure. *)
+let effective t (task : Schema.task) =
+  match task.Schema.body with
+  | Schema.Compound { children; bindings } ->
+    Sched.E_compound { children; bindings; alias = task.Schema.name }
+  | Schema.Simple -> (
+    match Ast.impl_code task.Schema.impl with
+    | None -> Sched.E_missing "no code binding"
+    | Some code -> (
+      match find t ~code with
+      | Some (Fn _) -> Sched.E_fn code
+      | Some (Sub_workflow sub) -> (
+        match sub.Schema.body with
+        | Schema.Compound { children; bindings } ->
+          Sched.E_compound { children; bindings; alias = sub.Schema.name }
+        | Schema.Simple -> Sched.E_missing (code ^ " is bound to a non-compound schema"))
+      | None -> Sched.E_missing ("no implementation bound for code " ^ code)))

@@ -65,3 +65,8 @@ val finish : ?work:Sim.time -> string -> (string * Value.t) list -> plan
 
 val const : ?work:Sim.time -> string -> (string * Value.t) list -> fn
 (** An implementation ignoring its context. *)
+
+val effective : t -> Schema.task -> Sched.effective
+(** Resolve a task's body through the registry for the scheduler core:
+    compound scope (inline or bound sub-workflow), leaf function, or a
+    missing/ill-formed binding. *)

@@ -1,0 +1,138 @@
+(** The pure scheduling core of the execution service.
+
+    Everything the paper's §3 scheduler decides — which input set of a
+    waiting task is satisfied (ordered alternatives, first-available
+    wins; first-declared set wins), which compound output binding fires,
+    mark/repeat/outcome propagation, scope liveness, and how a task
+    report maps onto the transition rules of Fig 3 — expressed as pure
+    functions over {!Wstate} snapshots.
+
+    This module deliberately has {e no} dependency on [Sim], [Rpc] or
+    [Txn]: state comes in through a {!view} (closures over whatever
+    mirror the caller keeps), decisions come out as {!action}s and
+    {!decision}s that the effect layer ({!Dispatch} / {!Engine})
+    persists and executes. Times are plain [int]s (virtual
+    microseconds). Purity is what makes the selection logic reusable
+    (parallel dispatch batches, alternative backends) and directly
+    property-testable. *)
+
+(** What a task's implementation binding resolves to. Resolution
+    consults the registry, so it is injected via {!view.v_effective}. *)
+type effective =
+  | E_fn of string  (** a leaf implementation, dispatched by code name *)
+  | E_compound of { children : Schema.task list; bindings : Schema.binding list; alias : string }
+  | E_missing of string  (** no usable binding; the reason *)
+
+(** Read-only view of one instance. [None]/[[]] answers mean "no record
+    yet" (implicitly Waiting, attempt 1). *)
+type view = {
+  v_effective : Schema.task -> effective;
+  v_state : Wstate.path -> Wstate.task_state option;
+  v_chosen : Wstate.path -> Wstate.chosen option;
+  v_marks : Wstate.path -> (string * (string * Value.obj) list) list;
+  v_repeat : Wstate.path -> (string * (string * Value.obj) list) option;
+  v_timer_fired : Wstate.path -> set:string -> bool;
+  v_external : string -> Value.obj option;  (** root-level external inputs *)
+  v_running : bool;  (** instance status is [Wf_running] *)
+}
+
+val waiting_attempt : view -> Wstate.path -> int option
+(** The attempt a waiting task would start as; [None] if not waiting. *)
+
+val running_attempt : view -> Wstate.path -> int
+
+val scope_open : view -> Wstate.path -> bool
+(** Every enclosing compound scope is still Running. *)
+
+val task_live : view -> Wstate.path -> bool
+(** {!scope_open} and the instance itself is running — the fence every
+    watchdog, retry and late report must pass. *)
+
+val find_node :
+  effective:(Schema.task -> effective) -> Schema.task -> string list -> Schema.task option
+(** Navigate a schema along a path of task names, expanding dynamically
+    bound sub-workflows. The first path element is a child of [task]. *)
+
+(** {1 Decisions} *)
+
+(** One scheduling decision. [Arm_timer] is volatile (the effect layer
+    schedules the timeout); the rest are persisted atomically. *)
+type action =
+  | Start of {
+      a_path : Wstate.path;
+      a_task : Schema.task;
+      a_set : string;
+      a_inputs : (string * Value.obj) list;
+      a_attempt : int;
+    }
+  | Fire_mark of { a_path : Wstate.path; a_name : string; a_objects : (string * Value.obj) list }
+  | Do_repeat of {
+      a_path : Wstate.path;
+      a_name : string;
+      a_objects : (string * Value.obj) list;
+      a_attempt : int;
+    }
+  | Complete of {
+      a_path : Wstate.path;
+      a_name : string;
+      a_kind : Ast.output_kind;
+      a_objects : (string * Value.obj) list;
+      a_attempt : int;
+    }
+  | Fail_task of { a_path : Wstate.path; a_reason : string }
+  | Arm_timer of { a_path : Wstate.path; a_set : string; a_task : Schema.task; a_attempt : int }
+
+val scan : view -> root:Schema.task -> action list
+(** One full evaluation pass over the instance tree; actions come back
+    in declaration order. Pure: same view, same actions. *)
+
+val prioritise : action list -> action list
+(** Reorder a pass's actions for dispatch: non-starts first in scan
+    order, then starts by descending ["priority"] implementation kv
+    (stable). *)
+
+(** {1 Output shaping and implementation kvs} *)
+
+val wrap_outputs :
+  Schema.task -> output:string -> (string * Value.t) list -> (string * Value.obj) list
+(** Coerce an implementation's raw payloads onto the declared output
+    objects (missing ones become [Unit] of the declared class). *)
+
+val impl_ms : Schema.task -> key:string -> int option
+(** An integer implementation binding interpreted as milliseconds
+    (["deadline"], ["timeout"]); the caller converts to virtual time. *)
+
+val impl_priority : Schema.task -> int
+
+val impl_abort_retries : Schema.task -> int
+(** ["retries"] kv: spontaneous abort outcomes absorbed by restarting. *)
+
+val fail_action : Schema.task -> path:Wstate.path -> attempt:int -> reason:string -> action
+(** Fig 3's system-failure rule: an abort outcome when the taskclass
+    declares one, [Fail_task] otherwise. *)
+
+(** {1 Report classification} *)
+
+val impl_error_prefix : string
+(** Outputs with this prefix signal a host-side implementation crash. *)
+
+(** How the effect layer must react to a task host's report. *)
+type decision =
+  | D_retry  (** system failure: re-dispatch (bounded by the engine) *)
+  | D_auto_restart  (** abort outcome absorbed by the ["retries"] kv *)
+  | D_fail of string  (** protocol violation: map through {!fail_action} *)
+  | D_apply of action  (** persist and apply *)
+  | D_ignore  (** duplicate (at-least-once delivery) *)
+
+val report_decision :
+  view ->
+  task:Schema.task ->
+  path:Wstate.path ->
+  attempt:int ->
+  is_mark:bool ->
+  output:string ->
+  objects:(string * Value.t) list ->
+  decision
+(** Classify a report against Fig 3. Notably: a task that has released a
+    mark may not abort — an abort outcome arriving after any mark yields
+    [D_apply (Fail_task _)], never a completion. *)

@@ -110,10 +110,12 @@ let rec attempt t ~src ~req_id p =
       if p.attempts_left > 0 then begin
         p.attempts_left <- p.attempts_left - 1;
         t.retries <- t.retries + 1;
+        Sim.emit (Network.sim t.net) (Event.Rpc_retried { src; dst = p.dst; service = p.service });
         attempt t ~src ~req_id p
       end
       else begin
         Hashtbl.remove ep.pending_calls req_id;
+        Sim.emit (Network.sim t.net) (Event.Rpc_timed_out { src; dst = p.dst; service = p.service });
         p.callback (Error "timeout")
       end
   in
@@ -122,6 +124,7 @@ let rec attempt t ~src ~req_id p =
 let call t ~src ~dst ~service ~body ?(timeout = Sim.ms 10) ?(retries = 8) callback =
   let ep = endpoint t src in
   t.calls <- t.calls + 1;
+  Sim.emit (Network.sim t.net) (Event.Rpc_sent { src; dst; service });
   t.next_req <- t.next_req + 1;
   let req_id = Printf.sprintf "%s#%d" src t.next_req in
   let p = { dst; service; body; timeout; attempts_left = retries; callback; timer = None } in

@@ -1,0 +1,98 @@
+type t =
+  | Wf_launched of { iid : string; root : string }
+  | Wf_concluded of { iid : string; status : string }
+  | Wf_cancelled of { iid : string; reason : string }
+  | Wf_relaunched of { iid : string }
+  | Wf_reconfigured of { iid : string }
+  | Wf_collected of { iid : string }
+  | Scope_opened of { path : string }
+  | Task_started of { path : string; attempt : int }
+  | Task_dispatched of { path : string; code : string; host : string; attempt : int }
+  | Task_retried of { path : string; attempt : int }
+  | Task_auto_restarted of { path : string }
+  | Task_marked of { path : string; mark : string }
+  | Task_repeated of { path : string; output : string; attempt : int }
+  | Task_completed of { path : string; output : string; aborted : bool; duration : int }
+  | Task_failed of { path : string; reason : string }
+  | Impl_completed of { path : string; output : string }
+  | Watchdog_fired of { path : string }
+  | Timer_fired of { path : string; set : string }
+  | User_aborted of { path : string }
+  | Recovery_replayed of { instances : int }
+  | Recovery_error of { detail : string }
+  | Txn_failed of { detail : string }
+  | Txn_resolved of { txid : string; committed : bool }
+  | Rpc_sent of { src : string; dst : string; service : string }
+  | Rpc_retried of { src : string; dst : string; service : string }
+  | Rpc_timed_out of { src : string; dst : string; service : string }
+
+let name = function
+  | Wf_launched _ -> "wf-launched"
+  | Wf_concluded _ -> "wf-concluded"
+  | Wf_cancelled _ -> "wf-cancelled"
+  | Wf_relaunched _ -> "wf-relaunched"
+  | Wf_reconfigured _ -> "wf-reconfigured"
+  | Wf_collected _ -> "wf-collected"
+  | Scope_opened _ -> "scope-opened"
+  | Task_started _ -> "task-started"
+  | Task_dispatched _ -> "task-dispatched"
+  | Task_retried _ -> "task-retried"
+  | Task_auto_restarted _ -> "task-auto-restarted"
+  | Task_marked _ -> "task-marked"
+  | Task_repeated _ -> "task-repeated"
+  | Task_completed _ -> "task-completed"
+  | Task_failed _ -> "task-failed"
+  | Impl_completed _ -> "impl-completed"
+  | Watchdog_fired _ -> "watchdog-fired"
+  | Timer_fired _ -> "timer-fired"
+  | User_aborted _ -> "user-aborted"
+  | Recovery_replayed _ -> "recovery-replayed"
+  | Recovery_error _ -> "recovery-error"
+  | Txn_failed _ -> "txn-failed"
+  | Txn_resolved _ -> "txn-resolved"
+  | Rpc_sent _ -> "rpc-sent"
+  | Rpc_retried _ -> "rpc-retried"
+  | Rpc_timed_out _ -> "rpc-timed-out"
+
+(* The legacy trace vocabulary predates the typed events; tests, the
+   Gantt reconstruction and the CLI all read it, so the mapping must
+   reproduce the historical kind/detail strings byte for byte. Event
+   types introduced after the migration map to [None]. *)
+let to_trace = function
+  | Wf_launched { iid; root } -> Some ("launch", Printf.sprintf "%s root=%s" iid root)
+  | Wf_concluded { iid; status } -> Some ("instance", Printf.sprintf "%s %s" iid status)
+  | Wf_cancelled { iid; reason } -> Some ("cancel", Printf.sprintf "%s: %s" iid reason)
+  | Wf_relaunched { iid } -> Some ("relaunch", iid)
+  | Wf_reconfigured { iid } -> Some ("reconfigure", iid)
+  | Wf_collected { iid } -> Some ("gc", iid)
+  | Scope_opened { path } -> Some ("scope-open", path)
+  | Task_started { path; attempt } ->
+    Some ("start", Printf.sprintf "%s (attempt %d)" path attempt)
+  | Task_dispatched _ -> None
+  | Task_retried { path; attempt } ->
+    Some ("retry", Printf.sprintf "%s (attempt %d)" path attempt)
+  | Task_auto_restarted { path } -> Some ("auto-restart", path)
+  | Task_marked { path; mark } -> Some ("mark", Printf.sprintf "%s %s" path mark)
+  | Task_repeated { path; output; attempt } ->
+    Some ("repeat", Printf.sprintf "%s %s (attempt %d)" path output attempt)
+  | Task_completed { path; output; _ } -> Some ("complete", path ^ " -> " ^ output)
+  | Task_failed { path; reason } -> Some ("task-failed", path ^ ": " ^ reason)
+  | Impl_completed _ -> None
+  | Watchdog_fired { path } -> Some ("watchdog", path)
+  | Timer_fired { path; set } -> Some ("timeout", Printf.sprintf "%s input %s" path set)
+  | User_aborted { path } -> Some ("user-abort", path)
+  | Recovery_replayed { instances } ->
+    Some ("recovery", Printf.sprintf "%d instance(s)" instances)
+  | Recovery_error { detail } -> Some ("recovery-error", detail)
+  | Txn_failed { detail } -> Some ("txn-failed", detail)
+  | Txn_resolved _ | Rpc_sent _ | Rpc_retried _ | Rpc_timed_out _ -> None
+
+type subscriber = at:int -> t -> unit
+
+type bus = { mutable subscribers : subscriber list }
+
+let bus () = { subscribers = [] }
+
+let subscribe bus f = bus.subscribers <- bus.subscribers @ [ f ]
+
+let emit bus ~at ev = List.iter (fun f -> f ~at ev) bus.subscribers

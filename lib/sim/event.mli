@@ -1,0 +1,72 @@
+(** Typed observability events — the spine every layer reports through.
+
+    One flat variant covers the whole stack: workflow lifecycle and task
+    transitions (engine), RPC attempts (net), transaction resolutions
+    (tx) and recovery replay. Producers publish onto the {!bus} owned by
+    the simulator ({!Sim.events}); subscribers fan the stream out to the
+    legacy string {!Trace}, the {!section-"metrics"} registry, Gantt
+    reconstruction, or anything else — producers never know who is
+    listening.
+
+    Times are plain [int]s (virtual microseconds, {!Sim.time}); the
+    module sits below [Sim] so the simulator itself can own a bus. *)
+
+type t =
+  | Wf_launched of { iid : string; root : string }
+  | Wf_concluded of { iid : string; status : string }
+      (** [status] pre-rendered with [Wstate.pp_status]. *)
+  | Wf_cancelled of { iid : string; reason : string }
+  | Wf_relaunched of { iid : string }
+      (** A launch lost to a crash before its commit decision was
+          re-persisted by recovery. *)
+  | Wf_reconfigured of { iid : string }
+  | Wf_collected of { iid : string }  (** gc of a finished instance *)
+  | Scope_opened of { path : string }  (** a compound task started *)
+  | Task_started of { path : string; attempt : int }
+  | Task_dispatched of { path : string; code : string; host : string; attempt : int }
+      (** One implementation dispatch RPC (initial or retry). *)
+  | Task_retried of { path : string; attempt : int }  (** system retry *)
+  | Task_auto_restarted of { path : string }
+      (** Abort outcome absorbed by the ["retries"] implementation kv. *)
+  | Task_marked of { path : string; mark : string }
+  | Task_repeated of { path : string; output : string; attempt : int }
+  | Task_completed of { path : string; output : string; aborted : bool; duration : int }
+      (** [duration] in virtual us since the completing execution
+          started; [aborted] for abort outcomes. *)
+  | Task_failed of { path : string; reason : string }
+  | Impl_completed of { path : string; output : string }
+      (** An implementation reported a final (non-repeat) outcome;
+          emitted before the completion is made durable. *)
+  | Watchdog_fired of { path : string }
+  | Timer_fired of { path : string; set : string }
+  | User_aborted of { path : string }
+  | Recovery_replayed of { instances : int }
+  | Recovery_error of { detail : string }
+  | Txn_failed of { detail : string }  (** an engine persist gave up *)
+  | Txn_resolved of { txid : string; committed : bool }
+      (** Top-level commit decision (2PC) or abort. *)
+  | Rpc_sent of { src : string; dst : string; service : string }
+  | Rpc_retried of { src : string; dst : string; service : string }
+  | Rpc_timed_out of { src : string; dst : string; service : string }
+
+val name : t -> string
+(** Stable kebab-case tag of the constructor (metrics counter keys). *)
+
+val to_trace : t -> (string * string) option
+(** Legacy [(kind, detail)] rendering, byte-identical to the historical
+    [Trace.record] strings; [None] for event types that never had a
+    trace representation (dispatches, RPC attempts, 2PC resolutions). *)
+
+(** {1 Bus} *)
+
+type subscriber = at:int -> t -> unit
+
+type bus
+
+val bus : unit -> bus
+
+val subscribe : bus -> subscriber -> unit
+(** Subscribers run synchronously in subscription order at every
+    {!emit}; they must not re-emit. *)
+
+val emit : bus -> at:int -> t -> unit

@@ -14,6 +14,7 @@ type t = {
   mutable next_seq : int;
   queue : event Heap.t;
   root_rng : Rng.t;
+  events : Event.bus;
 }
 
 let ms n = n * 1_000
@@ -24,11 +25,21 @@ let compare_event a b =
   match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
 
 let create ?(seed = 1L) () =
-  { clock = 0; next_seq = 0; queue = Heap.create ~cmp:compare_event; root_rng = Rng.create seed }
+  {
+    clock = 0;
+    next_seq = 0;
+    queue = Heap.create ~cmp:compare_event;
+    root_rng = Rng.create seed;
+    events = Event.bus ();
+  }
 
 let now t = t.clock
 
 let rng t = t.root_rng
+
+let events t = t.events
+
+let emit t ev = Event.emit t.events ~at:t.clock ev
 
 let at t ~time action =
   let at = max time t.clock in

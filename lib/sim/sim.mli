@@ -28,6 +28,14 @@ val rng : t -> Rng.t
     {!Rng.split} at setup time, never during the run, to keep component
     behaviour independent of interleavings. *)
 
+val events : t -> Event.bus
+(** The run's observability bus. Every layer (engine, RPC, transactions)
+    publishes typed {!Event.t}s here; subscribers (trace, metrics, Gantt
+    recorders) attach once at setup. *)
+
+val emit : t -> Event.t -> unit
+(** [emit t ev] publishes [ev] on {!events} stamped with {!now}. *)
+
 val schedule : t -> delay:time -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t + delay]. A negative delay
     is clamped to zero (runs after the current event). *)

@@ -1202,6 +1202,46 @@ let test_history_over_admin_rpc () =
     | _ -> Alcotest.fail "history over rpc failed")
   | Error e -> Alcotest.failf "launch: %s" e
 
+(* --- observability spine --- *)
+
+let test_gantt_recorder_matches_trace_render () =
+  (* the typed event recorder and the legacy trace must reconstruct the
+     same chart for the same run *)
+  let tb = Testbed.make () in
+  Impls.register_quickstart ~work:(Sim.ms 20) tb.Testbed.registry;
+  let recorder = Gantt.recorder () in
+  Gantt.attach recorder (Sim.events tb.Testbed.sim);
+  (match
+     Testbed.launch_and_run tb ~script:Paper_scripts.quickstart
+       ~root:Paper_scripts.quickstart_root ~inputs:(seed_input 1)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "launch: %s" e);
+  let from_trace = Gantt.render (Engine.trace tb.Testbed.engine) in
+  check "chart non-empty" true (from_trace <> "");
+  check_str "typed recorder renders the same chart" from_trace
+    (Gantt.render_events recorder)
+
+let test_metrics_mirror_counter_accessors () =
+  let tb, _, status =
+    run_script ~register:(Impls.register_quickstart ?work:None)
+      ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root
+      ~inputs:(seed_input 1) ()
+  in
+  ignore (expect_done ~output:"finished" status);
+  let m = Engine.metrics tb.Testbed.engine in
+  check_int "dispatches counter backs the accessor"
+    (Engine.dispatches_total tb.Testbed.engine)
+    (Metrics.value m "engine.dispatches");
+  check_int "completions counter backs the accessor"
+    (Engine.completions_total tb.Testbed.engine)
+    (Metrics.value m "engine.completions");
+  check "every dispatch crossed the event bus" true (Metrics.value m "engine.dispatches" = 4);
+  check "rpc attempts counted" true (Metrics.value m "events.rpc-sent" > 0);
+  check "2pc resolutions counted" true (Metrics.value m "events.txn-resolved" > 0);
+  check "task durations sampled" true
+    (List.length (Metrics.samples m "engine.task_duration_us") >= 4)
+
 (* --- determinism --- *)
 
 let test_same_seed_same_trace () =
@@ -1301,6 +1341,13 @@ let () =
           Alcotest.test_case "refuse running" `Quick test_gc_refuses_running;
           Alcotest.test_case "compaction bounds storage" `Quick test_compact_bounds_storage;
           Alcotest.test_case "long-haul soak (2 simulated hours)" `Quick test_long_haul_soak;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "typed gantt matches trace render" `Quick
+            test_gantt_recorder_matches_trace_render;
+          Alcotest.test_case "metrics mirror counters" `Quick
+            test_metrics_mirror_counter_accessors;
         ] );
       ("determinism", [ Alcotest.test_case "same seed same trace" `Quick test_same_seed_same_trace ]);
     ]

@@ -266,6 +266,203 @@ let prop_lossy_network_random_seeds =
       | Ok (_, Wstate.Wf_done { output = "orderCompleted"; _ }) -> true
       | _ -> false)
 
+(* --- pure scheduler core (no Sim/Rpc/Txn: hand-built views) --- *)
+
+(* Resolution without a registry: compound bodies expand structurally,
+   simple tasks are leaves. Enough for Sched, which never dispatches. *)
+let pure_effective (t : Schema.task) =
+  match t.Schema.body with
+  | Schema.Compound { children; bindings } ->
+    Sched.E_compound { children; bindings; alias = t.Schema.name }
+  | Schema.Simple -> Sched.E_fn t.Schema.name
+
+let pure_view ?(states = []) ?(chosen = []) ?(marks = fun _ -> []) () =
+  {
+    Sched.v_effective = pure_effective;
+    v_state = (fun p -> List.assoc_opt p states);
+    v_chosen = (fun p -> List.assoc_opt p chosen);
+    v_marks = marks;
+    v_repeat = (fun _ -> None);
+    v_timer_fired = (fun _ ~set:_ -> false);
+    v_external = (fun _ -> None);
+    v_running = true;
+  }
+
+let compile_or_fail script ~root =
+  match Frontend.compile script ~root with
+  | Ok schema -> schema
+  | Error e -> QCheck.Test.fail_reportf "script does not compile: %s" (Frontend.error_to_string e)
+
+(* The script's declared alternative order is the selection priority:
+   whatever subset of producers has completed, the consumer's input must
+   come from the first *declared* producer among them — never a later
+   one, regardless of producer naming or completion pattern. *)
+let buf_add = Buffer.add_string
+
+let alt_script ~k ~order =
+  let b = Buffer.create 1024 in
+  buf_add b
+    {|
+class Data;
+taskclass Step {
+    inputs { input main { data of class Data } };
+    outputs { outcome done { data of class Data } }
+};
+taskclass Alt {
+    inputs { input main { data of class Data } };
+    outputs { outcome finished { data of class Data } }
+};
+compoundtask alt of taskclass Alt {
+|};
+  for i = 1 to k do
+    buf_add b
+      (Printf.sprintf
+         {|    task p%d of taskclass Step {
+        implementation { "code" is "w.p" };
+        inputs { input main { inputobject data from { data of task alt if input main } } }
+    };
+|}
+         i)
+  done;
+  buf_add b
+    "    task consumer of taskclass Step {\n\
+    \        implementation { \"code\" is \"w.step\" };\n\
+    \        inputs { input main { inputobject data from {\n";
+  List.iteri
+    (fun pos i ->
+      buf_add b
+        (Printf.sprintf "            data of task p%d if output done%s\n" i
+           (if pos = List.length order - 1 then "" else ";")))
+    order;
+  buf_add b
+    {|        } } }
+    };
+    outputs { outcome finished { outputobject data from { data of task consumer if output done } } }
+}
+|};
+  Buffer.contents b
+
+let prop_alternative_order_respected =
+  QCheck.Test.make
+    ~name:"source selection always follows the declared alternative order" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (order, avail) ->
+          Printf.sprintf "declared p%s, done {%s}"
+            (String.concat ",p" (List.map string_of_int order))
+            (String.concat ","
+               (List.filteri (fun i _ -> List.nth avail i) (List.map string_of_int order))))
+      Gen.(
+        int_range 2 5 >>= fun k ->
+        pair (shuffle_l (List.init k (fun i -> i + 1))) (list_repeat k bool)))
+    (fun (order, avail) ->
+      let k = List.length order in
+      let schema = compile_or_fail (alt_script ~k ~order) ~root:"alt" in
+      let seed = Value.obj ~cls:"Data" (Value.Str "seed") in
+      let producer_states =
+        List.map
+          (fun i ->
+            let st =
+              if List.nth avail (i - 1) then
+                Wstate.Done
+                  {
+                    attempt = 1;
+                    output = "done";
+                    kind = Ast.Outcome;
+                    objects = [ ("data", Value.obj ~cls:"Data" (Value.Int i)) ];
+                  }
+              else Wstate.Failed "unavailable"
+            in
+            ([ "alt"; Printf.sprintf "p%d" i ], st))
+          (List.init k (fun i -> i + 1))
+      in
+      let view =
+        pure_view
+          ~states:
+            (([ "alt" ], Wstate.Running { attempt = 1; set = "main"; started = 0; deadline = max_int })
+            :: producer_states)
+          ~chosen:[ ([ "alt" ], { Wstate.c_set = "main"; c_inputs = [ ("data", seed) ] }) ]
+          ()
+      in
+      let consumer_input =
+        List.find_map
+          (function
+            | Sched.Start { a_path = [ "alt"; "consumer" ]; a_inputs; _ } ->
+              Some (List.assoc_opt "data" a_inputs)
+            | _ -> None)
+          (Sched.scan view ~root:schema)
+      in
+      (* first available producer in *declared* order, not numeric order *)
+      let expected = List.find_opt (fun i -> List.nth avail (i - 1)) order in
+      match (expected, consumer_input) with
+      | None, None -> true
+      | Some i, Some (Some { Value.payload = Value.Int j; _ }) -> j = i
+      | _ -> false)
+
+(* Fig 3: once a task has released a mark it may no longer abort. An
+   abort-outcome report after any mark must map to Fail_task — never to
+   a completion and never to the "retries" auto-restart absorption —
+   while the same report with no mark released follows the normal
+   abort rules (absorbed while attempt <= retries, applied after).
+
+   The validator rejects a taskclass declaring both an abort outcome
+   and a mark, so no script reaches this rule; it is Sched's defence
+   against a task host violating the protocol at runtime. The schema
+   node is built directly to exercise it. *)
+let risky_task ~retries =
+  {
+    Schema.name = "t";
+    klass = "Risky";
+    impl = [ ("code", "w.t"); ("retries", string_of_int retries) ];
+    inputs =
+      [
+        {
+          Schema.is_name = "main";
+          is_notifications = [];
+          is_objects = [ { Schema.io_name = "data"; io_class = "Data"; io_sources = [] } ];
+        };
+      ];
+    outputs =
+      [
+        { Schema.out_kind = Ast.Outcome; out_name = "done"; out_objects = [ ("data", "Data") ] };
+        { Schema.out_kind = Ast.Abort_outcome; out_name = "failed"; out_objects = [] };
+        { Schema.out_kind = Ast.Mark; out_name = "progress"; out_objects = [ ("data", "Data") ] };
+      ];
+    body = Schema.Simple;
+  }
+
+let prop_mark_excludes_later_abort =
+  QCheck.Test.make ~name:"a released mark excludes a later abort outcome" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (marked, attempt, retries) ->
+          Printf.sprintf "marked=%b attempt=%d retries=%d" marked attempt retries)
+        Gen.(triple bool (int_range 1 6) (int_range 0 4)))
+    (fun (marked, attempt, retries) ->
+      let task = risky_task ~retries in
+      let path = [ "m"; "t" ] in
+      let view =
+        pure_view
+          ~marks:(fun p ->
+            if marked && p = path then
+              [ ("progress", [ ("data", Value.obj ~cls:"Data" Value.Unit) ]) ]
+            else [])
+          ()
+      in
+      let d =
+        Sched.report_decision view ~task ~path ~attempt ~is_mark:false ~output:"failed"
+          ~objects:[]
+      in
+      if marked then
+        match d with
+        | Sched.D_apply (Sched.Fail_task { a_path; _ }) -> a_path = path
+        | _ -> false
+      else if attempt <= retries then d = Sched.D_auto_restart
+      else
+        match d with
+        | Sched.D_apply (Sched.Complete { a_kind = Ast.Abort_outcome; a_path; _ }) -> a_path = path
+        | _ -> false)
+
 (* --- gantt smoke --- *)
 
 let test_gantt_renders_fig1 () =
@@ -320,10 +517,15 @@ let qsuite =
       prop_lossy_network_random_seeds;
     ]
 
+let sched_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_alternative_order_respected; prop_mark_excludes_later_abort ]
+
 let () =
   Alcotest.run "props"
     [
       ("generative", qsuite);
+      ("sched", sched_suite);
       ( "gantt",
         [
           Alcotest.test_case "renders fig1" `Quick test_gantt_renders_fig1;
