@@ -253,12 +253,8 @@ let a1_fault_ablation () =
     (match period with
     | None -> ()
     | Some p ->
-      Fault.apply tb.Testbed.sim
-        (Fault.periodic_crashes ~node:"n0" ~period:p ~down_for:(Sim.ms 20) ~count:60)
-        ~on:(function
-          | Fault.Crash n -> Testbed.crash tb n
-          | Fault.Restart n -> Testbed.recover tb n
-          | Fault.Partition_on _ | Fault.Partition_off _ -> ()));
+      Testbed.apply_faults tb
+        (Fault.periodic_crashes ~node:"n0" ~period:p ~down_for:(Sim.ms 20) ~count:60));
     let _, status =
       must
         (Testbed.launch_and_run ~until:(Sim.sec 60) tb ~script ~root ~inputs:Workloads.seed_inputs)
@@ -638,6 +634,93 @@ let bench_json () =
   Printf.printf "wrote BENCH_engine.json (%d dispatches in %.3fs; recovery replay %.6fs)\n"
     dispatches chain_wall recovery_wall
 
+(* --- cluster scaling (BENCH_cluster.json) --- *)
+
+(* The supply-chain case study fanned out over 1/2/4 execution services.
+   [dispatch_overhead] serializes every dispatch through its engine's
+   coordinator, so with one engine the coordinator is the bottleneck;
+   sharding the instances across engines removes it. The JSON records
+   aggregate dispatch throughput in virtual time, per-engine instance
+   counts, and a same-seed reproducibility check. *)
+let bench_cluster () =
+  header "BENCH: cluster scaling — supply chain at 1/2/4 engines";
+  let instances = 12 in
+  let overhead = Sim.ms 2 in
+  let engine_config = { Engine.default_config with Engine.dispatch_overhead = overhead } in
+  let cluster_run n =
+    let engines = List.init n (fun i -> Printf.sprintf "e%d" (i + 1)) in
+    let c = Cluster.make ~engine_config ~engines () in
+    Supply_chain.register ~scenario:Supply_chain.smooth (Cluster.registry c);
+    let makespan = ref 0 in
+    for _ = 1 to instances do
+      let iid, _ =
+        must
+          (Cluster.launch c ~script:Supply_chain.script ~root:Supply_chain.root
+             ~inputs:Supply_chain.inputs)
+      in
+      Cluster.on_complete c iid (fun status ->
+          match status with
+          | Wstate.Wf_done _ -> makespan := max !makespan (Sim.now (Cluster.sim c))
+          | Wstate.Wf_running | Wstate.Wf_failed _ ->
+            failwith ("bench_cluster: " ^ iid ^ " did not complete"))
+    done;
+    Cluster.run c;
+    let placed = Cluster.placements c in
+    if List.length placed <> instances then failwith "bench_cluster: launches went missing";
+    let dispatches = Cluster.dispatches_total c in
+    let throughput =
+      if !makespan > 0 then float_of_int dispatches /. (float_of_int !makespan /. 1e6) else 0.
+    in
+    (placed, !makespan, Sim.now (Cluster.sim c), dispatches, throughput,
+     Cluster.per_engine_instances c)
+  in
+  Printf.printf "%8s %14s %12s %22s\n" "engines" "makespan(us)" "dispatches" "throughput(disp/vsec)";
+  let runs =
+    List.map
+      (fun n ->
+        let (_, makespan, drain, dispatches, throughput, per_engine) = cluster_run n in
+        Printf.printf "%8d %14d %12d %22.1f\n" n makespan dispatches throughput;
+        (n, makespan, drain, dispatches, throughput, per_engine))
+      [ 1; 2; 4 ]
+  in
+  let throughput_of k =
+    let _, _, _, _, tp, _ = List.find (fun (n, _, _, _, _, _) -> n = k) runs in
+    tp
+  in
+  let speedup = throughput_of 4 /. throughput_of 1 in
+  if speedup <= 1.0 then failwith "bench_cluster: 4 engines no faster than 1";
+  (* same seed, same code: placement and timing must reproduce exactly *)
+  let run_a = cluster_run 2 and run_b = cluster_run 2 in
+  let deterministic = run_a = run_b in
+  if not deterministic then failwith "bench_cluster: same-seed runs diverged";
+  let run_json (n, makespan, drain, dispatches, throughput, per_engine) =
+    Printf.sprintf
+      "    { \"engines\": %d, \"makespan_us\": %d, \"drain_us\": %d, \"dispatches\": %d, \
+       \"throughput_per_vsec\": %.1f, \"per_engine_instances\": { %s } }"
+      n makespan drain dispatches throughput
+      (String.concat ", "
+         (List.map (fun (eid, k) -> Printf.sprintf "\"%s\": %d" eid k) per_engine))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"rdal-bench-cluster/1\",\n\
+      \  \"workload\": { \"script\": \"supply_chain\", \"instances\": %d, \
+       \"dispatch_overhead_us\": %d, \"placement\": \"round_robin\" },\n\
+      \  \"runs\": [\n%s\n  ],\n\
+      \  \"speedup_4_over_1\": %.2f,\n\
+      \  \"deterministic\": %b\n\
+       }\n"
+      instances overhead
+      (String.concat ",\n" (List.map run_json runs))
+      speedup deterministic
+  in
+  let oc = open_out "BENCH_cluster.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_cluster.json (4-engine speedup %.2fx, deterministic %b)\n" speedup
+    deterministic
+
 let run_benchmarks () =
   header "Part 2: wall-clock benchmarks (Bechamel, monotonic clock)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -666,21 +749,31 @@ let run_benchmarks () =
     rows
 
 let () =
-  print_endline "RDAL benchmark harness — regenerating the paper's figures";
-  print_endline "(see EXPERIMENTS.md for the figure-by-figure mapping)";
-  fig1 ();
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  fig7 ();
-  fig8_9 ();
-  sweep_chain ();
-  sweep_fanout ();
-  a1_fault_ablation ();
-  a6_loss_sweep ();
-  a2_reconfig ();
-  a3_alternatives ();
-  bench_json ();
-  run_benchmarks ()
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  if smoke then begin
+    (* CI mode: only the machine-readable artifacts, no Bechamel runs *)
+    print_endline "RDAL benchmark harness — smoke mode (JSON artifacts only)";
+    bench_json ();
+    bench_cluster ()
+  end
+  else begin
+    print_endline "RDAL benchmark harness — regenerating the paper's figures";
+    print_endline "(see EXPERIMENTS.md for the figure-by-figure mapping)";
+    fig1 ();
+    fig2 ();
+    fig3 ();
+    fig4 ();
+    fig5 ();
+    fig6 ();
+    fig7 ();
+    fig8_9 ();
+    sweep_chain ();
+    sweep_fanout ();
+    a1_fault_ablation ();
+    a6_loss_sweep ();
+    a2_reconfig ();
+    a3_alternatives ();
+    bench_json ();
+    bench_cluster ();
+    run_benchmarks ()
+  end

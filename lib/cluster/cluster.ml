@@ -1,0 +1,138 @@
+(* The sharded multi-engine layer (paper §3, Fig 4: a repository service
+   plus execution services — plural).
+
+   One Cluster owns N engines on N nodes plus the repository service.
+   Workflow launches are routed to an engine by a deterministic
+   placement policy; the (iid -> engine) assignment is persisted through
+   the repository service so any node can resolve ownership; status and
+   admin operations route through the directory. Engines never learn
+   about each other — the per-engine service namespacing (Wfmsg) and
+   per-engine event source labels keep their worlds apart on the shared
+   fabric. *)
+
+type policy = Round_robin | Hash_iid
+
+type t = {
+  tb : Testbed.t;
+  repo : Repository.t;
+  repo_id : string;
+  policy : policy;
+  metrics : Metrics.t;
+  directory : (string, string) Hashtbl.t;  (* iid -> engine node; router's cache *)
+  clients : (string * Repo_client.t) list;  (* repository client per engine node *)
+  mutable seq : int;
+}
+
+let make ?config ?engine_config ?seed ?(policy = Round_robin) ?(hosts = [])
+    ?(repo_node = "repo") ~engines () =
+  if engines = [] then invalid_arg "Cluster.make: need at least one engine";
+  if List.mem repo_node engines || List.mem repo_node hosts then
+    invalid_arg ("Cluster.make: node id " ^ repo_node ^ " is reserved for the repository");
+  let nodes = engines @ hosts @ [ repo_node ] in
+  let tb = Testbed.make ?config ?engine_config ?seed ~nodes ~engines () in
+  let repo = Repository.create ~rpc:tb.Testbed.rpc ~node:(Testbed.node tb repo_node) in
+  let metrics = Metrics.create () in
+  Metrics.attach_labelled metrics (Sim.events tb.Testbed.sim);
+  let clients =
+    List.map
+      (fun (eid, _) ->
+        (eid, Repo_client.create ~rpc:tb.Testbed.rpc ~src:eid ~repo_node))
+      tb.Testbed.engines
+  in
+  { tb; repo; repo_id = repo_node; policy; metrics; directory = Hashtbl.create 32; clients; seq = 0 }
+
+let sim t = t.tb.Testbed.sim
+
+let net t = t.tb.Testbed.net
+
+let rpc t = t.tb.Testbed.rpc
+
+let registry t = t.tb.Testbed.registry
+
+let repository t = t.repo
+
+let metrics t = t.metrics
+
+let engines t = t.tb.Testbed.engines
+
+let engine_ids t = List.map fst (engines t)
+
+let engine t id =
+  match List.assoc_opt id (engines t) with
+  | Some e -> e
+  | None -> invalid_arg ("Cluster.engine: no engine on node " ^ id)
+
+(* --- placement --- *)
+
+(* stable string hash (djb2) — OCaml's Hashtbl.hash is also stable, but
+   spelling it out keeps placement reproducible by inspection *)
+let hash_iid s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+let place t ~iid =
+  let ids = engine_ids t in
+  let n = List.length ids in
+  match t.policy with
+  | Round_robin -> List.nth ids ((t.seq - 1) mod n)
+  | Hash_iid -> List.nth ids (hash_iid iid mod n)
+
+let launch t ~script ~root ~inputs =
+  t.seq <- t.seq + 1;
+  let iid = Printf.sprintf "wf-c%d" t.seq in
+  let eid = place t ~iid in
+  match Engine.launch (engine t eid) ~iid ~script ~root ~inputs with
+  | Error e ->
+    t.seq <- t.seq - 1;
+    Error e
+  | Ok iid ->
+    Hashtbl.replace t.directory iid eid;
+    (* make the assignment durable through the repository service, from
+       the owning engine's node — any node can then resolve it *)
+    Repo_client.assign (List.assoc eid t.clients) ~iid ~engine:eid (fun _ -> ());
+    Ok (iid, eid)
+
+let owner t iid = Hashtbl.find_opt t.directory iid
+
+let owner_rpc t ~src ~iid k =
+  let client = Repo_client.create ~rpc:(rpc t) ~src ~repo_node:t.repo_id in
+  Repo_client.owner client ~iid k
+
+let placements t =
+  Hashtbl.fold (fun iid eid acc -> (iid, eid) :: acc) t.directory [] |> List.sort compare
+
+(* --- routed queries and admin --- *)
+
+let with_owner t iid f = Option.map (fun eid -> f (engine t eid)) (owner t iid)
+
+let status t iid = Option.join (with_owner t iid (fun e -> Engine.status e iid))
+
+let on_complete t iid cb =
+  ignore (with_owner t iid (fun e -> Engine.on_complete e iid cb))
+
+let cancel t iid ~reason k =
+  match owner t iid with
+  | None -> k (Error ("no such instance " ^ iid))
+  | Some eid -> Engine.cancel (engine t eid) iid ~reason k
+
+let instances_of t eid = Engine.instances (engine t eid)
+
+let per_engine_instances t =
+  List.map (fun (eid, e) -> (eid, List.length (Engine.instances e))) (engines t)
+
+let dispatches_total t =
+  List.fold_left (fun acc (_, e) -> acc + Engine.dispatches_total e) 0 (engines t)
+
+let completions_total t =
+  List.fold_left (fun acc (_, e) -> acc + Engine.completions_total e) 0 (engines t)
+
+(* --- driving the simulation and faults --- *)
+
+let run ?until t = Testbed.run ?until t.tb
+
+let crash t id = Testbed.crash t.tb id
+
+let recover t id = Testbed.recover t.tb id
+
+let apply_faults t plan = Testbed.apply_faults t.tb plan

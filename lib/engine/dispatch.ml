@@ -4,10 +4,31 @@ type t = {
   mgr : Txn.manager;
   participant : Participant.t;
   sim : Sim.t;
+  overhead : Sim.time;  (** engine CPU cost per dispatch; 0 = free *)
+  mutable busy_until : Sim.time;
+      (* dispatches are serialised through the engine's one scheduler
+         thread: each costs [overhead] of engine time, so concurrent
+         dispatch demand queues here (what the cluster bench measures) *)
+  mutable incarnation : int;
 }
 
-let create ~rpc ~node ~mgr ~participant =
-  { rpc; node; mgr; participant; sim = Network.sim (Rpc.network rpc) }
+let create ?(overhead = 0) ~rpc ~node ~mgr ~participant () =
+  let t =
+    {
+      rpc;
+      node;
+      mgr;
+      participant;
+      sim = Network.sim (Rpc.network rpc);
+      overhead;
+      busy_until = 0;
+      incarnation = 0;
+    }
+  in
+  Node.on_crash node (fun () ->
+      t.incarnation <- t.incarnation + 1;
+      t.busy_until <- 0);
+  t
 
 let sim t = t.sim
 
@@ -26,19 +47,33 @@ let persist t writes k =
   in
   io (function
     | Ok () -> k ()
-    | Error e -> Sim.emit t.sim (Event.Txn_failed { detail = Txn.error_to_string e }))
+    | Error e ->
+      Sim.emit t.sim ~src:(node_id t) (Event.Txn_failed { detail = Txn.error_to_string e }))
 
 let send_exec t ~host ~retries req k =
-  Sim.emit t.sim
-    (Event.Task_dispatched
-       {
-         path = Wstate.path_to_string req.Wfmsg.x_path;
-         code = req.Wfmsg.x_code;
-         host;
-         attempt = req.Wfmsg.x_attempt;
-       });
-  Rpc.call t.rpc ~src:(node_id t) ~dst:host ~service:Wfmsg.service_exec
-    ~body:(Wfmsg.enc_exec req) ~retries k
+  let fire () =
+    Sim.emit t.sim ~src:(node_id t)
+      (Event.Task_dispatched
+         {
+           path = Wstate.path_to_string req.Wfmsg.x_path;
+           code = req.Wfmsg.x_code;
+           host;
+           attempt = req.Wfmsg.x_attempt;
+         });
+    Rpc.call t.rpc ~src:(node_id t) ~dst:host
+      ~service:(Wfmsg.service_exec ~engine:(node_id t))
+      ~body:(Wfmsg.enc_exec req) ~retries k
+  in
+  if t.overhead = 0 then fire ()
+  else begin
+    let now = Sim.now t.sim in
+    let start = max now t.busy_until in
+    t.busy_until <- start + t.overhead;
+    let inc = t.incarnation in
+    ignore
+      (Sim.schedule t.sim ~delay:(start + t.overhead - now) (fun () ->
+           if t.incarnation = inc && Node.up t.node then fire ()))
+  end
 
 let committed_value t ~key = Participant.committed_value t.participant ~key
 

@@ -10,7 +10,18 @@
 type t
 
 val create :
-  rpc:Rpc.t -> node:Node.t -> mgr:Txn.manager -> participant:Participant.t -> t
+  ?overhead:Sim.time ->
+  rpc:Rpc.t ->
+  node:Node.t ->
+  mgr:Txn.manager ->
+  participant:Participant.t ->
+  unit ->
+  t
+(** [overhead] models the engine's own per-dispatch processing cost:
+    dispatches are serialised through a busy cursor, each occupying the
+    engine for [overhead] virtual time before its RPC leaves the node.
+    Default 0 (dispatch is free, the historical behaviour); the cluster
+    scaling bench sets it to expose the single-engine bottleneck. *)
 
 val sim : t -> Sim.t
 

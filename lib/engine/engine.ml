@@ -13,6 +13,7 @@ type config = {
   dispatch_rpc_retries : int;
   system_max_attempts : int;
   default_timeout : Sim.time;
+  dispatch_overhead : Sim.time;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     dispatch_rpc_retries = 8;
     system_max_attempts = 10;
     default_timeout = Sim.sec 10;
+    dispatch_overhead = 0;
   }
 
 type t = {
@@ -50,7 +52,10 @@ let trace t = t.tracer
 let metrics t = t.metrics
 let registry t = t.reg
 let pkey = Wstate.path_to_string
-let emit t ev = Sim.emit t.sim ev
+
+(* every engine event carries the engine's node id as its source, so
+   observers can keep the streams of co-hosted engines apart *)
+let emit t ev = Sim.emit t.sim ~src:(Node.id t.node) ev
 
 (* --- schema navigation (through dynamically bound sub-workflows) --- *)
 
@@ -439,18 +444,23 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
   let tracer = Trace.create () in
   let metrics = Metrics.create () in
   (* the legacy trace is now a bus subscriber; engine-originated events
-     render to their historical kind/detail strings, the rest to None *)
-  Event.subscribe (Sim.events sim) (fun ~at ev ->
-      match Event.to_trace ev with
-      | Some (kind, detail) -> Trace.record tracer ~at ~kind detail
-      | None -> ());
-  Metrics.attach metrics (Sim.events sim);
+     render to their historical kind/detail strings, the rest to None.
+     Both the trace and the metrics registry are scoped to this engine's
+     source label — in a multi-engine cluster each engine only observes
+     its own stream (cluster-wide views subscribe unfiltered). *)
+  let own = Node.id node in
+  Event.subscribe (Sim.events sim) (fun ~at ~src ev ->
+      if src = own then
+        match Event.to_trace ev with
+        | Some (kind, detail) -> Trace.record tracer ~at ~kind detail
+        | None -> ());
+  Metrics.attach metrics ~src:own (Sim.events sim);
   let t =
     {
       sim;
       rpc;
       node;
-      disp = Dispatch.create ~rpc ~node ~mgr ~participant;
+      disp = Dispatch.create ~overhead:config.dispatch_overhead ~rpc ~node ~mgr ~participant ();
       reg;
       config;
       tracer;
@@ -463,8 +473,8 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
       orphans = [];
     }
   in
-  Node.serve node ~service:Wfmsg.service_done (handle_report t ~is_mark:false);
-  Node.serve node ~service:Wfmsg.service_mark (handle_report t ~is_mark:true);
+  Node.serve node ~service:(Wfmsg.service_done ~engine:own) (handle_report t ~is_mark:false);
+  Node.serve node ~service:(Wfmsg.service_mark ~engine:own) (handle_report t ~is_mark:true);
   Node.on_crash node (fun () ->
       t.epoch <- t.epoch + 1;
       let running =
@@ -487,12 +497,16 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
 
 let attach_host t node = attach_host_on t node
 
-let launch t ~script ~root ~inputs =
+let launch ?iid t ~script ~root ~inputs =
   match Frontend.compile script ~root with
   | Error e -> Error (Frontend.error_to_string e)
+  | Ok _ when (match iid with Some i -> Hashtbl.mem t.insts i | None -> false) ->
+    Error ("duplicate instance id " ^ Option.get iid)
   | Ok schema ->
     t.seq <- t.seq + 1;
-    let iid = Printf.sprintf "wf-%d-%d" t.epoch t.seq in
+    let iid =
+      match iid with Some i -> i | None -> Printf.sprintf "wf-%d-%d" t.epoch t.seq
+    in
     let inst =
       Instate.create ~iid ~script_text:script ~schema ~status:Wstate.Wf_running
         ~external_inputs:inputs

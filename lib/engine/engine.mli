@@ -22,6 +22,10 @@ type config = {
   dispatch_rpc_retries : int;
   system_max_attempts : int;  (** re-dispatches before the task fails *)
   default_timeout : Sim.time;  (** timer input sets without a ["timeout"] kv *)
+  dispatch_overhead : Sim.time;
+      (** engine CPU cost per dispatch, serialised per engine (0 =
+          free); models the coordinator as a contended resource so a
+          cluster of engines can out-dispatch a single one *)
 }
 
 val default_config : config
@@ -63,6 +67,7 @@ val attach_host : t -> Node.t -> Exec_host.t
 (** {1 Instances} *)
 
 val launch :
+  ?iid:string ->
   t ->
   script:string ->
   root:string ->
@@ -70,7 +75,9 @@ val launch :
   (string, string) result
 (** Parse/expand/validate [script], resolve [root], persist the instance
     and start it. Returns the instance id. The run proceeds as the
-    simulation advances. *)
+    simulation advances. [iid] overrides the engine-generated instance
+    id — the cluster layer uses this to route by hash-of-iid and to keep
+    ids unique across engines; a duplicate id is refused. *)
 
 val status : t -> string -> Wstate.status option
 

@@ -30,12 +30,18 @@ let run_plan t (req : Wfmsg.exec_req) (plan : Registry.plan) =
     }
   in
   let rec steps = function
-    | [] -> if alive () then send_report t ~service:Wfmsg.service_done (report plan.Registry.finish.output plan.Registry.finish.objects)
+    | [] ->
+      if alive () then
+        send_report t
+          ~service:(Wfmsg.service_done ~engine:t.engine_node)
+          (report plan.Registry.finish.output plan.Registry.finish.objects)
     | Registry.Work span :: rest ->
       ignore (Sim.schedule t.sim ~delay:span (fun () -> if alive () then steps rest))
     | Registry.Emit_mark mark :: rest ->
       if alive () then begin
-        send_report t ~service:Wfmsg.service_mark (report mark.Registry.output mark.Registry.objects);
+        send_report t
+          ~service:(Wfmsg.service_mark ~engine:t.engine_node)
+          (report mark.Registry.output mark.Registry.objects);
         steps rest
       end
   in
@@ -60,7 +66,7 @@ let handle_exec t ~src:_ body =
     | exception exn ->
       (* implementation bug: surface as a system-level failure *)
       let output = "$impl-error:" ^ Printexc.to_string exn in
-      send_report t ~service:Wfmsg.service_done
+      send_report t ~service:(Wfmsg.service_done ~engine:t.engine_node)
         {
           Wfmsg.r_iid = req.x_iid;
           r_path = req.x_path;
@@ -84,7 +90,7 @@ let attach ~rpc ~node ~registry ~engine_node =
       executions = 0;
     }
   in
-  Node.serve node ~service:Wfmsg.service_exec (handle_exec t);
+  Node.serve node ~service:(Wfmsg.service_exec ~engine:engine_node) (handle_exec t);
   Node.on_crash node (fun () -> t.incarnation <- t.incarnation + 1);
   t
 

@@ -100,7 +100,7 @@ type recorder = { rows : (string, row) Hashtbl.t; mutable order : string list }
 
 let recorder () = { rows = Hashtbl.create 16; order = [] }
 
-let attach r bus =
+let attach ?src:only r bus =
   let row_for path at =
     match Hashtbl.find_opt r.rows path with
     | Some row -> row
@@ -110,8 +110,9 @@ let attach r bus =
       r.order <- path :: r.order;
       row
   in
-  Event.subscribe bus (fun ~at ev ->
+  Event.subscribe bus (fun ~at ~src ev ->
       match ev with
+      | _ when (match only with Some s -> s <> src | None -> false) -> ()
       | Event.Task_started { path; _ } | Event.Scope_opened { path } ->
         ignore (row_for path at)
       | Event.Task_completed { path; output; _ } ->

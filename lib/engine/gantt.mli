@@ -19,9 +19,11 @@ type recorder
 
 val recorder : unit -> recorder
 
-val attach : recorder -> Event.bus -> unit
+val attach : ?src:string -> recorder -> Event.bus -> unit
 (** Subscribe to [Task_started]/[Scope_opened], [Task_completed] and
-    [Task_marked] events. *)
+    [Task_marked] events. With [src], only events from that source
+    (engine node id) are recorded — needed when several engines share
+    the bus and task paths could collide across instances. *)
 
 val render_events : ?width:int -> recorder -> string
 (** Render what the recorder saw; identical output to {!render} over

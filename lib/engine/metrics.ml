@@ -39,18 +39,39 @@ let samples t name =
 (* Engine-level counters keep their own stable names (they back the
    [Engine.*_total] accessors); every event additionally bumps a generic
    [events.<tag>] counter so new event types are visible without code. *)
-let attach t bus =
-  Event.subscribe bus (fun ~at:_ ev ->
-      incr t ("events." ^ Event.name ev);
-      match ev with
-      | Event.Task_dispatched _ -> incr t "engine.dispatches"
-      | Event.Impl_completed _ -> incr t "engine.completions"
-      | Event.Task_retried _ -> incr t "engine.system_retries"
-      | Event.Task_marked _ -> incr t "engine.marks"
-      | Event.Wf_reconfigured _ -> incr t "engine.reconfigs"
-      | Event.Recovery_replayed _ -> incr t "engine.recoveries"
-      | Event.Task_completed { duration; _ } -> observe t "engine.task_duration_us" duration
-      | _ -> ())
+let record t ev =
+  incr t ("events." ^ Event.name ev);
+  match ev with
+  | Event.Task_dispatched _ -> incr t "engine.dispatches"
+  | Event.Impl_completed _ -> incr t "engine.completions"
+  | Event.Task_retried _ -> incr t "engine.system_retries"
+  | Event.Task_marked _ -> incr t "engine.marks"
+  | Event.Wf_reconfigured _ -> incr t "engine.reconfigs"
+  | Event.Recovery_replayed _ -> incr t "engine.recoveries"
+  | Event.Rpc_reply_evicted _ -> incr t "rpc.reply_evictions"
+  | Event.Task_completed { duration; _ } -> observe t "engine.task_duration_us" duration
+  | _ -> ()
+
+let attach ?src t bus =
+  Event.subscribe bus (fun ~at:_ ~src:from ev ->
+      match src with
+      | Some only when only <> from -> ()
+      | Some _ | None -> record t ev)
+
+(* Cluster aggregation: the same stream keyed per source, so one
+   registry holds [cluster.<engine>.<counter>] for every engine plus the
+   unlabelled totals. *)
+let attach_labelled t bus =
+  Event.subscribe bus (fun ~at:_ ~src ev ->
+      record t ev;
+      if src <> "" then
+        match ev with
+        | Event.Task_dispatched _ -> incr t (Printf.sprintf "cluster.%s.dispatches" src)
+        | Event.Impl_completed _ -> incr t (Printf.sprintf "cluster.%s.completions" src)
+        | Event.Wf_launched _ -> incr t (Printf.sprintf "cluster.%s.launches" src)
+        | Event.Wf_concluded _ -> incr t (Printf.sprintf "cluster.%s.concluded" src)
+        | Event.Recovery_replayed _ -> incr t (Printf.sprintf "cluster.%s.recoveries" src)
+        | _ -> ())
 
 let pct sorted n p =
   if n = 0 then 0

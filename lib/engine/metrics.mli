@@ -12,8 +12,17 @@ type t
 
 val create : unit -> t
 
-val attach : t -> Event.bus -> unit
-(** Subscribe to [bus]; call once, at setup. *)
+val attach : ?src:string -> t -> Event.bus -> unit
+(** Subscribe to [bus]; call once, at setup. With [src], only events
+    published under that source label are counted — an engine passes its
+    own node id so co-hosted engines keep separate registries. *)
+
+val attach_labelled : t -> Event.bus -> unit
+(** Cluster-wide subscription: counts everything like {!attach} without
+    a filter, and additionally keys the headline counters per source as
+    [cluster.<src>.<counter>] (dispatches, completions, launches,
+    concluded, recoveries) so one registry shows the whole cluster and
+    its per-engine breakdown. *)
 
 val incr : ?by:int -> t -> string -> unit
 

@@ -1,8 +1,12 @@
-let service_exec = "wf.exec"
+(* Services are namespaced by the engine node that owns the dialogue:
+   several engines can then coexist on one RPC fabric — and one host
+   node can serve tasks for all of them — without service collisions. *)
 
-let service_done = "wf.done"
+let service_exec ~engine = "wf.exec@" ^ engine
 
-let service_mark = "wf.mark"
+let service_done ~engine = "wf.done@" ^ engine
+
+let service_mark ~engine = "wf.mark@" ^ engine
 
 type exec_req = {
   x_iid : string;

@@ -1,12 +1,14 @@
 (** RPC message codecs between the execution service and task hosts. *)
 
-val service_exec : string
-(** engine → host: start executing a task implementation *)
+val service_exec : engine:string -> string
+(** engine → host: start executing a task implementation. Namespaced by
+    the engine's node id so one host node can execute tasks for several
+    engines at once. *)
 
-val service_done : string
+val service_done : engine:string -> string
 (** host → engine: a task finished (outcome/abort/repeat name + objects) *)
 
-val service_mark : string
+val service_mark : engine:string -> string
 (** host → engine: a task released a mark early *)
 
 type exec_req = {

@@ -15,19 +15,34 @@ type pending = {
 type endpoint = {
   pending_calls : (string, pending) Hashtbl.t;  (** client side, volatile *)
   replies_cache : (string, string) Hashtbl.t;  (** server side, volatile *)
+  reply_order : string Queue.t;
+      (** request ids in insertion order; the eviction cursor of the
+          bounded cache (ids are unique, so FIFO is LRU here) *)
 }
 
 type t = {
   net : Network.t;
   endpoints : (string, endpoint) Hashtbl.t;
+  reply_cache_cap : int;
   mutable next_req : int;
   mutable calls : int;
   mutable retries : int;
   mutable dedup_hits : int;
+  mutable reply_evictions : int;
 }
 
-let create net =
-  { net; endpoints = Hashtbl.create 8; next_req = 0; calls = 0; retries = 0; dedup_hits = 0 }
+let create ?(reply_cache_cap = 1024) net =
+  if reply_cache_cap < 1 then invalid_arg "Rpc.create: reply_cache_cap must be >= 1";
+  {
+    net;
+    endpoints = Hashtbl.create 8;
+    reply_cache_cap;
+    next_req = 0;
+    calls = 0;
+    retries = 0;
+    dedup_hits = 0;
+    reply_evictions = 0;
+  }
 
 let network t = t.net
 
@@ -70,7 +85,15 @@ let handle_request t node ~src body =
         | Some h -> ( try Ok (h ~src payload) with exn -> Error (Printexc.to_string exn))
       in
       let encoded = encode_rsp (req_id, outcome) in
+      while Hashtbl.length ep.replies_cache >= t.reply_cache_cap do
+        let oldest = Queue.pop ep.reply_order in
+        Hashtbl.remove ep.replies_cache oldest;
+        t.reply_evictions <- t.reply_evictions + 1;
+        Sim.emit (Network.sim t.net) ~src:(Node.id node)
+          (Event.Rpc_reply_evicted { node = Node.id node })
+      done;
       Hashtbl.replace ep.replies_cache req_id encoded;
+      Queue.add req_id ep.reply_order;
       encoded
   in
   Network.send t.net ~src:(Node.id node) ~dst:src ~service:rsp_service ~body:result;
@@ -90,13 +113,20 @@ let handle_response t node ~src:_ body =
 let attach t node =
   let id = Node.id node in
   if not (Hashtbl.mem t.endpoints id) then begin
-    let ep = { pending_calls = Hashtbl.create 16; replies_cache = Hashtbl.create 16 } in
+    let ep =
+      {
+        pending_calls = Hashtbl.create 16;
+        replies_cache = Hashtbl.create 16;
+        reply_order = Queue.create ();
+      }
+    in
     Hashtbl.replace t.endpoints id ep;
     Node.serve node ~service:req_service (handle_request t node);
     Node.serve node ~service:rsp_service (handle_response t node);
     Node.on_crash node (fun () ->
         Hashtbl.reset ep.pending_calls;
-        Hashtbl.reset ep.replies_cache)
+        Hashtbl.reset ep.replies_cache;
+        Queue.clear ep.reply_order)
   end
 
 let rec attempt t ~src ~req_id p =
@@ -110,12 +140,14 @@ let rec attempt t ~src ~req_id p =
       if p.attempts_left > 0 then begin
         p.attempts_left <- p.attempts_left - 1;
         t.retries <- t.retries + 1;
-        Sim.emit (Network.sim t.net) (Event.Rpc_retried { src; dst = p.dst; service = p.service });
+        Sim.emit (Network.sim t.net) ~src
+          (Event.Rpc_retried { src; dst = p.dst; service = p.service });
         attempt t ~src ~req_id p
       end
       else begin
         Hashtbl.remove ep.pending_calls req_id;
-        Sim.emit (Network.sim t.net) (Event.Rpc_timed_out { src; dst = p.dst; service = p.service });
+        Sim.emit (Network.sim t.net) ~src
+          (Event.Rpc_timed_out { src; dst = p.dst; service = p.service });
         p.callback (Error "timeout")
       end
   in
@@ -124,7 +156,7 @@ let rec attempt t ~src ~req_id p =
 let call t ~src ~dst ~service ~body ?(timeout = Sim.ms 10) ?(retries = 8) callback =
   let ep = endpoint t src in
   t.calls <- t.calls + 1;
-  Sim.emit (Network.sim t.net) (Event.Rpc_sent { src; dst; service });
+  Sim.emit (Network.sim t.net) ~src (Event.Rpc_sent { src; dst; service });
   t.next_req <- t.next_req + 1;
   let req_id = Printf.sprintf "%s#%d" src t.next_req in
   let p = { dst; service; body; timeout; attempts_left = retries; callback; timer = None } in
@@ -136,3 +168,5 @@ let calls_total t = t.calls
 let retries_total t = t.retries
 
 let dedup_hits_total t = t.dedup_hits
+
+let reply_evictions_total t = t.reply_evictions

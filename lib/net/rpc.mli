@@ -8,11 +8,18 @@
     execution environment assumes). The dedup cache is volatile: a
     server crash may re-execute a request after recovery, so handlers
     that survive crashes must themselves be idempotent, which the
-    transaction layer's log records guarantee. *)
+    transaction layer's log records guarantee.
+
+    The dedup cache is bounded: each server endpoint keeps at most
+    [reply_cache_cap] replies (default 1024) and evicts the oldest
+    first. An evicted reply demotes a late duplicate of that request to
+    a re-execution — the same degradation a server crash causes, and
+    safe for the same reason (handlers that matter are idempotent).
+    Evictions are counted and announced as [Rpc_reply_evicted]. *)
 
 type t
 
-val create : Network.t -> t
+val create : ?reply_cache_cap:int -> Network.t -> t
 
 val network : t -> Network.t
 
@@ -41,3 +48,6 @@ val calls_total : t -> int
 val retries_total : t -> int
 
 val dedup_hits_total : t -> int
+
+val reply_evictions_total : t -> int
+(** Replies dropped from bounded dedup caches (lifetime, all nodes). *)

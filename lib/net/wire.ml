@@ -66,6 +66,7 @@ let d_triple da db dc d =
 
 let d_list da d =
   let n = d_int d in
+  if n < 0 then fail d "negative list count";
   let rec take k acc = if k = 0 then List.rev acc else take (k - 1) (da d :: acc) in
   take n []
 

@@ -41,6 +41,31 @@ let dec_summary d =
 let inspect t ~name k =
   call t ~service:Repository.service_inspect ~body:(Wire.string name) ~dec:dec_summary k
 
+let assign t ~iid ~engine k =
+  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_assign
+    ~body:(Wire.(pair string string) (iid, engine))
+    (function
+      | Ok _ -> k (Ok ())
+      | Error e -> k (Error ("rpc: " ^ e)))
+
+let owner t ~iid k =
+  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_owner
+    ~body:(Wire.string iid) (function
+    | Ok reply -> (
+      match Wire.(decode (d_option d_string)) reply with
+      | o -> k (Ok o)
+      | exception Wire.Malformed m -> k (Error m))
+    | Error e -> k (Error ("rpc: " ^ e)))
+
+let placements t k =
+  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_placements ~body:""
+    (function
+    | Ok reply -> (
+      match Wire.(decode (d_list (d_pair d_string d_string))) reply with
+      | l -> k (Ok l)
+      | exception Wire.Malformed m -> k (Error m))
+    | Error e -> k (Error ("rpc: " ^ e)))
+
 let launch t ~engine ~name ?version ~root ~inputs k =
   fetch t ~name ?version (function
     | Error e -> k (Error e)

@@ -18,6 +18,17 @@ val list_names : t -> ((string list, string) result -> unit) -> unit
 
 val inspect : t -> name:string -> ((Repository.summary, string) result -> unit) -> unit
 
+(** {1 Instance placement directory} *)
+
+val assign :
+  t -> iid:string -> engine:string -> ((unit, string) result -> unit) -> unit
+(** Record that [engine] owns instance [iid] (cluster placement). *)
+
+val owner : t -> iid:string -> ((string option, string) result -> unit) -> unit
+(** Which engine owns [iid]? [Ok None] when the directory has no entry. *)
+
+val placements : t -> (((string * string) list, string) result -> unit) -> unit
+
 val launch :
   t ->
   engine:Engine.t ->

@@ -21,16 +21,34 @@ let service_list = "repo.list"
 
 let service_inspect = "repo.inspect"
 
+let service_assign = "repo.assign"
+
+let service_owner = "repo.owner"
+
+let service_placements = "repo.placements"
+
 let node_id t = Node.id t.node
+
+let internal_store t = t.store
 
 let key_head name = "head:" ^ name
 
 let key_version name version = Printf.sprintf "script:%s:%d" name version
 
+let key_place iid = "place:" ^ iid
+
+(* A corrupt head record means the store itself is damaged — masking it
+   as "no script" would silently shadow every stored version, so refuse
+   loudly instead. *)
 let head t ~name =
   match Kvstore.get t.store (key_head name) with
-  | Some v -> int_of_string_opt v
   | None -> None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> Some n
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Repository.head: corrupt head record for %s: %S" name v))
 
 let validate_source source =
   match Frontend.load source with
@@ -65,6 +83,21 @@ let list_names t =
          if String.length key > 5 && String.sub key 0 5 = "head:" then
            Some (String.sub key 5 (String.length key - 5))
          else None)
+
+(* --- instance placement directory (cluster layer) --- *)
+
+let assign t ~iid ~engine = Kvstore.put t.store (key_place iid) engine
+
+let owner t ~iid = Kvstore.get t.store (key_place iid)
+
+let placements t =
+  Kvstore.keys t.store
+  |> List.filter_map (fun key ->
+         if String.length key > 6 && String.sub key 0 6 = "place:" then
+           let iid = String.sub key 6 (String.length key - 6) in
+           Option.map (fun engine -> (iid, engine)) (Kvstore.get t.store key)
+         else None)
+  |> List.sort compare
 
 let history t ~name =
   match head t ~name with
@@ -126,6 +159,18 @@ let handle_inspect t ~src:_ body =
   let name = Wire.(decode d_string) body in
   enc_result enc_summary (inspect t ~name)
 
+let handle_assign t ~src:_ body =
+  let iid, engine = Wire.(decode (d_pair d_string d_string)) body in
+  assign t ~iid ~engine;
+  Wire.bool true
+
+let handle_owner t ~src:_ body =
+  let iid = Wire.(decode d_string) body in
+  Wire.(option string) (owner t ~iid)
+
+let handle_placements t ~src:_ _body =
+  Wire.list (fun (iid, engine) -> Wire.string iid ^ Wire.string engine) (placements t)
+
 let create ~rpc ~node =
   ignore rpc;
   let t = { node; store = Kvstore.create ~name:("repo@" ^ Node.id node) } in
@@ -133,6 +178,9 @@ let create ~rpc ~node =
   Node.serve node ~service:service_fetch (handle_fetch t);
   Node.serve node ~service:service_list (handle_list t);
   Node.serve node ~service:service_inspect (handle_inspect t);
+  Node.serve node ~service:service_assign (handle_assign t);
+  Node.serve node ~service:service_owner (handle_owner t);
+  Node.serve node ~service:service_placements (handle_placements t);
   Node.on_crash node (fun () -> Kvstore.crash t.store);
   Node.on_recover node (fun () -> Kvstore.recover t.store);
   t

@@ -33,12 +33,29 @@ val store : t -> name:string -> source:string -> (version, string) result
 val fetch : t -> name:string -> ?version:version -> unit -> (string, string) result
 
 val head : t -> name:string -> version option
+(** [None] when no script of that name was ever stored. A head record
+    that exists but does not parse as a version is store corruption:
+    raises [Invalid_argument] rather than masking it as "no script". *)
 
 val list_names : t -> string list
 
 val inspect : t -> name:string -> (summary, string) result
 
 val history : t -> name:string -> version list
+
+(** {1 Instance placement directory}
+
+    The cluster layer records which engine owns each workflow instance
+    here, so {e any} node can resolve "which engine owns instance X"
+    through the repository service — the directory survives repository
+    crashes with the rest of the store. *)
+
+val assign : t -> iid:string -> engine:string -> unit
+
+val owner : t -> iid:string -> string option
+
+val placements : t -> (string * string) list
+(** All [(iid, engine)] assignments, sorted by instance id. *)
 
 (** {1 Service names (for clients)} *)
 
@@ -49,3 +66,14 @@ val service_fetch : string
 val service_list : string
 
 val service_inspect : string
+
+val service_assign : string
+
+val service_owner : string
+
+val service_placements : string
+
+(**/**)
+
+val internal_store : t -> Kvstore.t
+(** The backing store, exposed for tests and repair tooling only. *)

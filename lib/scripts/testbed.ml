@@ -4,12 +4,22 @@ type t = {
   rpc : Rpc.t;
   registry : Registry.t;
   engine : Engine.t;
+  engines : (string * Engine.t) list;
   nodes : Node.t list;
   participants : (string * Participant.t) list;
 }
 
 let make ?(config = Network.default_config) ?(engine_config = Engine.default_config)
-    ?(seed = 42L) ?(nodes = [ "n0" ]) () =
+    ?(seed = 42L) ?(nodes = [ "n0" ]) ?engines:engine_ids () =
+  if nodes = [] then invalid_arg "Testbed.make: need at least one node";
+  let engine_ids =
+    match engine_ids with
+    | None -> [ List.hd nodes ]
+    | Some [] -> invalid_arg "Testbed.make: need at least one engine"
+    | Some ids -> ids
+  in
+  (* every engine id is also a node; extra engine nodes are appended *)
+  let all_ids = nodes @ List.filter (fun e -> not (List.mem e nodes)) engine_ids in
   let sim = Sim.create ~seed () in
   let net = Network.create ~config sim in
   let rpc = Rpc.create net in
@@ -22,27 +32,41 @@ let make ?(config = Network.default_config) ?(engine_config = Engine.default_con
         let participant = Participant.create ~rpc ~node in
         let mgr = Txn.manager ~rpc ~node in
         (node, participant, mgr))
-      nodes
+      all_ids
   in
-  let engine_node, participant, mgr =
-    match members with
-    | first :: _ -> first
-    | [] -> invalid_arg "Testbed.make: need at least one node"
+  let member id =
+    List.find (fun (n, _, _) -> Node.id n = id) members
   in
-  let engine =
-    Engine.create ~config:engine_config ~rpc ~node:engine_node ~mgr ~participant ~registry ()
+  let engines =
+    List.map
+      (fun id ->
+        let node, participant, mgr = member id in
+        ( id,
+          Engine.create ~config:engine_config ~rpc ~node ~mgr ~participant ~registry () ))
+      engine_ids
   in
+  let engine = snd (List.hd engines) in
   let all_nodes = List.map (fun (n, _, _) -> n) members in
+  (* services are namespaced per engine, so every node can host tasks
+     for every engine (each engine already hosts on its own node) *)
   List.iter
-    (fun node -> if Node.id node <> Node.id engine_node then ignore (Engine.attach_host engine node))
-    all_nodes;
+    (fun (eid, e) ->
+      List.iter
+        (fun node -> if Node.id node <> eid then ignore (Engine.attach_host e node))
+        all_nodes)
+    engines;
   let participants = List.map (fun (n, p, _) -> (Node.id n, p)) members in
-  { sim; net; rpc; registry; engine; nodes = all_nodes; participants }
+  { sim; net; rpc; registry; engine; engines; nodes = all_nodes; participants }
 
 let node t id =
   match List.find_opt (fun n -> Node.id n = id) t.nodes with
   | Some n -> n
   | None -> invalid_arg ("Testbed.node: unknown node " ^ id)
+
+let engine_on t id =
+  match List.assoc_opt id t.engines with
+  | Some e -> e
+  | None -> invalid_arg ("Testbed.engine_on: no engine on node " ^ id)
 
 let participant t id =
   match List.assoc_opt id t.participants with
@@ -54,6 +78,13 @@ let run ?until t = Sim.run ?until t.sim
 let crash t id = Node.crash (node t id)
 
 let recover t id = Node.recover (node t id)
+
+let apply_faults t plan =
+  Fault.apply t.sim plan ~on:(function
+    | Fault.Crash n -> crash t n
+    | Fault.Restart n -> recover t n
+    | Fault.Partition_on (a, b) -> Network.partition_on t.net a b
+    | Fault.Partition_off (a, b) -> Network.partition_off t.net a b)
 
 let launch_and_run ?until t ~script ~root ~inputs =
   match Engine.launch t.engine ~script ~root ~inputs with

@@ -1,14 +1,15 @@
 (** One-call setup of a simulated cluster with the full stack: network,
-    RPC, per-node transaction participant + coordinator, one execution
-    service, and task hosts on every node. Used by the examples, the
-    engine tests and the benches. *)
+    RPC, per-node transaction participant + coordinator, one or more
+    execution services, and task hosts on every node. Used by the
+    examples, the engine tests and the benches. *)
 
 type t = {
   sim : Sim.t;
   net : Network.t;
   rpc : Rpc.t;
   registry : Registry.t;
-  engine : Engine.t;
+  engine : Engine.t;  (** the first engine — the single-engine API *)
+  engines : (string * Engine.t) list;  (** by node id, creation order *)
   nodes : Node.t list;
   participants : (string * Participant.t) list;  (** by node id *)
 }
@@ -18,11 +19,19 @@ val make :
   ?engine_config:Engine.config ->
   ?seed:int64 ->
   ?nodes:string list ->
+  ?engines:string list ->
   unit ->
   t
-(** [nodes] defaults to [["n0"]]; the engine lives on the first node. *)
+(** [nodes] defaults to [["n0"]]. Without [engines], one engine lives on
+    the first node (the historical single-engine testbed). With
+    [engines], one engine is created per listed node id (node ids not in
+    [nodes] are added); every node is attached as a task host to every
+    engine — the per-engine service namespacing makes that safe. *)
 
 val node : t -> string -> Node.t
+
+val engine_on : t -> string -> Engine.t
+(** The engine living on the given node id. *)
 
 val participant : t -> string -> Participant.t
 
@@ -32,6 +41,12 @@ val crash : t -> string -> unit
 
 val recover : t -> string -> unit
 
+val apply_faults : t -> Fault.t -> unit
+(** Schedule a declarative fault plan against this testbed: crashes and
+    restarts resolve node ids through {!crash}/{!recover}, partitions
+    through the network fabric — no more hand-rolled [Sim.at] chaos
+    callbacks in tests. *)
+
 val launch_and_run :
   ?until:Sim.time ->
   t ->
@@ -39,8 +54,9 @@ val launch_and_run :
   root:string ->
   inputs:(string * Value.obj) list ->
   (string * Wstate.status, string) result
-(** Launch an instance, drive the simulation until it drains (or
-    [until]), and return the instance id and final status. *)
+(** Launch an instance on the first engine, drive the simulation until
+    it drains (or [until]), and return the instance id and final
+    status. *)
 
 val str_input : string -> string -> cls:string -> string * Value.obj
 (** [str_input name payload ~cls] builds one external input binding. *)

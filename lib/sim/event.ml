@@ -25,6 +25,7 @@ type t =
   | Rpc_sent of { src : string; dst : string; service : string }
   | Rpc_retried of { src : string; dst : string; service : string }
   | Rpc_timed_out of { src : string; dst : string; service : string }
+  | Rpc_reply_evicted of { node : string }
 
 let name = function
   | Wf_launched _ -> "wf-launched"
@@ -53,6 +54,7 @@ let name = function
   | Rpc_sent _ -> "rpc-sent"
   | Rpc_retried _ -> "rpc-retried"
   | Rpc_timed_out _ -> "rpc-timed-out"
+  | Rpc_reply_evicted _ -> "rpc-reply-evicted"
 
 (* The legacy trace vocabulary predates the typed events; tests, the
    Gantt reconstruction and the CLI all read it, so the mapping must
@@ -85,9 +87,9 @@ let to_trace = function
     Some ("recovery", Printf.sprintf "%d instance(s)" instances)
   | Recovery_error { detail } -> Some ("recovery-error", detail)
   | Txn_failed { detail } -> Some ("txn-failed", detail)
-  | Txn_resolved _ | Rpc_sent _ | Rpc_retried _ | Rpc_timed_out _ -> None
+  | Txn_resolved _ | Rpc_sent _ | Rpc_retried _ | Rpc_timed_out _ | Rpc_reply_evicted _ -> None
 
-type subscriber = at:int -> t -> unit
+type subscriber = at:int -> src:string -> t -> unit
 
 type bus = { mutable subscribers : subscriber list }
 
@@ -95,4 +97,4 @@ let bus () = { subscribers = [] }
 
 let subscribe bus f = bus.subscribers <- bus.subscribers @ [ f ]
 
-let emit bus ~at ev = List.iter (fun f -> f ~at ev) bus.subscribers
+let emit bus ~at ~src ev = List.iter (fun f -> f ~at ~src ev) bus.subscribers

@@ -48,6 +48,9 @@ type t =
   | Rpc_sent of { src : string; dst : string; service : string }
   | Rpc_retried of { src : string; dst : string; service : string }
   | Rpc_timed_out of { src : string; dst : string; service : string }
+  | Rpc_reply_evicted of { node : string }
+      (** The bounded server-side RPC dedup cache dropped its oldest
+          reply on [node] to admit a new one. *)
 
 val name : t -> string
 (** Stable kebab-case tag of the constructor (metrics counter keys). *)
@@ -59,7 +62,12 @@ val to_trace : t -> (string * string) option
 
 (** {1 Bus} *)
 
-type subscriber = at:int -> t -> unit
+type subscriber = at:int -> src:string -> t -> unit
+(** [src] labels the component that published the event — an engine's
+    node id, an RPC caller, a transaction coordinator — so that
+    subscribers in a multi-engine cluster can keep per-engine streams
+    apart (or aggregate across them). [""] when the producer has no
+    meaningful identity. *)
 
 type bus
 
@@ -69,4 +77,4 @@ val subscribe : bus -> subscriber -> unit
 (** Subscribers run synchronously in subscription order at every
     {!emit}; they must not re-emit. *)
 
-val emit : bus -> at:int -> t -> unit
+val emit : bus -> at:int -> src:string -> t -> unit

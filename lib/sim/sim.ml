@@ -39,7 +39,7 @@ let rng t = t.root_rng
 
 let events t = t.events
 
-let emit t ev = Event.emit t.events ~at:t.clock ev
+let emit t ?(src = "") ev = Event.emit t.events ~at:t.clock ~src ev
 
 let at t ~time action =
   let at = max time t.clock in

@@ -33,8 +33,10 @@ val events : t -> Event.bus
     publishes typed {!Event.t}s here; subscribers (trace, metrics, Gantt
     recorders) attach once at setup. *)
 
-val emit : t -> Event.t -> unit
-(** [emit t ev] publishes [ev] on {!events} stamped with {!now}. *)
+val emit : t -> ?src:string -> Event.t -> unit
+(** [emit t ~src ev] publishes [ev] on {!events} stamped with {!now}.
+    [src] identifies the publishing component (typically a node id) so
+    subscribers can separate per-engine streams; default [""]. *)
 
 val schedule : t -> delay:time -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t + delay]. A negative delay

@@ -252,7 +252,7 @@ let commit_top (t : t) : unit io =
   if nodes = [] then begin
     Hashtbl.remove mgr.active t.id;
     mgr.committed_total <- mgr.committed_total + 1;
-    Sim.emit mgr.sim (Event.Txn_resolved { txid = t.id; committed = true });
+    Sim.emit mgr.sim ~src:(manager_node mgr) (Event.Txn_resolved { txid = t.id; committed = true });
     k (Ok ())
   end
   else begin
@@ -265,12 +265,12 @@ let commit_top (t : t) : unit io =
         Hashtbl.replace mgr.committed t.id nodes;
         Hashtbl.remove mgr.active t.id;
         mgr.committed_total <- mgr.committed_total + 1;
-        Sim.emit mgr.sim (Event.Txn_resolved { txid = t.id; committed = true });
+        Sim.emit mgr.sim ~src:(manager_node mgr) (Event.Txn_resolved { txid = t.id; committed = true });
         push_commits mgr t.id nodes (fun () -> k (Ok ()))
       | Some e ->
         Hashtbl.remove mgr.active t.id;
         abort_at_participants mgr t.id nodes;
-        Sim.emit mgr.sim (Event.Txn_resolved { txid = t.id; committed = false });
+        Sim.emit mgr.sim ~src:(manager_node mgr) (Event.Txn_resolved { txid = t.id; committed = false });
         k (Error e)
     in
     let prepare node (read_keys, writes) =
@@ -318,7 +318,7 @@ let abort t =
     Hashtbl.remove mgr.active t.id;
     let by_node = participants_of_root t in
     abort_at_participants mgr t.id (List.map fst (String_map.bindings by_node));
-    Sim.emit mgr.sim (Event.Txn_resolved { txid = t.id; committed = false })
+    Sim.emit mgr.sim ~src:(manager_node mgr) (Event.Txn_resolved { txid = t.id; committed = false })
 
 let run mgr ?(max_attempts = 16) body : 'a io =
  fun k ->

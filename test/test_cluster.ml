@@ -1,0 +1,218 @@
+(* Tests of the sharded multi-engine cluster layer: placement policies,
+   the repository-backed placement directory, routed status queries,
+   engines co-hosted on one fabric (namespaced services, scoped
+   observability), and crash recovery of one shard while the others run
+   undisturbed. *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let must = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let chain_script, chain_root = Workloads.chain ~n:4
+
+let make_cluster ?policy ?hosts ?engine_config ?seed ?work ~engines () =
+  let c = Cluster.make ?policy ?hosts ?engine_config ?seed ~engines () in
+  Workloads.register ?work (Cluster.registry c);
+  c
+
+let launch_chain c =
+  must (Cluster.launch c ~script:chain_script ~root:chain_root ~inputs:Workloads.seed_inputs)
+
+let is_done = function Some (Wstate.Wf_done _) -> true | _ -> false
+
+(* --- placement --- *)
+
+let test_round_robin_placement_and_routing () =
+  let c = make_cluster ~engines:[ "e1"; "e2"; "e3" ] () in
+  let placed = List.init 6 (fun _ -> launch_chain c) in
+  check "round robin cycles engines in creation order" true
+    (List.map snd placed = [ "e1"; "e2"; "e3"; "e1"; "e2"; "e3" ]);
+  Cluster.run c;
+  List.iter
+    (fun (iid, eid) ->
+      check_str ("owner of " ^ iid) eid (Option.get (Cluster.owner c iid));
+      check ("routed status of " ^ iid) true (is_done (Cluster.status c iid)))
+    placed;
+  check "shards balanced" true
+    (List.for_all (fun (_, n) -> n = 2) (Cluster.per_engine_instances c));
+  check_int "aggregate dispatches: 6 instances x 4 steps" 24 (Cluster.dispatches_total c);
+  check_int "aggregate completions" 24 (Cluster.completions_total c);
+  (* the labelled registry carries the per-engine breakdown *)
+  let m = Cluster.metrics c in
+  List.iter
+    (fun eid ->
+      check_int ("cluster." ^ eid ^ ".concluded") 2
+        (Metrics.value m (Printf.sprintf "cluster.%s.concluded" eid)))
+    (Cluster.engine_ids c)
+
+let test_hash_placement_deterministic () =
+  let run_once () =
+    let c = make_cluster ~policy:Cluster.Hash_iid ~engines:[ "e1"; "e2" ] () in
+    let placed = List.init 8 (fun _ -> launch_chain c) in
+    Cluster.run c;
+    List.iter
+      (fun (iid, _) -> check ("done " ^ iid) true (is_done (Cluster.status c iid)))
+      placed;
+    (placed, Cluster.placements c)
+  in
+  let placed_a, dir_a = run_once () in
+  let placed_b, dir_b = run_once () in
+  check "same seed, same placement" true (placed_a = placed_b);
+  check "same directory" true (dir_a = dir_b);
+  check "hash actually spreads across both engines" true
+    (List.exists (fun (_, e) -> e = "e1") placed_a
+    && List.exists (fun (_, e) -> e = "e2") placed_a)
+
+let test_duplicate_iid_rejected () =
+  let tb = Testbed.make () in
+  Workloads.register tb.Testbed.registry;
+  let e = tb.Testbed.engine in
+  ignore
+    (must (Engine.launch e ~iid:"dup" ~script:chain_script ~root:chain_root
+             ~inputs:Workloads.seed_inputs));
+  match Engine.launch e ~iid:"dup" ~script:chain_script ~root:chain_root
+          ~inputs:Workloads.seed_inputs with
+  | Ok _ -> Alcotest.fail "second launch with the same iid must be refused"
+  | Error e -> check "error names the iid" true (String.length e > 0)
+
+(* --- the placement directory --- *)
+
+let test_directory_answers_from_any_node () =
+  let c = make_cluster ~hosts:[ "h0" ] ~engines:[ "e1"; "e2" ] () in
+  let placed = List.init 4 (fun _ -> launch_chain c) in
+  Cluster.run c;
+  (* the durable owner, asked over RPC from a node that runs no engine *)
+  List.iter
+    (fun (iid, eid) ->
+      let got = ref None in
+      Cluster.owner_rpc c ~src:"h0" ~iid (fun r -> got := Some r);
+      Cluster.run c;
+      check ("rpc owner of " ^ iid) true (!got = Some (Ok (Some eid))))
+    placed;
+  (* unknown instances resolve to None, not an error *)
+  let got = ref None in
+  Cluster.owner_rpc c ~src:"h0" ~iid:"no-such" (fun r -> got := Some r);
+  Cluster.run c;
+  check "unknown iid has no owner" true (!got = Some (Ok None));
+  (* and the full directory listing matches the router's cache *)
+  let client = Repo_client.create ~rpc:(Cluster.rpc c) ~src:"h0" ~repo_node:"repo" in
+  let listing = ref [] in
+  Repo_client.placements client (fun r -> listing := must r);
+  Cluster.run c;
+  check "directory listing matches cache" true
+    (List.sort compare !listing = Cluster.placements c)
+
+(* --- co-hosted engines: namespaced services, scoped observability --- *)
+
+let relocate_steps script ~to_ =
+  (* pin every w.step implementation onto the named host node *)
+  let marker = {|"code" is "w.step"|} in
+  let replacement = Printf.sprintf {|"code" is "w.step", "location" is %S|} to_ in
+  let ml = String.length marker in
+  let b = Buffer.create (String.length script) in
+  let i = ref 0 in
+  while !i < String.length script do
+    if !i + ml <= String.length script && String.sub script !i ml = marker then begin
+      Buffer.add_string b replacement;
+      i := !i + ml
+    end
+    else begin
+      Buffer.add_char b script.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let test_shared_host_serves_both_engines () =
+  (* both engines pin all their tasks onto the same host node: the
+     per-engine exec/done/mark service namespacing must route every
+     report back to the engine that dispatched it *)
+  let tb = Testbed.make ~nodes:[ "a"; "b"; "h" ] ~engines:[ "a"; "b" ] () in
+  Workloads.register tb.Testbed.registry;
+  let script = relocate_steps chain_script ~to_:"h" in
+  let ea = Testbed.engine_on tb "a" and eb = Testbed.engine_on tb "b" in
+  let ia = must (Engine.launch ea ~script ~root:chain_root ~inputs:Workloads.seed_inputs) in
+  let ib = must (Engine.launch eb ~script ~root:chain_root ~inputs:Workloads.seed_inputs) in
+  Testbed.run tb;
+  check "a's instance done" true (is_done (Engine.status ea ia));
+  check "b's instance done" true (is_done (Engine.status eb ib));
+  check_int "a saw exactly its own 4 completions" 4 (Engine.completions_total ea);
+  check_int "b saw exactly its own 4 completions" 4 (Engine.completions_total eb);
+  check_int "nothing was ever re-dispatched" 0
+    (Engine.system_retries_total ea + Engine.system_retries_total eb);
+  (* per-engine metrics are scoped by event source: neither registry
+     double-counts the other engine's traffic on the shared bus *)
+  check_int "a's registry counts only a's dispatches" 4
+    (Metrics.value (Engine.metrics ea) "engine.dispatches");
+  check_int "b's registry counts only b's dispatches" 4
+    (Metrics.value (Engine.metrics eb) "engine.dispatches")
+
+(* --- fault tolerance: one shard crashes, the others never notice --- *)
+
+let test_shard_crash_recovery_isolated () =
+  let c =
+    make_cluster ~work:(Sim.ms 25) ~engines:[ "e1"; "e2"; "e3" ]
+      ~engine_config:{ Engine.default_config with Engine.default_deadline = Sim.ms 150 } ()
+  in
+  let placed = List.init 6 (fun _ -> launch_chain c) in
+  (* shard e2 dies mid-run and comes back — as a declarative plan *)
+  Cluster.apply_faults c (Fault.crash_restart ~node:"e2" ~at:(Sim.ms 40) ~down_for:(Sim.ms 400));
+  Cluster.run c;
+  List.iter
+    (fun (iid, _) -> check (iid ^ " completed") true (is_done (Cluster.status c iid)))
+    placed;
+  check "crashed shard replayed its log" true
+    (Engine.recoveries_total (Cluster.engine c "e2") >= 1);
+  check "crashed shard kept both instances" true
+    (List.length (Cluster.instances_of c "e2") = 2);
+  (* instances placed on the other shards were never stalled or
+     re-dispatched by e2's failure *)
+  List.iter
+    (fun eid ->
+      check_int (eid ^ " never re-dispatched") 0
+        (Engine.system_retries_total (Cluster.engine c eid));
+      check_int (eid ^ " never ran recovery") 0
+        (Engine.recoveries_total (Cluster.engine c eid)))
+    [ "e1"; "e3" ]
+
+let test_supply_chain_on_cluster () =
+  (* the integration case study runs unchanged when sharded *)
+  let c = Cluster.make ~engines:[ "e1"; "e2" ] () in
+  Supply_chain.register ~scenario:Supply_chain.smooth (Cluster.registry c);
+  let placed =
+    List.init 4 (fun _ ->
+        must
+          (Cluster.launch c ~script:Supply_chain.script ~root:Supply_chain.root
+             ~inputs:Supply_chain.inputs))
+  in
+  Cluster.run c;
+  List.iter
+    (fun (iid, _) -> check (iid ^ " fulfilled") true (is_done (Cluster.status c iid)))
+    placed;
+  check "both shards took work" true
+    (List.for_all (fun (_, n) -> n = 2) (Cluster.per_engine_instances c))
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "round robin + routing" `Quick test_round_robin_placement_and_routing;
+          Alcotest.test_case "hash deterministic" `Quick test_hash_placement_deterministic;
+          Alcotest.test_case "duplicate iid rejected" `Quick test_duplicate_iid_rejected;
+        ] );
+      ( "directory",
+        [ Alcotest.test_case "owner from any node" `Quick test_directory_answers_from_any_node ] );
+      ( "cohosting",
+        [ Alcotest.test_case "shared host, two engines" `Quick test_shared_host_serves_both_engines ] );
+      ( "faults",
+        [
+          Alcotest.test_case "shard crash recovery isolated" `Quick
+            test_shard_crash_recovery_isolated;
+          Alcotest.test_case "supply chain sharded" `Quick test_supply_chain_on_cluster;
+        ] );
+    ]

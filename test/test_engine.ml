@@ -1116,12 +1116,8 @@ compoundtask root of taskclass Root {
       else Registry.finish "nudged" []);
   Impls.register_process_order ~scenario:Impls.order_ok tb.Testbed.registry;
   (* periodic crashes: every 10 simulated minutes, down 5 s, 30 cycles *)
-  Fault.apply tb.Testbed.sim
-    (Fault.periodic_crashes ~node:"n0" ~period:(Sim.sec 600) ~down_for:(Sim.sec 5) ~count:30)
-    ~on:(function
-      | Fault.Crash n -> Testbed.crash tb n
-      | Fault.Restart n -> Testbed.recover tb n
-      | Fault.Partition_on _ | Fault.Partition_off _ -> ());
+  Testbed.apply_faults tb
+    (Fault.periodic_crashes ~node:"n0" ~period:(Sim.sec 600) ~down_for:(Sim.sec 5) ~count:30);
   let soak_iid =
     match
       Engine.launch tb.Testbed.engine ~script ~root:"root"

@@ -27,6 +27,44 @@ let test_wire_rejects_garbage () =
   check "truncated" true (attempt "10:ab");
   check "trailing" true (attempt "1:ab")
 
+let test_wire_rejects_extreme_lengths () =
+  let attempt input = match Wire.(decode d_string) input with exception Wire.Malformed _ -> true | _ -> false in
+  check "negative length" true (attempt "-3:abc");
+  check "length far past the buffer" true (attempt "999999999:ab");
+  check "length overflowing int parsing" true (attempt "99999999999999999999:ab");
+  check "empty input" true (attempt "");
+  check "negative list count" true
+    (match Wire.(decode (d_list d_int)) (Wire.int (-1)) with
+    | exception Wire.Malformed _ -> true
+    | _ -> false)
+
+(* --- Value codec over the wire --- *)
+
+let test_value_roundtrips () =
+  let v =
+    Value.(List [ Pair (Int 42, Str "a:b:c"); Bool false; Unit; List [ Str "" ] ])
+  in
+  check "value roundtrip" true (Value.decode (Value.encode v) = v);
+  let o = Value.obj ~cls:"Payment" (Value.Str "visa") in
+  check "obj roundtrip" true (Value.decode_obj (Value.encode_obj o) = o)
+
+let test_value_rejects_malformed () =
+  let rejects s = match Value.decode s with exception Wire.Malformed _ -> true | _ -> false in
+  check "unknown tag" true (rejects (Wire.string "z"));
+  check "unknown tag with payload" true (rejects (Wire.string "q" ^ Wire.int 3));
+  check "int tag, truncated payload" true (rejects (Wire.string "i"));
+  check "pair tag, one element missing" true (rejects (Wire.string "p" ^ Value.encode Value.Unit));
+  check "list with short count" true (rejects (Wire.string "l" ^ Wire.int 2 ^ Value.encode Value.Unit));
+  check "trailing bytes after a full value" true (rejects (Value.encode Value.Unit ^ "x"));
+  (* truncating a valid frame at any byte must raise, never succeed *)
+  let full = Value.encode (Value.Pair (Value.Int 7, Value.Str "hello")) in
+  for cut = 0 to String.length full - 1 do
+    check
+      (Printf.sprintf "truncated at %d" cut)
+      true
+      (rejects (String.sub full 0 cut))
+  done
+
 let prop_wire_string_roundtrip =
   QCheck.Test.make ~name:"wire strings roundtrip (incl. separators)" ~count:300
     QCheck.(string)
@@ -133,9 +171,9 @@ let test_service_withdrawn () =
 
 (* --- Rpc --- *)
 
-let make_rpc ?config ?seed ids =
+let make_rpc ?config ?seed ?reply_cache_cap ids =
   let sim, net, nodes = make_net ?config ?seed ids in
-  let rpc = Rpc.create net in
+  let rpc = Rpc.create ?reply_cache_cap net in
   List.iter (Rpc.attach rpc) nodes;
   (sim, net, rpc)
 
@@ -200,6 +238,47 @@ let test_rpc_caller_crash_suppresses_callback () =
   Sim.run sim;
   check "callback suppressed after caller crash" false !fired
 
+let test_rpc_reply_cache_bounded () =
+  (* the dedup cache must not grow without bound: with a cap of 4,
+     10 sequential requests evict the 6 oldest entries *)
+  let sim, net, rpc = make_rpc ~reply_cache_cap:4 [ "a"; "b" ] in
+  Node.serve (Network.node net "b") ~service:"s" (fun ~src:_ body -> body);
+  for i = 1 to 10 do
+    Rpc.call rpc ~src:"a" ~dst:"b" ~service:"s" ~body:(string_of_int i) (fun _ -> ())
+  done;
+  let m = Metrics.create () in
+  Metrics.attach m (Sim.events sim);
+  Sim.run sim;
+  check_int "six evictions" 6 (Rpc.reply_evictions_total rpc);
+  check_int "evictions surfaced through metrics" 6 (Metrics.value m "rpc.reply_evictions")
+
+let test_rpc_dedup_survives_small_cache () =
+  (* retries under loss with a small-but-sufficient cache: dedup still
+     holds (each in-flight request's reply stays cached until it ages
+     out past the cap) *)
+  let config = { Network.default_config with loss = 0.6 } in
+  let sim, net, rpc = make_rpc ~config ~seed:9L ~reply_cache_cap:32 [ "a"; "b" ] in
+  let executions = ref 0 in
+  Node.serve (Network.node net "b") ~service:"inc" (fun ~src:_ _ ->
+      incr executions;
+      "done");
+  let oks = ref 0 in
+  for _ = 1 to 10 do
+    Rpc.call rpc ~src:"a" ~dst:"b" ~service:"inc" ~body:"" ~timeout:(Sim.ms 4) ~retries:40
+      (function Ok _ -> incr oks | Error _ -> ())
+  done;
+  Sim.run sim;
+  check_int "all calls succeed" 10 !oks;
+  check_int "exactly-once execution with a bounded cache" 10 !executions
+
+let test_rpc_invalid_cache_cap_rejected () =
+  let sim = Sim.create ~seed:1L () in
+  let net = Network.create sim in
+  check "cap of zero is refused" true
+    (match Rpc.create ~reply_cache_cap:0 net with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_wire_string_roundtrip; prop_wire_list_roundtrip ]
 
 let () =
@@ -209,6 +288,12 @@ let () =
         [
           Alcotest.test_case "roundtrips" `Quick test_wire_roundtrips;
           Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+          Alcotest.test_case "rejects extreme lengths" `Quick test_wire_rejects_extreme_lengths;
+        ] );
+      ( "value codec",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_value_roundtrips;
+          Alcotest.test_case "rejects malformed" `Quick test_value_rejects_malformed;
         ] );
       ( "network",
         [
@@ -229,6 +314,9 @@ let () =
           Alcotest.test_case "timeout on dead node" `Quick test_rpc_timeout_on_dead_destination;
           Alcotest.test_case "retries + dedup" `Quick test_rpc_retries_through_loss_execute_once;
           Alcotest.test_case "caller crash" `Quick test_rpc_caller_crash_suppresses_callback;
+          Alcotest.test_case "reply cache bounded" `Quick test_rpc_reply_cache_bounded;
+          Alcotest.test_case "dedup with small cache" `Quick test_rpc_dedup_survives_small_cache;
+          Alcotest.test_case "invalid cache cap" `Quick test_rpc_invalid_cache_cap_rejected;
         ] );
       ("properties", qsuite);
     ]

@@ -69,6 +69,62 @@ let test_crash_durability () =
   | Ok source -> check "script survived the crash" true (source = Paper_scripts.process_order)
   | Error e -> Alcotest.failf "fetch after recovery: %s" e
 
+let test_corrupt_head_fails_loudly () =
+  (* a damaged head record must not be mistaken for "no such script" *)
+  let _, repo, _ = make () in
+  ignore (store_ok repo ~name:"order" ~source:Paper_scripts.process_order);
+  Kvstore.put (Repository.internal_store repo) "head:order" "not-a-number";
+  check "corrupt head raises" true
+    (match Repository.head repo ~name:"order" with
+    | exception Invalid_argument msg ->
+      (* the error names the script and the bad payload *)
+      let contains needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+        go 0
+      in
+      contains "order" && contains "not-a-number"
+    | _ -> false);
+  check "absent head is still just None" true (Repository.head repo ~name:"ghost" = None)
+
+(* --- the placement directory --- *)
+
+let test_placement_directory () =
+  let tb, repo, client = make () in
+  check "no owner yet" true (Repository.owner repo ~iid:"wf-1" = None);
+  Repository.assign repo ~iid:"wf-1" ~engine:"e1";
+  Repository.assign repo ~iid:"wf-2" ~engine:"e2";
+  check "owner recorded" true (Repository.owner repo ~iid:"wf-1" = Some "e1");
+  check "directory sorted" true
+    (Repository.placements repo = [ ("wf-1", "e1"); ("wf-2", "e2") ]);
+  (* re-assignment (e.g. after migration) overwrites *)
+  Repository.assign repo ~iid:"wf-1" ~engine:"e3";
+  check "reassigned" true (Repository.owner repo ~iid:"wf-1" = Some "e3");
+  (* the same directory, over RPC from another node *)
+  let assigned = ref None in
+  Repo_client.assign client ~iid:"wf-3" ~engine:"e1" (fun r -> assigned := Some r);
+  Testbed.run tb;
+  check "assign over rpc" true (!assigned = Some (Ok ()));
+  let owner = ref None in
+  Repo_client.owner client ~iid:"wf-3" (fun r -> owner := Some r);
+  let missing = ref None in
+  Repo_client.owner client ~iid:"nope" (fun r -> missing := Some r);
+  let listing = ref None in
+  Repo_client.placements client (fun r -> listing := Some r);
+  Testbed.run tb;
+  check "owner over rpc" true (!owner = Some (Ok (Some "e1")));
+  check "missing owner is None over rpc" true (!missing = Some (Ok None));
+  check "listing over rpc" true
+    (!listing = Some (Ok [ ("wf-1", "e3"); ("wf-2", "e2"); ("wf-3", "e1") ]))
+
+let test_placement_survives_crash () =
+  let tb, repo, _ = make () in
+  Repository.assign repo ~iid:"wf-9" ~engine:"e2";
+  Testbed.crash tb "repo";
+  Testbed.recover tb "repo";
+  check "assignment durable across repo crash" true
+    (Repository.owner repo ~iid:"wf-9" = Some "e2")
+
 let test_client_roundtrip () =
   let tb, _, client = make () in
   let stored = ref None in
@@ -128,6 +184,12 @@ let () =
           Alcotest.test_case "versioning" `Quick test_versioning;
           Alcotest.test_case "list and inspect" `Quick test_list_and_inspect;
           Alcotest.test_case "crash durability" `Quick test_crash_durability;
+          Alcotest.test_case "corrupt head fails loudly" `Quick test_corrupt_head_fails_loudly;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "directory" `Quick test_placement_directory;
+          Alcotest.test_case "durable across crash" `Quick test_placement_survives_crash;
         ] );
       ( "client",
         [

@@ -186,6 +186,27 @@ let test_fault_periodic_count () =
   let plan = Fault.periodic_crashes ~node:"n" ~period:100 ~down_for:10 ~count:3 in
   check_int "two actions per cycle" 6 (List.length plan)
 
+let test_fault_periodic_contents () =
+  let plan = Fault.periodic_crashes ~node:"n" ~period:100 ~down_for:10 ~count:2 in
+  check "k-th crash at k * period, restart down_for later" true
+    (plan
+    = [
+        (100, Fault.Crash "n");
+        (110, Fault.Restart "n");
+        (200, Fault.Crash "n");
+        (210, Fault.Restart "n");
+      ])
+
+let test_fault_empty_union () =
+  let p = Fault.crash_restart ~node:"x" ~at:1 ~down_for:1 in
+  check "empty is a left identity" true (Fault.(empty @+ p) = p);
+  check "empty is a right identity" true (Fault.(p @+ empty) = p);
+  let sim = Sim.create () in
+  let fired = ref false in
+  Fault.apply sim Fault.empty ~on:(fun _ -> fired := true);
+  Sim.run sim;
+  check "empty plan schedules nothing" false !fired
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [ prop_heap_sorts; prop_heap_length; prop_rng_int_in_bounds; prop_rng_float_in_bounds ]
 
@@ -220,6 +241,8 @@ let () =
         [
           Alcotest.test_case "plan applies in order" `Quick test_fault_plan_applies_in_order;
           Alcotest.test_case "periodic count" `Quick test_fault_periodic_count;
+          Alcotest.test_case "periodic contents" `Quick test_fault_periodic_contents;
+          Alcotest.test_case "empty union" `Quick test_fault_empty_union;
         ] );
       ("properties", qsuite);
     ]
