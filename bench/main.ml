@@ -586,21 +586,50 @@ let bench_tests () =
 (* --- machine-readable engine metrics (BENCH_engine.json) --- *)
 
 (* A perf trajectory for future engine changes: wall-clock dispatch
-   throughput on a long chain, wall-clock recovery replay, and the full
-   typed-event/metrics registry of the throughput run. *)
+   throughput on a long chain, wall-clock recovery replay, RPC cost per
+   dispatch, a same-seed determinism check over the event counters, and
+   the full typed-event/metrics registry of the throughput run. *)
 let bench_json () =
   header "BENCH: engine metrics JSON";
   let chain_n = 128 in
-  let script, root = Workloads.chain ~n:chain_n in
-  let tb = Testbed.make () in
-  Workloads.register ?work:None tb.Testbed.registry;
-  let t0 = Sys.time () in
-  let _, status = must (Testbed.launch_and_run tb ~script ~root ~inputs:Workloads.seed_inputs) in
-  let chain_wall = Sys.time () -. t0 in
-  (match status with
-  | Wstate.Wf_done _ -> ()
-  | Wstate.Wf_running | Wstate.Wf_failed _ -> failwith "bench_json: chain did not complete");
+  (* one throughput run: the 128-task chain, then a transactional
+     read-back audit of the final state — a pure read-only transaction,
+     which exercises the read-only elision lane on the same metrics
+     registry the JSON reports *)
+  let chain_run () =
+    let script, root = Workloads.chain ~n:chain_n in
+    let tb = Testbed.make () in
+    Workloads.register ?work:None tb.Testbed.registry;
+    let t0 = Sys.time () in
+    let _, status = must (Testbed.launch_and_run tb ~script ~root ~inputs:Workloads.seed_inputs) in
+    let wall = Sys.time () -. t0 in
+    (match status with
+    | Wstate.Wf_done _ -> ()
+    | Wstate.Wf_running | Wstate.Wf_failed _ -> failwith "bench_json: chain did not complete");
+    let mgr = Testbed.manager tb "n0" in
+    let audit = ref None in
+    (Txn.run mgr (fun t ->
+         let open Txn in
+         let* insts = Txn.read t ~node:"n0" ~key:Wstate.key_insts in
+         return insts))
+      (fun r -> audit := Some r);
+    Testbed.run tb;
+    (match !audit with
+    | Some (Ok (Some _)) -> ()
+    | _ -> failwith "bench_json: read-back audit failed");
+    (tb, wall)
+  in
+  let tb, chain_wall = chain_run () in
+  (* same-seed determinism: a second identical run must produce the
+     exact same event counters *)
+  let tb_bis, _ = chain_run () in
+  let counters_of t = Metrics.counters (Engine.metrics t.Testbed.engine) in
+  let deterministic = counters_of tb = counters_of tb_bis in
   let dispatches = Engine.dispatches_total tb.Testbed.engine in
+  let rpcs = Metrics.value (Engine.metrics tb.Testbed.engine) "events.rpc-sent" in
+  let rpcs_per_dispatch =
+    if dispatches > 0 then float_of_int rpcs /. float_of_int dispatches else 0.
+  in
   (* recovery replay: crash the engine node mid-chain, clock the rebuild *)
   let recovery_n = 64 in
   let script2, root2 = Workloads.chain ~n:recovery_n in
@@ -616,23 +645,33 @@ let bench_json () =
   let json =
     Printf.sprintf
       "{\n\
-      \  \"schema\": \"rdal-bench-engine/1\",\n\
+      \  \"schema\": \"rdal-bench-engine/2\",\n\
       \  \"chain\": { \"tasks\": %d, \"wall_s\": %.6f, \"dispatches\": %d, \
-       \"dispatches_per_sec\": %.1f },\n\
+       \"dispatches_per_sec\": %.1f, \"rpcs\": %d, \"rpcs_per_dispatch\": %.2f, \
+       \"deterministic\": %b },\n\
       \  \"recovery\": { \"tasks\": %d, \"replay_wall_s\": %.6f, \"recoveries\": %d },\n\
       \  \"events\": %s\n\
        }\n"
       chain_n chain_wall dispatches
       (if chain_wall > 0. then float_of_int dispatches /. chain_wall else 0.)
-      recovery_n recovery_wall
+      rpcs rpcs_per_dispatch deterministic recovery_n recovery_wall
       (Engine.recoveries_total tb2.Testbed.engine)
       (Metrics.to_json (Engine.metrics tb.Testbed.engine))
   in
   let oc = open_out "BENCH_engine.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "wrote BENCH_engine.json (%d dispatches in %.3fs; recovery replay %.6fs)\n"
-    dispatches chain_wall recovery_wall
+  Printf.printf
+    "wrote BENCH_engine.json (%d dispatches in %.3fs; %.2f rpcs/dispatch; recovery replay \
+     %.6fs)\n"
+    dispatches chain_wall rpcs_per_dispatch recovery_wall;
+  (* regression gates (CI runs this in --smoke mode): the commit fast
+     lanes must hold, and same-seed runs must not diverge *)
+  if rpcs_per_dispatch > 3.5 then
+    failwith
+      (Printf.sprintf "bench_json: rpcs_per_dispatch regressed to %.2f (gate: 3.5)"
+         rpcs_per_dispatch);
+  if not deterministic then failwith "bench_json: same-seed event counters diverged"
 
 (* --- cluster scaling (BENCH_cluster.json) --- *)
 

@@ -10,9 +10,13 @@ type t = {
          thread: each costs [overhead] of engine time, so concurrent
          dispatch demand queues here (what the cluster bench measures) *)
   mutable incarnation : int;
+  batch : bool;
+  mutable pending : ((string * string option) list * (unit -> unit)) list;
+      (* queued persist requests awaiting the flush event, newest first *)
+  mutable flush_armed : bool;
 }
 
-let create ?(overhead = 0) ~rpc ~node ~mgr ~participant () =
+let create ?(overhead = 0) ?(batch = true) ~rpc ~node ~mgr ~participant () =
   let t =
     {
       rpc;
@@ -23,18 +27,23 @@ let create ?(overhead = 0) ~rpc ~node ~mgr ~participant () =
       overhead;
       busy_until = 0;
       incarnation = 0;
+      batch;
+      pending = [];
+      flush_armed = false;
     }
   in
   Node.on_crash node (fun () ->
       t.incarnation <- t.incarnation + 1;
-      t.busy_until <- 0);
+      t.busy_until <- 0;
+      t.pending <- [];
+      t.flush_armed <- false);
   t
 
 let sim t = t.sim
 
 let node_id t = Node.id t.node
 
-let persist t writes k =
+let persist_now t writes k =
   let node = node_id t in
   let io =
     Txn.run t.mgr (fun txn ->
@@ -49,6 +58,40 @@ let persist t writes k =
     | Ok () -> k ()
     | Error e ->
       Sim.emit t.sim ~src:(node_id t) (Event.Txn_failed { detail = Txn.error_to_string e }))
+
+(* Batched persistence: requests issued within one simulation timestep
+   (one evaluation-pump pass, plus whatever else fires at that instant)
+   coalesce into a single transaction. Later writes to the same key win,
+   matching the order the requests would have committed individually;
+   the continuations run in request order after the one commit. *)
+let flush t =
+  t.flush_armed <- false;
+  let requests = List.rev t.pending in
+  t.pending <- [];
+  match requests with
+  | [] -> ()
+  | [ (writes, k) ] -> persist_now t writes k
+  | _ ->
+    let writes = List.concat_map fst requests in
+    Sim.emit t.sim ~src:(node_id t)
+      (Event.Persist_batched { requests = List.length requests; writes = List.length writes });
+    persist_now t writes (fun () -> List.iter (fun (_, k) -> k ()) requests)
+
+let persist t writes k =
+  if not t.batch then persist_now t writes k
+  else begin
+    t.pending <- (writes, k) :: t.pending;
+    if not t.flush_armed then begin
+      t.flush_armed <- true;
+      let inc = t.incarnation in
+      ignore
+        (Sim.schedule t.sim ~delay:0 (fun () ->
+             (* a crash in between cleared the queue and bumped the
+                incarnation; this stale flush must not touch the queue
+                refilled after recovery *)
+             if t.incarnation = inc then flush t))
+    end
+  end
 
 let send_exec t ~host ~retries req k =
   let fire () =

@@ -11,6 +11,7 @@ type t
 
 val create :
   ?overhead:Sim.time ->
+  ?batch:bool ->
   rpc:Rpc.t ->
   node:Node.t ->
   mgr:Txn.manager ->
@@ -21,7 +22,13 @@ val create :
     dispatches are serialised through a busy cursor, each occupying the
     engine for [overhead] virtual time before its RPC leaves the node.
     Default 0 (dispatch is free, the historical behaviour); the cluster
-    scaling bench sets it to expose the single-engine bottleneck. *)
+    scaling bench sets it to expose the single-engine bottleneck.
+
+    [batch] (default true) coalesces all {!persist} calls issued within
+    one simulation timestep into a single transaction (one commit); a
+    flush combining two or more requests emits [Persist_batched]. Set
+    false to commit each persist individually (the historical
+    behaviour). *)
 
 val sim : t -> Sim.t
 
@@ -32,7 +39,13 @@ val persist : t -> (string * string option) list -> (unit -> unit) -> unit
     node under one top-level transaction (retried on conflict/timeout by
     {!Txn.run}); the continuation runs only on commit. A final failure
     emits [Txn_failed] and drops the continuation — the evaluation pump
-    re-derives the actions on its next pass. *)
+    re-derives the actions on its next pass.
+
+    With batching on, the write set joins the current timestep's batch
+    and commits with it on the deferred flush; a crash before the flush
+    drops the whole batch (no partial commit), and the queued
+    continuations die with it, exactly like an individual persist that
+    never reached its commit. *)
 
 val send_exec : t -> host:string -> retries:int -> Wfmsg.exec_req -> ((string, string) result -> unit) -> unit
 (** Dispatch one implementation execution to a task host (emits

@@ -14,6 +14,7 @@ type config = {
   system_max_attempts : int;
   default_timeout : Sim.time;
   dispatch_overhead : Sim.time;
+  batch_persists : bool;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     system_max_attempts = 10;
     default_timeout = Sim.sec 10;
     dispatch_overhead = 0;
+    batch_persists = true;
   }
 
 type t = {
@@ -100,6 +102,13 @@ let apply_and_announce t inst action =
   | Sched.Do_repeat { a_path; a_name; a_attempt; _ } ->
     emit t (Event.Task_repeated { path = pkey a_path; output = a_name; attempt = a_attempt })
   | Sched.Complete { a_path; a_name; a_kind; _ } ->
+    (* a compound task's "duration" is its whole subtree's span; keep it
+       out of the basic-task histogram *)
+    let scope =
+      match find_task_node t inst a_path with
+      | Some task -> ( match effective_body t task with Sched.E_compound _ -> true | _ -> false)
+      | None -> false
+    in
     emit t
       (Event.Task_completed
          {
@@ -107,6 +116,7 @@ let apply_and_announce t inst action =
            output = a_name;
            aborted = a_kind = Ast.Abort_outcome;
            duration;
+           scope;
          })
   | Sched.Fail_task { a_path; a_reason } ->
     emit t (Event.Task_failed { path = pkey a_path; reason = a_reason })
@@ -460,7 +470,9 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
       sim;
       rpc;
       node;
-      disp = Dispatch.create ~overhead:config.dispatch_overhead ~rpc ~node ~mgr ~participant ();
+      disp =
+        Dispatch.create ~overhead:config.dispatch_overhead ~batch:config.batch_persists ~rpc
+          ~node ~mgr ~participant ();
       reg;
       config;
       tracer;

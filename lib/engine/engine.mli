@@ -26,6 +26,10 @@ type config = {
       (** engine CPU cost per dispatch, serialised per engine (0 =
           free); models the coordinator as a contended resource so a
           cluster of engines can out-dispatch a single one *)
+  batch_persists : bool;
+      (** coalesce all persists of one evaluation pass into a single
+          transaction (default true); false restores one commit per
+          persist *)
 }
 
 val default_config : config

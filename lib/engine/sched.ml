@@ -34,13 +34,16 @@ let waiting_attempt v path =
 let running_attempt v path =
   match v.v_state path with Some (Wstate.Running { attempt; _ }) -> attempt | _ -> 1
 
+(* all but the last path segment, in a single pass *)
+let rec parent_path = function [] | [ _ ] -> [] | seg :: rest -> seg :: parent_path rest
+
 (* A task can only make progress while every enclosing compound scope
    is still open (Running) and the instance itself is running. *)
 let rec scope_open v path =
   match path with
   | [] | [ _ ] -> true
   | _ -> (
-    let parent = List.filteri (fun i _ -> i < List.length path - 1) path in
+    let parent = parent_path path in
     match v.v_state parent with
     | Some (Wstate.Running _) -> scope_open v parent
     | _ -> false)

@@ -29,6 +29,7 @@ type t = {
   mutable retries : int;
   mutable dedup_hits : int;
   mutable reply_evictions : int;
+  mutable loopbacks : int;
 }
 
 let create ?(reply_cache_cap = 1024) net =
@@ -42,6 +43,7 @@ let create ?(reply_cache_cap = 1024) net =
     retries = 0;
     dedup_hits = 0;
     reply_evictions = 0;
+    loopbacks = 0;
   }
 
 let network t = t.net
@@ -153,6 +155,28 @@ let rec attempt t ~src ~req_id p =
   in
   p.timer <- Some (Sim.schedule (Network.sim t.net) ~delay:p.timeout on_timeout)
 
+(* Loopback lane: the request never touches [Network] — no latency, no
+   jitter, no loss, no retry machinery — but keeps the call asynchronous
+   (deferred to a delay-0 event) so callers observe the same callback
+   discipline as remote calls. The pending entry doubles as the crash
+   fence: [on_crash] resets the table, so a node that crashes between
+   issuing the call and the deferred delivery never sees the callback,
+   exactly like a remote caller. *)
+let deliver_loopback t ~src ~req_id node =
+  let ep = endpoint t src in
+  match Hashtbl.find_opt ep.pending_calls req_id with
+  | None -> () (* caller crashed since the call was made *)
+  | Some p ->
+    Hashtbl.remove ep.pending_calls req_id;
+    if Node.up node then begin
+      let result =
+        match Node.handler node ~service:p.service with
+        | None -> Error ("no such service: " ^ p.service)
+        | Some h -> ( try Ok (h ~src p.body) with exn -> Error (Printexc.to_string exn))
+      in
+      p.callback result
+    end
+
 let call t ~src ~dst ~service ~body ?(timeout = Sim.ms 10) ?(retries = 8) callback =
   let ep = endpoint t src in
   t.calls <- t.calls + 1;
@@ -161,7 +185,12 @@ let call t ~src ~dst ~service ~body ?(timeout = Sim.ms 10) ?(retries = 8) callba
   let req_id = Printf.sprintf "%s#%d" src t.next_req in
   let p = { dst; service; body; timeout; attempts_left = retries; callback; timer = None } in
   Hashtbl.replace ep.pending_calls req_id p;
-  attempt t ~src ~req_id p
+  match Network.find_node t.net src with
+  | Some node when dst = src && Node.up node ->
+    t.loopbacks <- t.loopbacks + 1;
+    Sim.emit (Network.sim t.net) ~src (Event.Rpc_loopback { node = src; service });
+    ignore (Sim.schedule (Network.sim t.net) ~delay:0 (fun () -> deliver_loopback t ~src ~req_id node))
+  | Some _ | None -> attempt t ~src ~req_id p
 
 let calls_total t = t.calls
 
@@ -170,3 +199,5 @@ let retries_total t = t.retries
 let dedup_hits_total t = t.dedup_hits
 
 let reply_evictions_total t = t.reply_evictions
+
+let loopback_total t = t.loopbacks

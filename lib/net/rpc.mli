@@ -15,7 +15,17 @@
     first. An evicted reply demotes a late duplicate of that request to
     a re-execution — the same degradation a server crash causes, and
     safe for the same reason (handlers that matter are idempotent).
-    Evictions are counted and announced as [Rpc_reply_evicted]. *)
+    Evictions are counted and announced as [Rpc_reply_evicted].
+
+    Self-addressed calls ([src = dst]) on a live node take a loopback
+    lane: the request is handed to the local handler on a deferred
+    simulation event without touching {!Network} — no latency, jitter,
+    loss, partitions or retries, and no dedup cache (the handler runs
+    exactly once). The callback discipline is unchanged: delivery stays
+    asynchronous, and a crash between call and delivery suppresses the
+    callback just as for remote calls. If the node is down at call time
+    the normal network path (and its drop-to-timeout semantics) is used.
+    Loopback hits are counted and announced as [Rpc_loopback]. *)
 
 type t
 
@@ -51,3 +61,7 @@ val dedup_hits_total : t -> int
 
 val reply_evictions_total : t -> int
 (** Replies dropped from bounded dedup caches (lifetime, all nodes). *)
+
+val loopback_total : t -> int
+(** Self-addressed calls delivered locally without touching the
+    network. *)

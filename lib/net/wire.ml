@@ -2,23 +2,71 @@ exception Malformed of string
 
 type 'a enc = 'a -> string
 
+type 'a embed = Buffer.t -> 'a -> unit
+
 type decoder = { input : string; mutable pos : int }
 
-let frame payload = Printf.sprintf "%d:%s" (String.length payload) payload
+(* Buffer-threaded core: every encoder appends into one shared buffer,
+   so nested lists cost one pass instead of the quadratic copying that
+   [^]/[String.concat] composition paid on each level of nesting. *)
+
+let b_frame buf payload =
+  Buffer.add_string buf (string_of_int (String.length payload));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf payload
+
+let b_string = b_frame
+
+let b_int buf n = b_frame buf (string_of_int n)
+
+let b_bool buf b = b_frame buf (if b then "t" else "f")
+
+let b_pair ea eb buf (a, b) =
+  ea buf a;
+  eb buf b
+
+let b_triple ea eb ec buf (a, b, c) =
+  ea buf a;
+  eb buf b;
+  ec buf c
+
+let b_list e buf items =
+  b_int buf (List.length items);
+  List.iter (fun item -> e buf item) items
+
+let b_option e buf = function
+  | None -> b_bool buf false
+  | Some v ->
+    b_bool buf true;
+    e buf v
+
+let run e v =
+  let buf = Buffer.create 64 in
+  e buf v;
+  Buffer.contents buf
+
+(* Legacy string combinators, kept as thin wrappers over the buffer
+   core. [embed] can't be recovered from an opaque ['a enc], so the
+   composite wrappers append each element's rendered string — still a
+   single output buffer, no repeated concatenation. *)
+
+let frame payload = run b_frame payload
 
 let string s = frame s
 
-let int n = frame (string_of_int n)
+let int n = run b_int n
 
-let bool b = frame (if b then "t" else "f")
+let bool b = run b_bool b
 
-let pair ea eb (a, b) = ea a ^ eb b
+let lift e buf v = Buffer.add_string buf (e v)
 
-let triple ea eb ec (a, b, c) = ea a ^ eb b ^ ec c
+let pair ea eb v = run (b_pair (lift ea) (lift eb)) v
 
-let list e items = int (List.length items) ^ String.concat "" (List.map e items)
+let triple ea eb ec v = run (b_triple (lift ea) (lift eb) (lift ec)) v
 
-let option e = function None -> bool false | Some v -> bool true ^ e v
+let list e items = run (b_list (lift e)) items
+
+let option e v = run (b_option (lift e)) v
 
 let decoder input = { input; pos = 0 }
 

@@ -8,7 +8,28 @@ exception Malformed of string
 
 type 'a enc = 'a -> string
 
+type 'a embed = Buffer.t -> 'a -> unit
+(** Buffer-threaded encoder: appends the framed value to a shared
+    buffer. The core representation — composing [embed]s costs one pass
+    over the data regardless of nesting depth, where the ['a enc]
+    string combinators used to re-copy every enclosed payload. *)
+
 type decoder
+
+(** {1 Buffer-threaded encoders} *)
+
+val b_string : string embed
+val b_int : int embed
+val b_bool : bool embed
+val b_pair : 'a embed -> 'b embed -> ('a * 'b) embed
+val b_triple : 'a embed -> 'b embed -> 'c embed -> ('a * 'b * 'c) embed
+val b_list : 'a embed -> 'a list embed
+val b_option : 'a embed -> 'a option embed
+
+val run : 'a embed -> 'a -> string
+(** Render through a fresh buffer. *)
+
+(** {1 String combinators (thin wrappers over the buffer core)} *)
 
 val string : string enc
 val int : int enc

@@ -7,6 +7,7 @@ type t = {
   engines : (string * Engine.t) list;
   nodes : Node.t list;
   participants : (string * Participant.t) list;
+  managers : (string * Txn.manager) list;
 }
 
 let make ?(config = Network.default_config) ?(engine_config = Engine.default_config)
@@ -56,7 +57,8 @@ let make ?(config = Network.default_config) ?(engine_config = Engine.default_con
         all_nodes)
     engines;
   let participants = List.map (fun (n, p, _) -> (Node.id n, p)) members in
-  { sim; net; rpc; registry; engine; engines; nodes = all_nodes; participants }
+  let managers = List.map (fun (n, _, m) -> (Node.id n, m)) members in
+  { sim; net; rpc; registry; engine; engines; nodes = all_nodes; participants; managers }
 
 let node t id =
   match List.find_opt (fun n -> Node.id n = id) t.nodes with
@@ -72,6 +74,11 @@ let participant t id =
   match List.assoc_opt id t.participants with
   | Some p -> p
   | None -> invalid_arg ("Testbed.participant: unknown node " ^ id)
+
+let manager t id =
+  match List.assoc_opt id t.managers with
+  | Some m -> m
+  | None -> invalid_arg ("Testbed.manager: unknown node " ^ id)
 
 let run ?until t = Sim.run ?until t.sim
 

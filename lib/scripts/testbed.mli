@@ -12,6 +12,7 @@ type t = {
   engines : (string * Engine.t) list;  (** by node id, creation order *)
   nodes : Node.t list;
   participants : (string * Participant.t) list;  (** by node id *)
+  managers : (string * Txn.manager) list;  (** by node id *)
 }
 
 val make :
@@ -34,6 +35,9 @@ val engine_on : t -> string -> Engine.t
 (** The engine living on the given node id. *)
 
 val participant : t -> string -> Participant.t
+
+val manager : t -> string -> Txn.manager
+(** The transaction coordinator on the given node id. *)
 
 val run : ?until:Sim.time -> t -> unit
 

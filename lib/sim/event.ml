@@ -12,7 +12,13 @@ type t =
   | Task_auto_restarted of { path : string }
   | Task_marked of { path : string; mark : string }
   | Task_repeated of { path : string; output : string; attempt : int }
-  | Task_completed of { path : string; output : string; aborted : bool; duration : int }
+  | Task_completed of {
+      path : string;
+      output : string;
+      aborted : bool;
+      duration : int;
+      scope : bool;
+    }
   | Task_failed of { path : string; reason : string }
   | Impl_completed of { path : string; output : string }
   | Watchdog_fired of { path : string }
@@ -22,10 +28,14 @@ type t =
   | Recovery_error of { detail : string }
   | Txn_failed of { detail : string }
   | Txn_resolved of { txid : string; committed : bool }
+  | Txn_one_phase of { txid : string; local : bool }
+  | Txn_readonly_elided of { txid : string; node : string }
   | Rpc_sent of { src : string; dst : string; service : string }
   | Rpc_retried of { src : string; dst : string; service : string }
   | Rpc_timed_out of { src : string; dst : string; service : string }
   | Rpc_reply_evicted of { node : string }
+  | Rpc_loopback of { node : string; service : string }
+  | Persist_batched of { requests : int; writes : int }
 
 let name = function
   | Wf_launched _ -> "wf-launched"
@@ -51,10 +61,14 @@ let name = function
   | Recovery_error _ -> "recovery-error"
   | Txn_failed _ -> "txn-failed"
   | Txn_resolved _ -> "txn-resolved"
+  | Txn_one_phase _ -> "txn-one-phase"
+  | Txn_readonly_elided _ -> "txn-readonly-elided"
   | Rpc_sent _ -> "rpc-sent"
   | Rpc_retried _ -> "rpc-retried"
   | Rpc_timed_out _ -> "rpc-timed-out"
   | Rpc_reply_evicted _ -> "rpc-reply-evicted"
+  | Rpc_loopback _ -> "rpc-loopback"
+  | Persist_batched _ -> "persist-batched"
 
 (* The legacy trace vocabulary predates the typed events; tests, the
    Gantt reconstruction and the CLI all read it, so the mapping must
@@ -87,7 +101,9 @@ let to_trace = function
     Some ("recovery", Printf.sprintf "%d instance(s)" instances)
   | Recovery_error { detail } -> Some ("recovery-error", detail)
   | Txn_failed { detail } -> Some ("txn-failed", detail)
-  | Txn_resolved _ | Rpc_sent _ | Rpc_retried _ | Rpc_timed_out _ | Rpc_reply_evicted _ -> None
+  | Txn_resolved _ | Txn_one_phase _ | Txn_readonly_elided _ | Rpc_sent _ | Rpc_retried _
+  | Rpc_timed_out _ | Rpc_reply_evicted _ | Rpc_loopback _ | Persist_batched _ ->
+    None
 
 type subscriber = at:int -> src:string -> t -> unit
 

@@ -30,9 +30,17 @@ type t =
       (** Abort outcome absorbed by the ["retries"] implementation kv. *)
   | Task_marked of { path : string; mark : string }
   | Task_repeated of { path : string; output : string; attempt : int }
-  | Task_completed of { path : string; output : string; aborted : bool; duration : int }
+  | Task_completed of {
+      path : string;
+      output : string;
+      aborted : bool;
+      duration : int;
+      scope : bool;
+    }
       (** [duration] in virtual us since the completing execution
-          started; [aborted] for abort outcomes. *)
+          started; [aborted] for abort outcomes; [scope] when the
+          completion closes a compound task (scope) rather than a basic
+          task, so duration histograms can keep the two apart. *)
   | Task_failed of { path : string; reason : string }
   | Impl_completed of { path : string; output : string }
       (** An implementation reported a final (non-repeat) outcome;
@@ -45,12 +53,27 @@ type t =
   | Txn_failed of { detail : string }  (** an engine persist gave up *)
   | Txn_resolved of { txid : string; committed : bool }
       (** Top-level commit decision (2PC) or abort. *)
+  | Txn_one_phase of { txid : string; local : bool }
+      (** A single-participant transaction committed via the combined
+          prepare+commit fast lane; [local] when the sole participant was
+          the coordinator's own node and no RPC was needed at all. *)
+  | Txn_readonly_elided of { txid : string; node : string }
+      (** [node] held only read locks for the committing transaction: it
+          validated and released in phase 1 and was excluded from the
+          commit fan-out. *)
   | Rpc_sent of { src : string; dst : string; service : string }
   | Rpc_retried of { src : string; dst : string; service : string }
   | Rpc_timed_out of { src : string; dst : string; service : string }
   | Rpc_reply_evicted of { node : string }
       (** The bounded server-side RPC dedup cache dropped its oldest
           reply on [node] to admit a new one. *)
+  | Rpc_loopback of { node : string; service : string }
+      (** A self-addressed call ([src = dst], node up) delivered to the
+          local handler without touching the network fabric. *)
+  | Persist_batched of { requests : int; writes : int }
+      (** One engine persist flush coalesced [requests] (>= 2) queued
+          persist calls, [writes] total writes, into a single
+          transaction. *)
 
 val name : t -> string
 (** Stable kebab-case tag of the constructor (metrics counter keys). *)

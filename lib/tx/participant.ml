@@ -97,6 +97,44 @@ let handle_prepare t ~src:_ body =
       Txrecord.enc_vote false
     end
 
+(* One-phase commit: this node is the transaction's only participant, so
+   prepare and commit collapse into a single decision made here — lock
+   validation, apply, and one combined log append. No coordinator
+   decision record exists anywhere; if the reply is lost the coordinator
+   presumes abort, which is safe because a refused one-phase commit
+   changes nothing. A refusal is remembered in the volatile decided
+   cache so a re-executed duplicate (evicted reply) cannot commit a
+   transaction the coordinator already gave up on. *)
+let handle_commit_one t ~src:_ body =
+  let txid, read_keys, writes = Txrecord.dec_commit_one body in
+  match Hashtbl.find_opt t.decided txid with
+  | Some `Committed -> Txrecord.enc_vote true (* duplicate *)
+  | Some `Aborted -> Txrecord.enc_vote false
+  | None ->
+    if prepare_locks t ~txid ~read_keys ~writes then begin
+      apply_writes t writes;
+      Wal.append t.plog (Txrecord.P_one_phase txid);
+      Hashtbl.replace t.decided txid `Committed;
+      Lock.release_all t.locks ~txid;
+      List.iter (fun observe -> observe writes) t.observers;
+      Txrecord.enc_vote true
+    end
+    else begin
+      Hashtbl.replace t.decided txid `Aborted;
+      Lock.release_all t.locks ~txid;
+      Txrecord.enc_vote false
+    end
+
+(* Read-only elision: the participant holds no writes for this
+   transaction, so its vote is pure validation — do the read locks still
+   stand? Either way it releases and forgets the transaction in phase 1;
+   the coordinator never includes it in the commit fan-out. *)
+let handle_prepare_ro t ~src:_ body =
+  let txid, read_keys = Txrecord.dec_prepare_ro body in
+  let ok = List.for_all (fun key -> Lock.holds_read t.locks ~key ~txid) read_keys in
+  Lock.release_all t.locks ~txid;
+  Txrecord.enc_vote ok
+
 let handle_commit t ~src:_ body =
   decide_commit t (Txrecord.dec_txid body);
   "ack"
@@ -120,6 +158,7 @@ let replay_record t = function
   | Txrecord.P_aborted txid ->
     Hashtbl.remove t.prepared txid;
     Hashtbl.replace t.decided txid `Aborted
+  | Txrecord.P_one_phase txid -> Hashtbl.replace t.decided txid `Committed
 
 let on_recover t () =
   Kvstore.recover t.store;
@@ -148,6 +187,8 @@ let create ~rpc ~node =
   Node.serve node ~service:Txrecord.service_read (handle_read t);
   Node.serve node ~service:Txrecord.service_prepare (handle_prepare t);
   Node.serve node ~service:Txrecord.service_commit (handle_commit t);
+  Node.serve node ~service:Txrecord.service_commit_one (handle_commit_one t);
+  Node.serve node ~service:Txrecord.service_prepare_ro (handle_prepare_ro t);
   Node.serve node ~service:Txrecord.service_abort (handle_abort t);
   Node.on_crash node (on_crash t);
   Node.on_recover node (on_recover t);
@@ -168,7 +209,7 @@ let checkpoint t =
     List.filter
       (function
         | Txrecord.P_prepared { txid; _ } -> Hashtbl.mem t.prepared txid
-        | Txrecord.P_committed _ | Txrecord.P_aborted _ -> false)
+        | Txrecord.P_committed _ | Txrecord.P_aborted _ | Txrecord.P_one_phase _ -> false)
       (Wal.records t.plog)
   in
   Wal.rewrite t.plog live

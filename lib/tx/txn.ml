@@ -35,6 +35,8 @@ type manager = {
   mutable seq : int;
   mutable committed_total : int;
   mutable resumed_total : int;
+  mutable one_phase_total : int;
+  mutable readonly_elided_total : int;
 }
 
 type t = {
@@ -150,6 +152,8 @@ let manager ~rpc ~node =
       seq = 0;
       committed_total = 0;
       resumed_total = 0;
+      one_phase_total = 0;
+      readonly_elided_total = 0;
     }
   in
   Wal.append mgr.clog Txrecord.C_incarnation;
@@ -244,52 +248,140 @@ let abort_at_participants mgr txid nodes =
   in
   List.iter tell nodes
 
+(* Top-level commit, with three fast lanes in front of classic 2PC:
+
+   - read-only transaction: every participant validates-and-releases in
+     a single round ([tx.prepare-ro]); nothing is logged anywhere.
+   - one-phase commit: exactly one participant with writes and no
+     read-only participants — prepare and commit collapse into one
+     [tx.commit1] message decided at the participant. When that sole
+     participant is the coordinator's own node, the handler is invoked
+     directly (no RPC at all) and only the completion is deferred to a
+     simulation event, preserving the asynchronous callback contract.
+   - 2PC with read-only elision: participants holding only read locks
+     vote via [tx.prepare-ro] and are excluded from the decision record
+     and the commit fan-out.
+
+   All lanes presume abort: only a [C_committed] record (written by the
+   2PC lane alone) obligates recovery to push commits; everything else
+   aborts by default, and one-phase participants decide locally. *)
 let commit_top (t : t) : unit io =
  fun k ->
   let mgr = t.mgr in
   let by_node = participants_of_root t in
-  let nodes = List.map fst (String_map.bindings by_node) in
-  if nodes = [] then begin
+  let bindings = String_map.bindings by_node in
+  let all_nodes = List.map fst bindings in
+  let ro, rw = List.partition (fun (_, (_, writes)) -> writes = []) bindings in
+  let ro_nodes = List.map fst ro in
+  let rw_nodes = List.map fst rw in
+  let resolve committed =
     Hashtbl.remove mgr.active t.id;
+    Sim.emit mgr.sim ~src:(manager_node mgr)
+      (Event.Txn_resolved { txid = t.id; committed })
+  in
+  let elide_ro () =
+    mgr.readonly_elided_total <- mgr.readonly_elided_total + List.length ro_nodes;
+    List.iter
+      (fun node ->
+        Sim.emit mgr.sim ~src:(manager_node mgr)
+          (Event.Txn_readonly_elided { txid = t.id; node }))
+      ro_nodes
+  in
+  (* [participants] = write participants still owed a phase-2 commit
+     message; [] when the decision needs no record and no fan-out. *)
+  let conclude_commit ~participants () =
+    if participants <> [] then begin
+      Wal.append mgr.clog (Txrecord.C_committed { txid = t.id; participants });
+      Hashtbl.replace mgr.committed t.id participants
+    end;
+    resolve true;
     mgr.committed_total <- mgr.committed_total + 1;
-    Sim.emit mgr.sim ~src:(manager_node mgr) (Event.Txn_resolved { txid = t.id; committed = true });
+    elide_ro ();
+    if participants = [] then k (Ok ())
+    else push_commits mgr t.id participants (fun () -> k (Ok ()))
+  in
+  let conclude_abort ?(notify = all_nodes) e =
+    resolve false;
+    abort_at_participants mgr t.id notify;
+    k (Error e)
+  in
+  match (rw, ro) with
+  | [], [] ->
+    resolve true;
+    mgr.committed_total <- mgr.committed_total + 1;
     k (Ok ())
-  end
-  else begin
-    let votes_left = ref (List.length nodes) in
+  | [ (node, (read_keys, writes)) ], [] ->
+    (* one-phase lane *)
+    let body = Txrecord.enc_commit_one ~txid:t.id ~read_keys ~writes in
+    let finish ~local vote =
+      if vote then begin
+        mgr.one_phase_total <- mgr.one_phase_total + 1;
+        Sim.emit mgr.sim ~src:(manager_node mgr)
+          (Event.Txn_one_phase { txid = t.id; local });
+        conclude_commit ~participants:[] ()
+      end
+      else
+        (* a refused one-phase commit already released everything at the
+           participant; no abort message needed *)
+        conclude_abort ~notify:[] (`Conflict "one-phase commit refused")
+    in
+    let local_handler =
+      if node = manager_node mgr && Node.up mgr.node then
+        Node.handler mgr.node ~service:Txrecord.service_commit_one
+      else None
+    in
+    (match local_handler with
+    | Some h ->
+      (* coordinator-local: decide synchronously against the co-hosted
+         participant, defer only the continuation. The epoch guard kills
+         the continuation if the node crashes in between — the commit
+         itself is already durable, exactly as if the reply were lost. *)
+      let vote = try Txrecord.dec_vote (h ~src:(manager_node mgr) body) with _ -> false in
+      let epoch = mgr.incarnation in
+      ignore
+        (Sim.schedule mgr.sim ~delay:0 (fun () ->
+             if mgr.incarnation = epoch && Node.up mgr.node then finish ~local:true vote))
+    | None ->
+      Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_commit_one
+        ~body (function
+        | Ok vote -> finish ~local:false (try Txrecord.dec_vote vote with _ -> false)
+        | Error _ ->
+          (* outcome unknown at the participant (presumed abort there if
+             unprepared; committed if the reply was lost — [run] retries
+           with a fresh txid, and the engine's writes are absolute, so
+           re-execution converges) *)
+          conclude_abort `Timeout))
+  | _ ->
+    (* 2PC over write participants, read-only participants elided *)
+    let votes_left = ref (List.length bindings) in
     let failed = ref None in
     let conclude () =
       match !failed with
-      | None ->
-        Wal.append mgr.clog (Txrecord.C_committed { txid = t.id; participants = nodes });
-        Hashtbl.replace mgr.committed t.id nodes;
-        Hashtbl.remove mgr.active t.id;
-        mgr.committed_total <- mgr.committed_total + 1;
-        Sim.emit mgr.sim ~src:(manager_node mgr) (Event.Txn_resolved { txid = t.id; committed = true });
-        push_commits mgr t.id nodes (fun () -> k (Ok ()))
-      | Some e ->
-        Hashtbl.remove mgr.active t.id;
-        abort_at_participants mgr t.id nodes;
-        Sim.emit mgr.sim ~src:(manager_node mgr) (Event.Txn_resolved { txid = t.id; committed = false });
-        k (Error e)
+      | None -> conclude_commit ~participants:rw_nodes ()
+      | Some e -> conclude_abort e
     in
-    let prepare node (read_keys, writes) =
-      let body =
-        Txrecord.enc_prepare_req ~txid:t.id ~coordinator:(manager_node mgr) ~read_keys ~writes
-      in
-      let handle outcome =
-        (match outcome with
-        | Ok vote when Txrecord.dec_vote vote -> ()
-        | Ok _ -> if !failed = None then failed := Some (`Conflict "prepare refused")
-        | Error _ -> if !failed = None then failed := Some `Timeout);
-        decr votes_left;
-        if !votes_left = 0 then conclude ()
-      in
-      Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_prepare ~body
-        handle
+    let tally outcome =
+      (match outcome with
+      | Ok vote when (try Txrecord.dec_vote vote with _ -> false) -> ()
+      | Ok _ -> if !failed = None then failed := Some (`Conflict "prepare refused")
+      | Error _ -> if !failed = None then failed := Some `Timeout);
+      decr votes_left;
+      if !votes_left = 0 then conclude ()
     in
-    String_map.iter prepare by_node
-  end
+    List.iter
+      (fun (node, (read_keys, writes)) ->
+        let body =
+          Txrecord.enc_prepare_req ~txid:t.id ~coordinator:(manager_node mgr) ~read_keys ~writes
+        in
+        Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_prepare
+          ~body tally)
+      rw;
+    List.iter
+      (fun (node, (read_keys, _)) ->
+        let body = Txrecord.enc_prepare_ro ~txid:t.id ~read_keys in
+        Rpc.call mgr.rpc ~src:(manager_node mgr) ~dst:node ~service:Txrecord.service_prepare_ro
+          ~body tally)
+      ro
 
 let merge_into_parent t =
   match t.parent with
@@ -361,3 +453,7 @@ let compact mgr =
 let committed_count mgr = mgr.committed_total
 
 let resumed_commits mgr = mgr.resumed_total
+
+let one_phase_commits mgr = mgr.one_phase_total
+
+let readonly_elisions mgr = mgr.readonly_elided_total

@@ -9,6 +9,16 @@
     eventually reach every participant despite a finite number of
     crashes and message losses.
 
+    Commit takes a fast lane when the transaction's shape allows it:
+    read-only transactions validate-and-release in one round with no
+    logging; single-participant transactions use one-phase commit (a
+    combined prepare+commit decided at the participant — a direct local
+    call with a single log append when that participant is the
+    coordinator's own node); and in general 2PC, read-only participants
+    vote and release in phase 1 and are excluded from the commit
+    fan-out. Remote fault semantics are unchanged: every lane presumes
+    abort, and only a logged [C_committed] obligates recovery.
+
     Everything is continuation-passing (the simulator is event-driven);
     the ['a io] monad keeps call sites readable. Nested transactions are
     coordinator-local: children buffer writes and merge them into the
@@ -94,3 +104,11 @@ val committed_count : manager -> int
 
 val resumed_commits : manager -> int
 (** Commit phases resumed by recovery. *)
+
+val one_phase_commits : manager -> int
+(** Transactions committed through the single-participant one-phase
+    lane (lifetime). *)
+
+val readonly_elisions : manager -> int
+(** Read-only participants released in phase 1 and excluded from the
+    commit fan-out, summed over committed transactions (lifetime). *)

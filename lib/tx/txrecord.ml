@@ -4,6 +4,7 @@ type precord =
   | P_prepared of { txid : string; coordinator : string; writes : write list }
   | P_committed of string
   | P_aborted of string
+  | P_one_phase of string
 
 type crecord =
   | C_incarnation
@@ -20,6 +21,10 @@ let service_abort = "tx.abort"
 
 let service_status = "tx.status"
 
+let service_commit_one = "tx.commit1"
+
+let service_prepare_ro = "tx.prepare-ro"
+
 let enc_read_req = Wire.(pair string string)
 
 let dec_read_req = Wire.(decode (d_pair d_string d_string))
@@ -34,10 +39,16 @@ let dec_read_reply body =
     (fun d -> if d_bool d then Ok (d_option d_string d) else Error (d_string d))
     body
 
-let enc_writes = Wire.(list (pair string (option string)))
+let b_writes = Wire.(b_list (b_pair b_string (b_option b_string)))
 
 let enc_prepare_req ~txid ~coordinator ~read_keys ~writes =
-  Wire.string txid ^ Wire.string coordinator ^ Wire.(list string) read_keys ^ enc_writes writes
+  Wire.run
+    (fun buf () ->
+      Wire.b_string buf txid;
+      Wire.b_string buf coordinator;
+      Wire.(b_list b_string) buf read_keys;
+      b_writes buf writes)
+    ()
 
 let dec_prepare_req body =
   let open Wire in
@@ -48,6 +59,40 @@ let dec_prepare_req body =
       let read_keys = d_list d_string d in
       let writes = d_list (d_pair d_string (d_option d_string)) d in
       (txid, coordinator, read_keys, writes))
+    body
+
+let enc_commit_one ~txid ~read_keys ~writes =
+  Wire.run
+    (fun buf () ->
+      Wire.b_string buf txid;
+      Wire.(b_list b_string) buf read_keys;
+      b_writes buf writes)
+    ()
+
+let dec_commit_one body =
+  let open Wire in
+  decode
+    (fun d ->
+      let txid = d_string d in
+      let read_keys = d_list d_string d in
+      let writes = d_list (d_pair d_string (d_option d_string)) d in
+      (txid, read_keys, writes))
+    body
+
+let enc_prepare_ro ~txid ~read_keys =
+  Wire.run
+    (fun buf () ->
+      Wire.b_string buf txid;
+      Wire.(b_list b_string) buf read_keys)
+    ()
+
+let dec_prepare_ro body =
+  let open Wire in
+  decode
+    (fun d ->
+      let txid = d_string d in
+      let read_keys = d_list d_string d in
+      (txid, read_keys))
     body
 
 let enc_vote = Wire.bool

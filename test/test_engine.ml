@@ -1238,6 +1238,76 @@ let test_metrics_mirror_counter_accessors () =
   check "task durations sampled" true
     (List.length (Metrics.samples m "engine.task_duration_us") >= 4)
 
+(* --- commit fast lanes & batched persistence --- *)
+
+let crash_recovery_run ~batch =
+  let engine_config = { fast_engine with Engine.batch_persists = batch } in
+  let tb = Testbed.make ~engine_config () in
+  Impls.register_process_order ~work:(Sim.ms 20) ~scenario:Impls.order_ok tb.Testbed.registry;
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 10) (fun () -> Testbed.crash tb "n0"));
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 200) (fun () -> Testbed.recover tb "n0"));
+  match
+    Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+      ~root:Paper_scripts.process_order_root ~inputs:order_input
+  with
+  | Ok (iid, status) ->
+    ignore (expect_done ~output:"orderCompleted" status);
+    (status, List.sort compare (Engine.task_states tb.Testbed.engine iid))
+  | Error e -> Alcotest.failf "launch: %s" e
+
+let test_batched_persistence_crash_equivalence () =
+  (* coalescing a poll pass's persists into one transaction must not
+     change what survives a crash: the batch commits or aborts as a
+     whole, so recovery replays the same prefix either way *)
+  let s_batched, t_batched = crash_recovery_run ~batch:true in
+  let s_plain, t_plain = crash_recovery_run ~batch:false in
+  check "same final status" true (s_batched = s_plain);
+  check "same task states after recovery" true (t_batched = t_plain)
+
+let test_persist_batching_counted () =
+  (* two launches arriving in the same poll pass persist in one
+     transaction; the coalescing is observable and both instances
+     still run to completion *)
+  let tb = Testbed.make () in
+  Impls.register_quickstart ?work:None tb.Testbed.registry;
+  let launch () =
+    match
+      Engine.launch tb.Testbed.engine ~script:Paper_scripts.quickstart
+        ~root:Paper_scripts.quickstart_root ~inputs:(seed_input 3)
+    with
+    | Ok iid -> iid
+    | Error e -> Alcotest.failf "launch: %s" e
+  in
+  let a = launch () in
+  let b = launch () in
+  Testbed.run tb;
+  let done_ iid =
+    match Engine.status tb.Testbed.engine iid with
+    | Some status -> ignore (expect_done ~output:"finished" status)
+    | None -> Alcotest.failf "instance %s vanished" iid
+  in
+  done_ a;
+  done_ b;
+  check "same-timestep persists were coalesced" true
+    (Metrics.value (Engine.metrics tb.Testbed.engine) "engine.persist_batched" >= 1)
+
+let test_scope_and_task_histograms_split () =
+  (* scope completions land in their own histogram, so the task one
+     counts exactly one sample per leaf task *)
+  let tb, _, status =
+    run_script ~register:(Impls.register_quickstart ?work:None)
+      ~script:Paper_scripts.quickstart ~root:Paper_scripts.quickstart_root
+      ~inputs:(seed_input 2) ()
+  in
+  ignore (expect_done ~output:"finished" status);
+  let m = Engine.metrics tb.Testbed.engine in
+  check_int "one sample per leaf task" 4
+    (List.length (Metrics.samples m "engine.task_duration_us"));
+  check "root scope sampled separately" true
+    (List.length (Metrics.samples m "engine.scope_duration_us") >= 1);
+  check "single-node runs ride the loopback lane" true (Metrics.value m "rpc.loopback" > 0);
+  check "single-participant commits take one-phase" true (Metrics.value m "txn.one_phase" > 0)
+
 (* --- determinism --- *)
 
 let test_same_seed_same_trace () =
@@ -1344,6 +1414,14 @@ let () =
             test_gantt_recorder_matches_trace_render;
           Alcotest.test_case "metrics mirror counters" `Quick
             test_metrics_mirror_counter_accessors;
+        ] );
+      ( "fast-lanes",
+        [
+          Alcotest.test_case "batched persistence crash equivalence" `Quick
+            test_batched_persistence_crash_equivalence;
+          Alcotest.test_case "same-poll persists coalesced" `Quick test_persist_batching_counted;
+          Alcotest.test_case "scope/task histograms split" `Quick
+            test_scope_and_task_histograms_split;
         ] );
       ("determinism", [ Alcotest.test_case "same seed same trace" `Quick test_same_seed_same_trace ]);
     ]

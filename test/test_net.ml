@@ -271,6 +271,67 @@ let test_rpc_dedup_survives_small_cache () =
   check_int "all calls succeed" 10 !oks;
   check_int "exactly-once execution with a bounded cache" 10 !executions
 
+(* --- loopback fast lane --- *)
+
+let test_rpc_loopback_skips_network () =
+  let sim, net, rpc = make_rpc [ "a"; "b" ] in
+  Node.serve (Network.node net "a") ~service:"echo" (fun ~src:_ body -> body ^ body);
+  let m = Metrics.create () in
+  Metrics.attach m (Sim.events sim);
+  let result = ref None in
+  Rpc.call rpc ~src:"a" ~dst:"a" ~service:"echo" ~body:"lo" (fun r -> result := Some r);
+  Sim.run sim;
+  check "reply delivered" true (!result = Some (Ok "lolo"));
+  check_int "no network traffic" 0 (Network.sent_total net);
+  check_int "zero virtual latency" 0 (Sim.now sim);
+  check_int "counted" 1 (Rpc.loopback_total rpc);
+  check_int "rpc.loopback metric" 1 (Metrics.value m "rpc.loopback");
+  check_int "still announced as rpc-sent" 1 (Metrics.value m "events.rpc-sent")
+
+let test_rpc_loopback_on_partitioned_self () =
+  (* a node partitioned from the rest of the fabric — even from itself
+     at the network level — still reaches its own services *)
+  let sim, net, rpc = make_rpc [ "a"; "b" ] in
+  Node.serve (Network.node net "a") ~service:"s" (fun ~src:_ _ -> "here");
+  Network.partition_on net "a" "b";
+  Network.partition_on net "a" "a";
+  let result = ref None in
+  Rpc.call rpc ~src:"a" ~dst:"a" ~service:"s" ~body:"" (fun r -> result := Some r);
+  Sim.run sim;
+  check "self-call unaffected by partitions" true (!result = Some (Ok "here"))
+
+let test_rpc_loopback_crashed_self_times_out () =
+  (* a down node gets no loopback: the call takes the network path,
+     whose send is suppressed at the crashed source, and times out
+     without ever executing the handler *)
+  let sim, net, rpc = make_rpc [ "a" ] in
+  let executed = ref false in
+  Node.serve (Network.node net "a") ~service:"s" (fun ~src:_ _ ->
+      executed := true;
+      "");
+  Node.crash (Network.node net "a");
+  let result = ref None in
+  Rpc.call rpc ~src:"a" ~dst:"a" ~service:"s" ~body:"" ~timeout:(Sim.ms 5) ~retries:1 (fun r ->
+      result := Some r);
+  Sim.run sim;
+  check "handler never ran" false !executed;
+  check "timed out" true (!result = Some (Error "timeout"));
+  check_int "no loopback counted" 0 (Rpc.loopback_total rpc)
+
+let test_rpc_loopback_crash_before_delivery_suppresses_callback () =
+  (* the loopback delivery is deferred; a crash in the same instant
+     kills the pending call, so neither handler nor callback runs *)
+  let sim, net, rpc = make_rpc [ "a" ] in
+  let executed = ref false and fired = ref false in
+  Node.serve (Network.node net "a") ~service:"s" (fun ~src:_ _ ->
+      executed := true;
+      "");
+  Rpc.call rpc ~src:"a" ~dst:"a" ~service:"s" ~body:"" (fun _ -> fired := true);
+  Node.crash (Network.node net "a");
+  Sim.run sim;
+  check "handler never ran" false !executed;
+  check "callback suppressed" false !fired
+
 let test_rpc_invalid_cache_cap_rejected () =
   let sim = Sim.create ~seed:1L () in
   let net = Network.create sim in
@@ -317,6 +378,13 @@ let () =
           Alcotest.test_case "reply cache bounded" `Quick test_rpc_reply_cache_bounded;
           Alcotest.test_case "dedup with small cache" `Quick test_rpc_dedup_survives_small_cache;
           Alcotest.test_case "invalid cache cap" `Quick test_rpc_invalid_cache_cap_rejected;
+          Alcotest.test_case "loopback skips network" `Quick test_rpc_loopback_skips_network;
+          Alcotest.test_case "loopback through partition" `Quick
+            test_rpc_loopback_on_partitioned_self;
+          Alcotest.test_case "loopback crashed self" `Quick
+            test_rpc_loopback_crashed_self_times_out;
+          Alcotest.test_case "loopback crash pre-delivery" `Quick
+            test_rpc_loopback_crash_before_delivery_suppresses_callback;
         ] );
       ("properties", qsuite);
     ]

@@ -4,6 +4,8 @@
 
 let check = Alcotest.(check bool)
 
+let check_int = Alcotest.(check int)
+
 let check_str_opt = Alcotest.(check (option string))
 
 open Txn
@@ -204,6 +206,145 @@ let test_nested_child_wins_merge () =
   check_str_opt "child's later write wins" (Some "child")
     (Participant.committed_value (Harness.participant c "a") ~key:"x")
 
+(* --- Commit fast lanes --- *)
+
+let test_one_phase_local_no_rpc () =
+  (* sole participant = the coordinator's own node: the commit is a
+     direct local call — no RPC, no network messages, one log append *)
+  let c = Harness.cluster [ "a" ] in
+  let mgr = Harness.manager c "a" in
+  let m = Metrics.create () in
+  Metrics.attach m (Sim.events c.Harness.sim);
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"a" ~key:"x" ~value:"42";
+         return ()));
+  check_str_opt "committed" (Some "42")
+    (Participant.committed_value (Harness.participant c "a") ~key:"x");
+  check_int "one-phase lane taken" 1 (Txn.one_phase_commits mgr);
+  check_int "no network traffic at all" 0 (Network.sent_total c.Harness.net);
+  check_int "no rpc calls" 0 (Rpc.calls_total c.Harness.rpc);
+  check_int "single combined log record" 1 (Participant.log_length (Harness.participant c "a"));
+  check_int "txn.one_phase metric" 1 (Metrics.value m "txn.one_phase")
+
+let test_one_phase_remote_commit () =
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"b" ~key:"y" ~value:"v";
+         return ()));
+  check_str_opt "applied at b" (Some "v")
+    (Participant.committed_value (Harness.participant c "b") ~key:"y");
+  check_int "one-phase lane taken" 1 (Txn.one_phase_commits mgr);
+  check_int "single combined log record at b" 1
+    (Participant.log_length (Harness.participant c "b"));
+  Alcotest.(check (list string))
+    "nothing left prepared at b" []
+    (Participant.prepared_txids (Harness.participant c "b"))
+
+let test_one_phase_refused_on_conflict () =
+  (* the combined prepare+commit must refuse when the participant's
+     locks are taken, and the refusal aborts cleanly *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let blocker = Txn.begin_ (Harness.manager c "b") in
+  let ok = ref false in
+  (read blocker ~node:"b" ~key:"y") (fun r -> ok := (r = Ok None));
+  Harness.run c;
+  check "blocker locked y" true !ok;
+  let result =
+    Harness.exec c
+      (Txn.run (Harness.manager c "a") ~max_attempts:1 (fun t ->
+           write t ~node:"b" ~key:"y" ~value:"2";
+           return ()))
+  in
+  check "refused as conflict" true (match result with Error (`Conflict _) -> true | _ -> false);
+  check_str_opt "nothing applied" None
+    (Participant.committed_value (Harness.participant c "b") ~key:"y");
+  Txn.abort blocker;
+  Harness.run c;
+  Harness.exec_ok c
+    (Txn.run (Harness.manager c "a") (fun t ->
+         write t ~node:"b" ~key:"y" ~value:"3";
+         return ()));
+  check_str_opt "unblocked after abort" (Some "3")
+    (Participant.committed_value (Harness.participant c "b") ~key:"y")
+
+let test_readonly_txn_elided () =
+  (* a pure read-only transaction commits in one validate-and-release
+     round: no decision record, no commit fan-out, no participant log *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"b" ~key:"x" ~value:"seed";
+         return ()));
+  let log_after_seed = Participant.log_length (Harness.participant c "b") in
+  let m = Metrics.create () in
+  Metrics.attach m (Sim.events c.Harness.sim);
+  let seen =
+    Harness.exec_ok c
+      (Txn.run mgr (fun t ->
+           let* v = read t ~node:"b" ~key:"x" in
+           return v))
+  in
+  check_str_opt "read the committed value" (Some "seed") seen;
+  check_int "participant elided" 1 (Txn.readonly_elisions mgr);
+  check_int "txn.readonly_elided metric" 1 (Metrics.value m "txn.readonly_elided");
+  check_int "no new participant log record" log_after_seed
+    (Participant.log_length (Harness.participant c "b"));
+  (* the read locks are gone: an immediate writer must not conflict *)
+  Harness.exec_ok c
+    (Txn.run (Harness.manager c "b") ~max_attempts:1 (fun t ->
+         write t ~node:"b" ~key:"x" ~value:"next";
+         return ()));
+  check_str_opt "lock released in phase 1" (Some "next")
+    (Participant.committed_value (Harness.participant c "b") ~key:"x")
+
+let test_readonly_elision_under_conflict () =
+  (* validation must fail when the participant lost the read locks (a
+     crash reset its lock table): stale reads cannot commit *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  let t = Txn.begin_ mgr in
+  let got = ref false in
+  (read t ~node:"b" ~key:"x") (fun r -> got := (r = Ok None));
+  Harness.run c;
+  check "read acquired its lock" true !got;
+  Harness.crash c "b";
+  Harness.recover c "b";
+  Harness.run c;
+  let result = Harness.exec c (Txn.commit t) in
+  check "stale read-only commit refused" true
+    (match result with Error (`Conflict _) -> true | _ -> false);
+  check_int "no elision counted on abort" 0 (Txn.readonly_elisions mgr)
+
+let test_mixed_readonly_elided_from_fanout () =
+  (* read one node, write another: the reader votes in phase 1 and is
+     excluded from the decision record and the commit push *)
+  let c = Harness.cluster [ "a"; "b"; "cc" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"b" ~key:"x" ~value:"seed";
+         return ()));
+  let b_log = Participant.log_length (Harness.participant c "b") in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         let* v = read t ~node:"b" ~key:"x" in
+         match v with
+         | Some s ->
+           write t ~node:"cc" ~key:"y" ~value:s;
+           return ()
+         | None -> fail (`Aborted "seed missing")));
+  check_str_opt "writer side committed" (Some "seed")
+    (Participant.committed_value (Harness.participant c "cc") ~key:"y");
+  check_int "reader elided" 1 (Txn.readonly_elisions mgr);
+  check_int "reader logged nothing" b_log (Participant.log_length (Harness.participant c "b"));
+  Alcotest.(check (list string))
+    "reader holds no prepared state" []
+    (Participant.prepared_txids (Harness.participant c "b"))
+
 (* --- Crash recovery --- *)
 
 let test_participant_crash_after_prepare_commits_eventually () =
@@ -226,11 +367,15 @@ let test_participant_crash_after_prepare_commits_eventually () =
     (Participant.committed_value (Harness.participant c "b") ~key:"y")
 
 let test_coordinator_crash_before_decision_presumed_abort () =
-  let c = Harness.cluster [ "a"; "b" ] in
+  (* Two remote participants keep this on the classic 2PC path (a single
+     remote write would take the one-phase lane, where the participant
+     itself decides). *)
+  let c = Harness.cluster [ "a"; "b"; "cc" ] in
   let mgr = Harness.manager c "a" in
   let result = ref None in
   (Txn.run mgr ~max_attempts:1 (fun t ->
        write t ~node:"b" ~key:"y" ~value:"doomed";
+       write t ~node:"cc" ~key:"z" ~value:"doomed";
        return ()))
     (fun r -> result := Some r);
   (* crash the coordinator before prepares can complete the round trip *)
@@ -252,7 +397,9 @@ let test_coordinator_crash_before_decision_presumed_abort () =
     (Participant.committed_value (Harness.participant c "b") ~key:"y")
 
 let test_coordinator_crash_after_decision_resumes_commit () =
-  let c = Harness.cluster [ "a"; "b" ] in
+  (* Two remote participants force the decision through the logged 2PC
+     lane (a single remote write would one-phase and log nothing). *)
+  let c = Harness.cluster [ "a"; "b"; "cc" ] in
   let mgr = Harness.manager c "a" in
   (* Delay b's application by partitioning it right after prepare, so the
      decision is logged but the commit messages can't reach b. Then crash
@@ -260,6 +407,7 @@ let test_coordinator_crash_after_decision_resumes_commit () =
   let result = ref None in
   (Txn.run mgr (fun t ->
        write t ~node:"b" ~key:"y" ~value:"decided";
+       write t ~node:"cc" ~key:"z" ~value:"decided";
        return ()))
     (fun r -> result := Some r);
   (* Cut the link the moment the decision is logged at a: the commit
@@ -409,6 +557,16 @@ let () =
           Alcotest.test_case "commit merges" `Quick test_nested_commit_merges;
           Alcotest.test_case "abort child only" `Quick test_nested_abort_discards_child_only;
           Alcotest.test_case "child wins merge" `Quick test_nested_child_wins_merge;
+        ] );
+      ( "fast lanes",
+        [
+          Alcotest.test_case "one-phase local, no rpc" `Quick test_one_phase_local_no_rpc;
+          Alcotest.test_case "one-phase remote" `Quick test_one_phase_remote_commit;
+          Alcotest.test_case "one-phase refused" `Quick test_one_phase_refused_on_conflict;
+          Alcotest.test_case "read-only elided" `Quick test_readonly_txn_elided;
+          Alcotest.test_case "read-only conflict" `Quick test_readonly_elision_under_conflict;
+          Alcotest.test_case "mixed fan-out elision" `Quick
+            test_mixed_readonly_elided_from_fanout;
         ] );
       ( "recovery",
         [
