@@ -1,0 +1,94 @@
+(* explore — systematic fault exploration over the stock scenarios.
+
+   Replaces the old fault_grid developer tool: instead of sweeping a
+   blind (crash instant x downtime) grid, a fault-free reference run is
+   instrumented through the event bus, and crash/partition schedules are
+   aimed at the harvested decision points (commits, protocol messages,
+   dispatches, recovery boundaries). Failing schedules are shrunk to
+   minimal counterexamples.
+
+   Usage: dune exec bin/explore.exe -- [--smoke] [--quiet]
+            [--workload NAME]... [--out FILE]
+
+   Writes a machine-readable report (default EXPLORE.json) and exits
+   non-zero if any schedule failed an oracle. *)
+
+let usage () =
+  print_string
+    "explore: event-derived fault exploration\n\
+     \n\
+     \  --smoke           CI-sized budget (fewer schedules per generator)\n\
+     \  --workload NAME   only this scenario (chain | supply-chain | cluster3);\n\
+     \                    repeatable, default all\n\
+     \  --out FILE        report path (default EXPLORE.json)\n\
+     \  --quiet           no per-scenario progress on stderr\n"
+
+let () =
+  let smoke = ref false in
+  let out = ref "EXPLORE.json" in
+  let quiet = ref false in
+  let workloads = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--quiet" :: rest ->
+      quiet := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      out := file;
+      parse rest
+    | "--workload" :: name :: rest ->
+      (match Scenario.by_name name with
+      | Some sc -> workloads := !workloads @ [ sc ]
+      | None ->
+        Printf.eprintf "unknown workload %s (chain | supply-chain | cluster3)\n" name;
+        exit 2);
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      usage ();
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scenarios = if !workloads = [] then Scenario.all else !workloads in
+  let budget = if !smoke then Explorer.smoke_budget else Explorer.default_budget in
+  let mode = if !smoke then "smoke" else "full" in
+  let log = if !quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
+  let report = Explorer.explore ~log ~mode budget scenarios in
+  let oc = open_out !out in
+  output_string oc (Explorer.to_json report);
+  close_out oc;
+  List.iter
+    (fun s ->
+      Printf.printf "%-12s %4d decision points, %4d schedules, %d failure(s)\n"
+        s.Explorer.r_scenario s.Explorer.r_points s.Explorer.r_schedules
+        (List.length s.Explorer.r_failures))
+    report.Explorer.rp_scenarios;
+  let failures = Explorer.total_failures report in
+  Printf.printf "total: %d schedules over %d decision points, %d failure(s) -> %s\n"
+    (Explorer.total_schedules report)
+    (Explorer.total_points report)
+    failures !out;
+  if failures > 0 then begin
+    List.iter
+      (fun s ->
+        List.iter
+          (fun f ->
+            Printf.printf "FAIL [%s] %s\n  schedule:  %s\n  minimized: %s (%d actions)\n  oracles:   %s\n"
+              f.Explorer.f_scenario f.Explorer.f_kind
+              (Fault.to_string f.Explorer.f_plan)
+              (Fault.to_string f.Explorer.f_min_plan)
+              (List.length f.Explorer.f_min_plan)
+              (String.concat "; "
+                 (List.map
+                    (fun v -> v.Oracle.v_oracle ^ ": " ^ v.Oracle.v_detail)
+                    f.Explorer.f_verdicts)))
+          s.Explorer.r_failures)
+      report.Explorer.rp_scenarios;
+    exit 1
+  end

@@ -23,6 +23,24 @@ type t = {
   mutable seq : int;
 }
 
+(* How long to wait before re-trying a placement write that exhausted
+   the RPC layer's own retries (repository unreachable). *)
+let assign_retry_period = Sim.ms 50
+
+(* Push one (iid -> engine) assignment into the durable directory until
+   it sticks. The RPC already retries transient losses; this loop covers
+   a repository outage longer than the RPC budget, and the recovery hook
+   installed in [make] covers the remaining hole — the owning engine's
+   node crashing while the call is outstanding (the callback is then
+   never invoked, so no loop survives to retry). *)
+let rec ensure_assigned t ~iid ~eid =
+  Repo_client.assign (List.assoc eid t.clients) ~iid ~engine:eid (function
+    | Ok () -> ()
+    | Error _ ->
+      ignore
+        (Sim.schedule t.tb.Testbed.sim ~delay:assign_retry_period (fun () ->
+             if Hashtbl.find_opt t.directory iid = Some eid then ensure_assigned t ~iid ~eid)))
+
 let make ?config ?engine_config ?seed ?(policy = Round_robin) ?(hosts = [])
     ?(repo_node = "repo") ~engines () =
   if engines = [] then invalid_arg "Cluster.make: need at least one engine";
@@ -39,7 +57,21 @@ let make ?config ?engine_config ?seed ?(policy = Round_robin) ?(hosts = [])
         (eid, Repo_client.create ~rpc:tb.Testbed.rpc ~src:eid ~repo_node))
       tb.Testbed.engines
   in
-  { tb; repo; repo_id = repo_node; policy; metrics; directory = Hashtbl.create 32; clients; seq = 0 }
+  let t =
+    { tb; repo; repo_id = repo_node; policy; metrics; directory = Hashtbl.create 32; clients;
+      seq = 0 }
+  in
+  (* an engine crash can swallow in-flight placement writes (the caller
+     died, so nobody retries): re-assert every assignment the router
+     believes the engine owns once its node comes back *)
+  List.iter
+    (fun (eid, _) ->
+      Node.on_recover (Testbed.node tb eid) (fun () ->
+          Hashtbl.iter
+            (fun iid owner -> if owner = eid then ensure_assigned t ~iid ~eid)
+            t.directory))
+    tb.Testbed.engines;
+  t
 
 let sim t = t.tb.Testbed.sim
 
@@ -54,6 +86,12 @@ let repository t = t.repo
 let metrics t = t.metrics
 
 let engines t = t.tb.Testbed.engines
+
+let participants t = t.tb.Testbed.participants
+
+let managers t = t.tb.Testbed.managers
+
+let node_ids t = Testbed.node_ids t.tb
 
 let engine_ids t = List.map fst (engines t)
 
@@ -89,8 +127,9 @@ let launch t ~script ~root ~inputs =
   | Ok iid ->
     Hashtbl.replace t.directory iid eid;
     (* make the assignment durable through the repository service, from
-       the owning engine's node — any node can then resolve it *)
-    Repo_client.assign (List.assoc eid t.clients) ~iid ~engine:eid (fun _ -> ());
+       the owning engine's node — any node can then resolve it; retried
+       until the repository acknowledges *)
+    ensure_assigned t ~iid ~eid;
     Ok (iid, eid)
 
 let owner t iid = Hashtbl.find_opt t.directory iid

@@ -51,6 +51,15 @@ val engines : t -> (string * Engine.t) list
 
 val engine_ids : t -> string list
 
+val participants : t -> (string * Participant.t) list
+(** Per-node transaction participants (engines, hosts and the repository
+    node alike) — inspected by the fault-exploration oracles. *)
+
+val managers : t -> (string * Txn.manager) list
+
+val node_ids : t -> string list
+(** Every node id on the fabric, including hosts and the repository. *)
+
 val engine : t -> string -> Engine.t
 
 (** {1 Placement and launch} *)

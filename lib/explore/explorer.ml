@@ -1,0 +1,355 @@
+(* The exploration driver: reference run -> decision points -> targeted
+   schedules -> oracle verdicts -> shrunk counterexamples.
+
+   Schedules are derived from the decision points of a fault-free
+   reference run instead of sweeping a blind time grid: a crash aimed
+   one microsecond around a commit decision probes exactly the window a
+   420-minute grid sweep mostly wastes. Budgets cap each generator so
+   smoke runs stay CI-sized; caps spread over the candidate list rather
+   than truncating it, so late decision points stay covered. *)
+
+type budget = {
+  b_offsets : Sim.time list;  (* fault instant = decision instant + offset *)
+  b_down_for : Sim.time list;  (* crash durations *)
+  b_heal_after : Sim.time list;  (* partition durations *)
+  b_single_cap : int;
+  b_pair_cap : int;
+  b_partition_cap : int;
+  b_combo_cap : int;
+  b_soak : int;  (* random schedules on top of the targeted ones *)
+  b_seed : int64;  (* soak RNG seed; split per schedule *)
+  b_shrink_runs : int;  (* minimizer budget per failure *)
+}
+
+let default_budget =
+  {
+    b_offsets = [ 0; 1 ];
+    b_down_for = [ Sim.ms 10; Sim.ms 40 ];
+    b_heal_after = [ Sim.ms 30; Sim.ms 120 ];
+    b_single_cap = 120;
+    b_pair_cap = 48;
+    b_partition_cap = 48;
+    b_combo_cap = 24;
+    b_soak = 40;
+    b_seed = 7L;
+    b_shrink_runs = 64;
+  }
+
+let smoke_budget =
+  {
+    default_budget with
+    b_single_cap = 64;
+    b_pair_cap = 24;
+    b_partition_cap = 24;
+    b_combo_cap = 12;
+    b_soak = 16;
+  }
+
+type schedule = { s_kind : string; s_plan : Fault.t }
+
+(* --- generator helpers --- *)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* Keep at most [cap] elements, sampled evenly across the list. *)
+let spread cap l =
+  let n = List.length l in
+  if n <= cap then l
+  else
+    let step = n / cap in
+    take cap (List.filteri (fun i _ -> i mod step = 0) l)
+
+let dedup schedules =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun s ->
+      if Hashtbl.mem seen s.s_plan then false
+      else begin
+        Hashtbl.add seen s.s_plan ();
+        true
+      end)
+    schedules
+
+let valid sc plan = Fault.validate ~nodes:sc.Scenario.sc_nodes plan = Ok ()
+
+let crashable sc points =
+  List.filter (fun p -> List.mem p.Decision.p_node sc.Scenario.sc_crash_nodes) points
+
+let partitionable sc points =
+  List.filter
+    (fun p ->
+      match p.Decision.p_peer with
+      | Some peer ->
+        peer <> p.Decision.p_node
+        && List.mem p.Decision.p_node sc.Scenario.sc_nodes
+        && List.mem peer sc.Scenario.sc_nodes
+      | None -> false)
+    points
+
+(* one crash/restart cycle at each decision point +- epsilon *)
+let singles budget sc points =
+  crashable sc points
+  |> List.concat_map (fun p ->
+         List.concat_map
+           (fun off ->
+             List.map
+               (fun down ->
+                 {
+                   s_kind = "single:" ^ p.Decision.p_kind;
+                   s_plan =
+                     Fault.crash_restart ~node:p.Decision.p_node
+                       ~at:(p.Decision.p_at + off) ~down_for:down;
+                 })
+               budget.b_down_for)
+           budget.b_offsets)
+  |> dedup
+  |> spread budget.b_single_cap
+
+(* crash pairs: an early decision point paired with a late one, so the
+   second fault lands while recovery from the first is still settling *)
+let pairs budget sc points =
+  let pts = Array.of_list (spread (2 * budget.b_pair_cap) (crashable sc points)) in
+  let n = Array.length pts in
+  let downs = Array.of_list budget.b_down_for in
+  List.init (n / 2) (fun i ->
+      let p = pts.(i) and q = pts.(i + (n / 2)) in
+      let down = downs.(i mod Array.length downs) in
+      {
+        s_kind = Printf.sprintf "pair:%s+%s" p.Decision.p_kind q.Decision.p_kind;
+        s_plan =
+          Fault.(
+            crash_restart ~node:p.Decision.p_node ~at:p.Decision.p_at ~down_for:down
+            @+ crash_restart ~node:q.Decision.p_node ~at:q.Decision.p_at ~down_for:down);
+      })
+  |> List.filter (fun s -> valid sc s.s_plan)
+  |> dedup
+  |> spread budget.b_pair_cap
+
+(* sever the link a protocol message is about to cross, healing later *)
+let partitions budget sc points =
+  partitionable sc points
+  |> List.concat_map (fun p ->
+         let peer = Option.get p.Decision.p_peer in
+         List.map
+           (fun heal ->
+             {
+               s_kind = "partition:" ^ p.Decision.p_kind;
+               s_plan =
+                 Fault.partition ~a:p.Decision.p_node ~b:peer
+                   ~at:(max 0 (p.Decision.p_at - 1)) ~heal_after:heal;
+             })
+           budget.b_heal_after)
+  |> dedup
+  |> spread budget.b_partition_cap
+
+(* a crash at one decision point while a partition straddles another *)
+let combos budget sc points =
+  let cr = Array.of_list (spread budget.b_combo_cap (crashable sc points)) in
+  let pa = Array.of_list (spread budget.b_combo_cap (partitionable sc points)) in
+  let n = min (Array.length cr) (Array.length pa) in
+  let downs = Array.of_list budget.b_down_for in
+  let heals = Array.of_list budget.b_heal_after in
+  List.init n (fun i ->
+      let p = cr.(i) and q = pa.(i) in
+      let peer = Option.get q.Decision.p_peer in
+      {
+        s_kind = Printf.sprintf "combo:%s+%s" p.Decision.p_kind q.Decision.p_kind;
+        s_plan =
+          Fault.(
+            crash_restart ~node:p.Decision.p_node ~at:p.Decision.p_at
+              ~down_for:downs.(i mod Array.length downs)
+            @+ partition ~a:q.Decision.p_node ~b:peer
+                 ~at:(max 0 (q.Decision.p_at - 1))
+                 ~heal_after:heals.(i mod Array.length heals));
+      })
+  |> List.filter (fun s -> valid sc s.s_plan)
+
+(* seeded random soak across the reference makespan: 1-3 crash/restart
+   cycles at arbitrary instants — the fuzz floor under the targeting *)
+let soak budget sc ~makespan =
+  if sc.Scenario.sc_crash_nodes = [] || makespan <= 0 then []
+  else begin
+    let root = Rng.create budget.b_seed in
+    List.filter_map
+      (fun _ ->
+        let rng = Rng.split root in
+        let draw () =
+          let cycles = 1 + Rng.int rng 3 in
+          List.concat
+            (List.init cycles (fun _ ->
+                 Fault.crash_restart
+                   ~node:(Rng.pick rng sc.Scenario.sc_crash_nodes)
+                   ~at:(Rng.int rng (makespan + 1))
+                   ~down_for:(Sim.ms (5 + Rng.int rng 60))))
+        in
+        (* overlapping same-node cycles are invalid; redraw a few times *)
+        let rec attempt k =
+          if k = 0 then None
+          else
+            let plan = draw () in
+            if valid sc plan then Some { s_kind = "soak"; s_plan = plan }
+            else attempt (k - 1)
+        in
+        attempt 10)
+      (List.init budget.b_soak (fun i -> i))
+  end
+
+let schedules budget sc points ~makespan =
+  dedup
+    (singles budget sc points @ pairs budget sc points @ partitions budget sc points
+    @ combos budget sc points @ soak budget sc ~makespan)
+
+(* --- running and judging --- *)
+
+let judge_plan sc ~reference plan =
+  match sc.Scenario.sc_run plan None with
+  | obs -> Oracle.failures (Oracle.judge ~reference obs)
+  | exception e ->
+    [
+      {
+        Oracle.v_oracle = "no-exception";
+        v_ok = false;
+        v_detail = "run raised: " ^ Printexc.to_string e;
+      };
+    ]
+
+type failure = {
+  f_scenario : string;
+  f_kind : string;
+  f_plan : Fault.t;
+  f_verdicts : Oracle.verdict list;  (* the failing verdicts *)
+  f_min_plan : Fault.t;  (* shrunk counterexample *)
+  f_shrink_runs : int;
+}
+
+type scenario_report = {
+  r_scenario : string;
+  r_multi_engine : bool;
+  r_points : int;
+  r_by_kind : (string * int) list;
+  r_makespan : Sim.time;
+  r_schedules : int;
+  r_failures : failure list;
+}
+
+type report = { rp_mode : string; rp_scenarios : scenario_report list }
+
+let explore_scenario ?(log = fun (_ : string) -> ()) budget sc =
+  log (Printf.sprintf "[%s] reference run" sc.Scenario.sc_name);
+  let c = Decision.collector () in
+  let reference = sc.Scenario.sc_run [] (Some c) in
+  (match Oracle.failures (Oracle.judge ~reference reference) with
+  | [] -> ()
+  | bad ->
+    failwith
+      (Printf.sprintf "scenario %s: fault-free run fails its own oracles: %s"
+         sc.Scenario.sc_name
+         (String.concat "; " (List.map (fun v -> v.Oracle.v_detail) bad))));
+  let points = Decision.points c in
+  let makespan = Decision.makespan c in
+  let scheds = schedules budget sc points ~makespan in
+  log
+    (Printf.sprintf "[%s] %d decision points, makespan %d us, %d schedules"
+       sc.Scenario.sc_name (List.length points) makespan (List.length scheds));
+  let done_ = ref 0 in
+  let failures =
+    List.filter_map
+      (fun s ->
+        incr done_;
+        if !done_ mod 50 = 0 then
+          log (Printf.sprintf "[%s] %d/%d" sc.Scenario.sc_name !done_ (List.length scheds));
+        match judge_plan sc ~reference s.s_plan with
+        | [] -> None
+        | bad ->
+          log
+            (Printf.sprintf "[%s] FAIL %s: %s — shrinking" sc.Scenario.sc_name s.s_kind
+               (Fault.to_string s.s_plan));
+          let fails p = judge_plan sc ~reference p <> [] in
+          let min_plan, shrink_runs =
+            Shrink.minimize ~max_runs:budget.b_shrink_runs ~fails s.s_plan
+          in
+          Some
+            {
+              f_scenario = sc.Scenario.sc_name;
+              f_kind = s.s_kind;
+              f_plan = s.s_plan;
+              f_verdicts = bad;
+              f_min_plan = min_plan;
+              f_shrink_runs = shrink_runs;
+            })
+      scheds
+  in
+  {
+    r_scenario = sc.Scenario.sc_name;
+    r_multi_engine = sc.Scenario.sc_multi_engine;
+    r_points = List.length points;
+    r_by_kind = Decision.by_kind points;
+    r_makespan = makespan;
+    r_schedules = List.length scheds;
+    r_failures = failures;
+  }
+
+let explore ?log ?(mode = "full") budget scenarios =
+  { rp_mode = mode; rp_scenarios = List.map (explore_scenario ?log budget) scenarios }
+
+let total_schedules r = List.fold_left (fun a s -> a + s.r_schedules) 0 r.rp_scenarios
+
+let total_points r = List.fold_left (fun a s -> a + s.r_points) 0 r.rp_scenarios
+
+let total_failures r =
+  List.fold_left (fun a s -> a + List.length s.r_failures) 0 r.rp_scenarios
+
+(* --- machine-readable report --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "{\n  \"schema\": \"rdal-explore/1\",\n  \"mode\": %S,\n" r.rp_mode;
+  pf "  \"totals\": { \"scenarios\": %d, \"decision_points\": %d, \"schedules\": %d, \"failures\": %d },\n"
+    (List.length r.rp_scenarios) (total_points r) (total_schedules r) (total_failures r);
+  pf "  \"scenarios\": [\n";
+  List.iteri
+    (fun i s ->
+      pf "    {\n      \"name\": %S,\n      \"multi_engine\": %b,\n" s.r_scenario
+        s.r_multi_engine;
+      pf "      \"decision_points\": %d,\n      \"makespan_us\": %d,\n      \"schedules\": %d,\n"
+        s.r_points s.r_makespan s.r_schedules;
+      pf "      \"points_by_kind\": { %s },\n"
+        (String.concat ", "
+           (List.map (fun (k, n) -> Printf.sprintf "%S: %d" k n) s.r_by_kind));
+      pf "      \"failures\": [%s]\n"
+        (String.concat ",\n"
+           (List.map
+              (fun f ->
+                Printf.sprintf
+                  "\n        { \"kind\": %S, \"plan\": \"%s\", \"oracles\": [%s], \"minimized\": \"%s\", \"min_actions\": %d, \"shrink_runs\": %d }"
+                  f.f_kind
+                  (json_escape (Fault.to_string f.f_plan))
+                  (String.concat ", "
+                     (List.map
+                        (fun v ->
+                          Printf.sprintf "{ \"oracle\": %S, \"detail\": \"%s\" }"
+                            v.Oracle.v_oracle (json_escape v.Oracle.v_detail))
+                        f.f_verdicts))
+                  (json_escape (Fault.to_string f.f_min_plan))
+                  (List.length f.f_min_plan) f.f_shrink_runs)
+              s.r_failures));
+      pf "    }%s\n" (if i = List.length r.rp_scenarios - 1 then "" else ",")
+    )
+    r.rp_scenarios;
+  pf "  ]\n}\n";
+  Buffer.contents b

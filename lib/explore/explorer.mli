@@ -1,0 +1,83 @@
+(** Systematic fault exploration.
+
+    The driver runs each {!Scenario} once fault-free to harvest
+    {!Decision} points, derives targeted crash/partition schedules from
+    them under a {!budget}, replays every schedule on a fresh stack,
+    judges the final state with the {!Oracle} battery against the
+    reference observation, and {!Shrink}s any failing schedule to a
+    minimal counterexample. *)
+
+type budget = {
+  b_offsets : Sim.time list;
+      (** fault instant = decision instant + offset; offset [0] fires
+          {e before} the decision event (setup-planted faults win
+          same-time ties), [1] just after *)
+  b_down_for : Sim.time list;  (** crash-to-restart durations *)
+  b_heal_after : Sim.time list;  (** partition durations *)
+  b_single_cap : int;  (** max single-crash schedules per scenario *)
+  b_pair_cap : int;
+  b_partition_cap : int;
+  b_combo_cap : int;
+  b_soak : int;  (** random soak schedules per scenario *)
+  b_seed : int64;  (** soak RNG seed, split per schedule *)
+  b_shrink_runs : int;  (** minimizer run budget per failure *)
+}
+
+val default_budget : budget
+
+val smoke_budget : budget
+(** CI-sized caps; still >= 200 schedules across the stock scenarios. *)
+
+type schedule = { s_kind : string; s_plan : Fault.t }
+
+val schedules :
+  budget -> Scenario.t -> Decision.point list -> makespan:Sim.time -> schedule list
+(** All generated schedules for one scenario, deduplicated: singles
+    (crash/restart around every decision point), pairs (early+late
+    crash), partitions (sever the link a protocol message is about to
+    cross), combos (crash + partition) and the seeded random soak. Every
+    plan is {!Fault.validate}-clean. *)
+
+type failure = {
+  f_scenario : string;
+  f_kind : string;  (** generator tag, e.g. ["single:commit"] *)
+  f_plan : Fault.t;  (** the schedule as generated *)
+  f_verdicts : Oracle.verdict list;  (** the failing verdicts *)
+  f_min_plan : Fault.t;  (** shrunk counterexample *)
+  f_shrink_runs : int;
+}
+
+type scenario_report = {
+  r_scenario : string;
+  r_multi_engine : bool;
+  r_points : int;
+  r_by_kind : (string * int) list;
+  r_makespan : Sim.time;
+  r_schedules : int;
+  r_failures : failure list;
+}
+
+type report = { rp_mode : string; rp_scenarios : scenario_report list }
+
+val judge_plan :
+  Scenario.t -> reference:Oracle.obs -> Fault.t -> Oracle.verdict list
+(** Run one plan and return the {e failing} verdicts (empty = survived).
+    A raised exception becomes a failing ["no-exception"] verdict. *)
+
+val explore_scenario :
+  ?log:(string -> unit) -> budget -> Scenario.t -> scenario_report
+(** Reference run, schedule generation, exploration, shrinking. Raises
+    [Failure] if the fault-free reference run fails its own oracles. *)
+
+val explore :
+  ?log:(string -> unit) -> ?mode:string -> budget -> Scenario.t list -> report
+
+val total_schedules : report -> int
+
+val total_points : report -> int
+
+val total_failures : report -> int
+
+val to_json : report -> string
+(** The [EXPLORE.json] artifact: totals plus per-scenario coverage and
+    every failure with its minimized counterexample. *)

@@ -1,0 +1,158 @@
+(* Equivalence oracles.
+
+   Every explored schedule ends in an observation of the final state;
+   oracles compare it against the fault-free reference observation.
+   Effects are counted from the durable per-instance history (kind
+   ["complete"]) rather than from bus events: a crash landing between a
+   completion's commit and its continuation suppresses the event but not
+   the durable effect, and the whole point is to catch exactly those
+   windows. *)
+
+type obs = {
+  o_statuses : (string * string) list;  (* iid -> final rendered status *)
+  o_effects : (string * int) list;  (* iid/path -> committed completion count *)
+  o_prepared : (string * int) list;  (* node -> prepared txids still held *)
+  o_locks : (string * int) list;  (* node -> read+write locks still held *)
+  o_active : int;  (* in-flight top-level transactions, all managers *)
+  o_undecided : int;  (* commit decisions not yet fully pushed *)
+  o_placements : (string * string) list;  (* durable iid -> engine directory *)
+  o_directory : (string * string) list;  (* router cache iid -> engine *)
+  o_owned : (string * string) list;  (* iid -> engine actually holding it *)
+  o_drained : bool;  (* simulator ran out of events before the horizon *)
+}
+
+type verdict = { v_oracle : string; v_ok : bool; v_detail : string }
+
+let effects_of_history rows ~iid =
+  List.filter_map
+    (fun (_, kind, detail) ->
+      if kind <> "complete" then None
+      else
+        match String.index_opt detail ' ' with
+        | Some i -> Some (iid ^ "/" ^ String.sub detail 0 i)
+        | None -> Some (iid ^ "/" ^ detail))
+    rows
+
+let count_by_key keys =
+  let tally = Hashtbl.create 32 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    keys;
+  List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tally [])
+
+let observe ~statuses ~histories ~participants ~managers ~placements ~directory
+    ~owned ~drained () =
+  {
+    o_statuses = List.sort compare statuses;
+    o_effects =
+      count_by_key
+        (List.concat_map (fun (iid, rows) -> effects_of_history rows ~iid) histories);
+    o_prepared =
+      List.sort compare
+        (List.map (fun (n, p) -> (n, List.length (Participant.prepared_txids p))) participants);
+    o_locks =
+      List.sort compare
+        (List.map (fun (n, p) -> (n, Participant.locks_held p)) participants);
+    o_active = List.fold_left (fun acc (_, m) -> acc + Txn.active_count m) 0 managers;
+    o_undecided =
+      List.fold_left (fun acc (_, m) -> acc + Txn.undecided_commits m) 0 managers;
+    o_placements = List.sort compare placements;
+    o_directory = List.sort compare directory;
+    o_owned = List.sort compare owned;
+    o_drained = drained;
+  }
+
+(* --- individual oracles --- *)
+
+let pp_assoc pp_v l =
+  String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (pp_v v)) l)
+
+let diff_assoc ~what ~reference ~got pp_v =
+  if reference = got then None
+  else
+    Some
+      (Printf.sprintf "%s diverged: reference {%s} vs explored {%s}" what
+         (pp_assoc pp_v reference) (pp_assoc pp_v got))
+
+let outcome_equivalence ~reference obs =
+  let detail =
+    Option.value ~default:""
+      (diff_assoc ~what:"final statuses" ~reference:reference.o_statuses
+         ~got:obs.o_statuses Fun.id)
+  in
+  { v_oracle = "outcome-equivalence"; v_ok = detail = ""; v_detail = detail }
+
+let effect_equivalence ~reference obs =
+  let detail =
+    Option.value ~default:""
+      (diff_assoc ~what:"committed effect counters" ~reference:reference.o_effects
+         ~got:obs.o_effects string_of_int)
+  in
+  { v_oracle = "effect-equivalence"; v_ok = detail = ""; v_detail = detail }
+
+let exactly_once obs =
+  let dups = List.filter (fun (_, n) -> n <> 1) obs.o_effects in
+  {
+    v_oracle = "exactly-once";
+    v_ok = dups = [];
+    v_detail =
+      (if dups = [] then ""
+       else "effects committed more than once: " ^ pp_assoc string_of_int dups);
+  }
+
+let no_stuck_transactions obs =
+  let stuck_prepared = List.filter (fun (_, n) -> n <> 0) obs.o_prepared in
+  let problems =
+    (if stuck_prepared = [] then []
+     else [ "prepared txns still held: " ^ pp_assoc string_of_int stuck_prepared ])
+    @ (if obs.o_active = 0 then []
+       else [ Printf.sprintf "%d transaction(s) still active" obs.o_active ])
+    @ (if obs.o_undecided = 0 then []
+       else [ Printf.sprintf "%d commit decision(s) never fully pushed" obs.o_undecided ])
+    @ if obs.o_drained then [] else [ "simulator did not drain before the horizon" ]
+  in
+  {
+    v_oracle = "no-stuck-transactions";
+    v_ok = problems = [];
+    v_detail = String.concat "; " problems;
+  }
+
+let no_orphaned_locks obs =
+  let held = List.filter (fun (_, n) -> n <> 0) obs.o_locks in
+  {
+    v_oracle = "no-orphaned-locks";
+    v_ok = held = [];
+    v_detail =
+      (if held = [] then "" else "locks still held: " ^ pp_assoc string_of_int held);
+  }
+
+let directory_consistency obs =
+  let problems =
+    (match diff_assoc ~what:"router cache vs durable directory"
+             ~reference:obs.o_directory ~got:obs.o_placements Fun.id with
+    | Some d -> [ d ]
+    | None -> [])
+    @
+    match diff_assoc ~what:"directory vs engines' actual instances"
+            ~reference:obs.o_directory ~got:obs.o_owned Fun.id with
+    | Some d -> [ d ]
+    | None -> []
+  in
+  {
+    v_oracle = "directory-consistency";
+    v_ok = problems = [];
+    v_detail = String.concat "; " problems;
+  }
+
+let judge ~reference obs =
+  [
+    outcome_equivalence ~reference obs;
+    effect_equivalence ~reference obs;
+    exactly_once obs;
+    no_stuck_transactions obs;
+    no_orphaned_locks obs;
+    directory_consistency obs;
+  ]
+
+let failures verdicts = List.filter (fun v -> not v.v_ok) verdicts

@@ -1,0 +1,68 @@
+(** Equivalence oracles judging the final state of an explored run.
+
+    Effects are counted from the durable per-instance history (kind
+    ["complete"]), not from bus events: a crash landing between a
+    completion's commit and its continuation suppresses the event but
+    not the durable effect — exactly the window exploration probes. *)
+
+type obs = {
+  o_statuses : (string * string) list;  (** iid -> rendered final status *)
+  o_effects : (string * int) list;
+      (** ["iid/path"] -> committed completion count *)
+  o_prepared : (string * int) list;  (** node -> prepared txids still held *)
+  o_locks : (string * int) list;  (** node -> read+write locks still held *)
+  o_active : int;  (** in-flight top-level transactions, all managers *)
+  o_undecided : int;  (** commit decisions not yet fully pushed *)
+  o_placements : (string * string) list;  (** durable placement directory *)
+  o_directory : (string * string) list;  (** router's cached directory *)
+  o_owned : (string * string) list;  (** iid -> engine actually holding it *)
+  o_drained : bool;  (** the simulator drained before the horizon *)
+}
+
+type verdict = { v_oracle : string; v_ok : bool; v_detail : string }
+
+val effects_of_history :
+  (Sim.time * string * string) list -> iid:string -> string list
+(** ["iid/path"] keys of the committed completions in one instance's
+    durable history. *)
+
+val observe :
+  statuses:(string * string) list ->
+  histories:(string * (Sim.time * string * string) list) list ->
+  participants:(string * Participant.t) list ->
+  managers:(string * Txn.manager) list ->
+  placements:(string * string) list ->
+  directory:(string * string) list ->
+  owned:(string * string) list ->
+  drained:bool ->
+  unit ->
+  obs
+(** Snapshot the final state of a run (sorts and tallies the inputs). *)
+
+(** {1 The oracle battery} *)
+
+val outcome_equivalence : reference:obs -> obs -> verdict
+(** Final instance statuses match the fault-free run. *)
+
+val effect_equivalence : reference:obs -> obs -> verdict
+(** Committed effect counters match the fault-free run. *)
+
+val exactly_once : obs -> verdict
+(** Every effect committed exactly once — no lost and no duplicated
+    completions. *)
+
+val no_stuck_transactions : obs -> verdict
+(** No prepared participant state, no active or undecided commits, and
+    the run actually quiesced. *)
+
+val no_orphaned_locks : obs -> verdict
+
+val directory_consistency : obs -> verdict
+(** Router cache, durable placement directory and the engines' actual
+    instance lists agree (trivially true for single-engine runs). *)
+
+val judge : reference:obs -> obs -> verdict list
+(** The full battery, in a stable order. *)
+
+val failures : verdict list -> verdict list
+(** Just the verdicts that failed. *)

@@ -1,0 +1,136 @@
+(* Exploration scenarios: a named workload that can be rebuilt from
+   scratch for every schedule. [sc_run] constructs a fresh stack, plants
+   the fault plan at setup (so a fault at the same instant as a run
+   event fires first — lower sequence number), drives the run to the
+   horizon and returns the final observation. Determinism of the
+   simulator makes the fault-free observation a stable reference. *)
+
+type t = {
+  sc_name : string;
+  sc_multi_engine : bool;
+  sc_crash_nodes : string list;  (* nodes schedules may crash/restart *)
+  sc_nodes : string list;  (* full population (partition peers incl. repo) *)
+  sc_run : Fault.t -> Decision.t option -> Oracle.obs;
+}
+
+(* Generous retry/deadline budget: with restarts always following
+   crashes, every workload should still finish — any run that does not
+   is a finding, not noise. *)
+let engine_config =
+  {
+    Engine.default_config with
+    Engine.default_deadline = Sim.ms 80;
+    system_max_attempts = 200;
+  }
+
+let horizon = Sim.sec 240
+
+let subscribe_opt sim = function
+  | Some c -> Event.subscribe (Sim.events sim) (Decision.subscriber c)
+  | None -> ()
+
+let status_string e iid =
+  match Engine.status e iid with
+  | Some s -> Format.asprintf "%a" Wstate.pp_status s
+  | None -> "unknown"
+
+let engine_obs engines =
+  let statuses =
+    List.concat_map
+      (fun (_, e) -> List.map (fun iid -> (iid, status_string e iid)) (Engine.instances e))
+      engines
+  in
+  let histories =
+    List.concat_map
+      (fun (_, e) -> List.map (fun iid -> (iid, Engine.history e iid)) (Engine.instances e))
+      engines
+  in
+  (statuses, histories)
+
+let chain =
+  let sc_run plan collect =
+    let tb = Testbed.make ~engine_config ~nodes:[ "n0"; "h1" ] () in
+    subscribe_opt tb.Testbed.sim collect;
+    Workloads.register ~work:(Sim.ms 5) tb.Testbed.registry;
+    Testbed.apply_faults tb plan;
+    let script, root = Workloads.chain_remote ~n:6 ~host:"h1" in
+    (match
+       Testbed.launch_and_run ~until:horizon tb ~script ~root ~inputs:Workloads.seed_inputs
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("chain launch failed: " ^ e));
+    let statuses, histories = engine_obs tb.Testbed.engines in
+    Oracle.observe ~statuses ~histories ~participants:tb.Testbed.participants
+      ~managers:tb.Testbed.managers ~placements:[] ~directory:[] ~owned:[]
+      ~drained:(Sim.pending tb.Testbed.sim = 0) ()
+  in
+  {
+    sc_name = "chain";
+    sc_multi_engine = false;
+    sc_crash_nodes = [ "n0"; "h1" ];
+    sc_nodes = [ "n0"; "h1" ];
+    sc_run;
+  }
+
+let supply =
+  let sc_run plan collect =
+    let tb = Testbed.make ~engine_config () in
+    subscribe_opt tb.Testbed.sim collect;
+    Supply_chain.register ~work:(Sim.ms 5) ~scenario:Supply_chain.smooth
+      tb.Testbed.registry;
+    Testbed.apply_faults tb plan;
+    (match
+       Testbed.launch_and_run ~until:horizon tb ~script:Supply_chain.script
+         ~root:Supply_chain.root ~inputs:Supply_chain.inputs
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("supply-chain launch failed: " ^ e));
+    let statuses, histories = engine_obs tb.Testbed.engines in
+    Oracle.observe ~statuses ~histories ~participants:tb.Testbed.participants
+      ~managers:tb.Testbed.managers ~placements:[] ~directory:[] ~owned:[]
+      ~drained:(Sim.pending tb.Testbed.sim = 0) ()
+  in
+  {
+    sc_name = "supply-chain";
+    sc_multi_engine = false;
+    sc_crash_nodes = [ "n0" ];
+    sc_nodes = [ "n0" ];
+    sc_run;
+  }
+
+let cluster3 =
+  let sc_run plan collect =
+    let cl = Cluster.make ~engine_config ~engines:[ "e1"; "e2"; "e3" ] () in
+    subscribe_opt (Cluster.sim cl) collect;
+    Workloads.register ~work:(Sim.ms 5) (Cluster.registry cl);
+    Cluster.apply_faults cl plan;
+    let script, root = Workloads.chain ~n:4 in
+    for _ = 1 to 6 do
+      match Cluster.launch cl ~script ~root ~inputs:Workloads.seed_inputs with
+      | Ok _ -> ()
+      | Error e -> failwith ("cluster launch failed: " ^ e)
+    done;
+    Cluster.run ~until:horizon cl;
+    let statuses, histories = engine_obs (Cluster.engines cl) in
+    let owned =
+      List.concat_map
+        (fun (eid, e) -> List.map (fun iid -> (iid, eid)) (Engine.instances e))
+        (Cluster.engines cl)
+    in
+    Oracle.observe ~statuses ~histories ~participants:(Cluster.participants cl)
+      ~managers:(Cluster.managers cl)
+      ~placements:(Repository.placements (Cluster.repository cl))
+      ~directory:(Cluster.placements cl) ~owned
+      ~drained:(Sim.pending (Cluster.sim cl) = 0) ()
+  in
+  {
+    sc_name = "cluster3";
+    sc_multi_engine = true;
+    sc_crash_nodes = [ "e1"; "e2"; "e3" ];
+    sc_nodes = [ "e1"; "e2"; "e3"; "repo" ];
+    sc_run;
+  }
+
+let all = [ chain; supply; cluster3 ]
+
+let by_name name = List.find_opt (fun s -> s.sc_name = name) all

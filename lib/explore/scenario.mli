@@ -1,0 +1,43 @@
+(** Exploration scenarios: workloads rebuilt from scratch per schedule.
+
+    Each scenario constructs a fresh simulated stack, plants the fault
+    plan at setup time (a fault scheduled at the same instant as a run
+    event fires first, by sequence-number tie-breaking), drives the run
+    to a fixed horizon and returns the final {!Oracle.obs}. Because the
+    simulator is deterministic, running with the empty plan yields a
+    stable fault-free reference observation. *)
+
+type t = {
+  sc_name : string;
+  sc_multi_engine : bool;  (** uses the sharded {!Cluster} layer *)
+  sc_crash_nodes : string list;
+      (** nodes that schedules may crash/restart (engines and hosts; the
+          repository node is partition-able but not crashed) *)
+  sc_nodes : string list;  (** full node population, for plan validation *)
+  sc_run : Fault.t -> Decision.t option -> Oracle.obs;
+      (** run one schedule; pass a {!Decision.collector} to harvest
+          decision points (reference runs only) *)
+}
+
+val engine_config : Engine.config
+(** Deadline/retry budget generous enough that every crash-with-restart
+    schedule should still finish — a run that does not is a finding. *)
+
+val horizon : Sim.time
+(** Hard stop for a single run (well past any expected makespan). *)
+
+val chain : t
+(** 6-step remote chain: engine on [n0], every step pinned to host
+    [h1], so dispatch and completion reports cross the network. *)
+
+val supply : t
+(** The supply-chain case study (smooth scenario) on a single node —
+    one-phase and read-only-elision fast lanes dominate. *)
+
+val cluster3 : t
+(** Three engines + repository, six 4-step chains placed round-robin —
+    exercises placement-directory writes and cross-engine isolation. *)
+
+val all : t list
+
+val by_name : string -> t option

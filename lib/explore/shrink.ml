@@ -1,0 +1,73 @@
+(* Delta-debugging of failing fault plans.
+
+   Shrinking operates on *units*, not raw actions: a crash travels with
+   its matching restart, a partition with its heal. Removing whole units
+   keeps every intermediate candidate well-formed by construction
+   (Fault.validate-clean), so the minimizer never wastes runs on plans
+   the applier would reject. Greedy single-unit removal to fixpoint is
+   enough for the schedules the generators emit; the run cap bounds the
+   cost of pathological cases. *)
+
+type unit_ = (Sim.time * Fault.action) list
+
+let sort_plan plan = List.stable_sort (fun (a, _) (b, _) -> compare a b) plan
+
+let units plan =
+  let arr = Array.of_list (sort_plan plan) in
+  let n = Array.length arr in
+  let claimed = Array.make n false in
+  let find_partner i pred =
+    let rec go j =
+      if j >= n then None
+      else if (not claimed.(j)) && pred (snd arr.(j)) then Some j
+      else go (j + 1)
+    in
+    go (i + 1)
+  in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if not claimed.(i) then begin
+      claimed.(i) <- true;
+      let partner =
+        match snd arr.(i) with
+        | Fault.Crash node ->
+          find_partner i (function Fault.Restart r -> r = node | _ -> false)
+        | Fault.Partition_on (a, b) ->
+          find_partner i (function
+            | Fault.Partition_off (x, y) -> (x, y) = (a, b) || (x, y) = (b, a)
+            | _ -> false)
+        | _ -> None
+      in
+      match partner with
+      | Some j ->
+        claimed.(j) <- true;
+        out := [ arr.(i); arr.(j) ] :: !out
+      | None -> out := [ arr.(i) ] :: !out
+    end
+  done;
+  List.rev !out
+
+let plan_of us = sort_plan (List.concat us)
+
+let minimize ?(max_runs = 64) ~fails plan =
+  let runs = ref 0 in
+  let try_fails p =
+    if !runs >= max_runs then false
+    else begin
+      incr runs;
+      fails p
+    end
+  in
+  (* Remove one unit at a time; on success restart the scan from the
+     smaller plan (fixpoint). *)
+  let rec pass us =
+    let rec go kept = function
+      | [] -> us
+      | u :: rest ->
+        let candidate = List.rev_append kept rest in
+        if try_fails (plan_of candidate) then pass candidate else go (u :: kept) rest
+    in
+    go [] us
+  in
+  let minimal = pass (units plan) in
+  (plan_of minimal, !runs)

@@ -1,0 +1,25 @@
+(** Delta-debugging of failing fault plans to minimal counterexamples.
+
+    Shrinking removes *units* — a crash paired with its matching
+    restart, a partition-on paired with its heal, or a lone action —
+    so every intermediate candidate stays {!Fault.validate}-clean by
+    construction. *)
+
+type unit_ = (Sim.time * Fault.action) list
+
+val units : Fault.t -> unit_ list
+(** Group a plan into removable units: each [Crash n] claims the first
+    later unclaimed [Restart n]; each [Partition_on (a, b)] claims the
+    first later unclaimed heal of the same (unordered) pair; anything
+    unpaired forms a singleton unit. *)
+
+val plan_of : unit_ list -> Fault.t
+(** Flatten units back into a time-sorted plan. *)
+
+val minimize :
+  ?max_runs:int -> fails:(Fault.t -> bool) -> Fault.t -> Fault.t * int
+(** [minimize ~fails plan] greedily removes units while [fails] keeps
+    returning [true], restarting the scan after every successful
+    removal until a fixpoint. Returns the minimal failing plan and the
+    number of [fails] evaluations spent (capped at [max_runs],
+    default 64 — on cap exhaustion the best plan so far is returned). *)

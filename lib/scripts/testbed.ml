@@ -86,7 +86,12 @@ let crash t id = Node.crash (node t id)
 
 let recover t id = Node.recover (node t id)
 
+let node_ids t = List.map Node.id t.nodes
+
 let apply_faults t plan =
+  (match Fault.validate ~nodes:(node_ids t) plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Testbed.apply_faults: " ^ msg));
   Fault.apply t.sim plan ~on:(function
     | Fault.Crash n -> crash t n
     | Fault.Restart n -> recover t n

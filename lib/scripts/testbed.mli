@@ -31,6 +31,10 @@ val make :
 
 val node : t -> string -> Node.t
 
+val node_ids : t -> string list
+(** All node ids, in creation order (the population fault plans may
+    legally name). *)
+
 val engine_on : t -> string -> Engine.t
 (** The engine living on the given node id. *)
 
@@ -49,7 +53,10 @@ val apply_faults : t -> Fault.t -> unit
 (** Schedule a declarative fault plan against this testbed: crashes and
     restarts resolve node ids through {!crash}/{!recover}, partitions
     through the network fabric — no more hand-rolled [Sim.at] chaos
-    callbacks in tests. *)
+    callbacks in tests. The plan is {!Fault.validate}d against this
+    testbed's node population first; raises [Invalid_argument] on a
+    plan naming unknown nodes or restarting a node that was never
+    crashed, instead of silently matching nothing. *)
 
 val launch_and_run :
   ?until:Sim.time ->

@@ -19,18 +19,23 @@ taskclass %s {
 |}
     name
 
-let step_task b ~name ~code ~source =
+let step_task ?location b ~name ~code ~source =
+  let impl =
+    match location with
+    | None -> Printf.sprintf "%S is %S" "code" code
+    | Some node -> Printf.sprintf "%S is %S, %S is %S" "code" code "location" node
+  in
   buf_add b
     (Printf.sprintf
        {|
     task %s of taskclass Step {
-        implementation { "code" is %S };
+        implementation { %s };
         inputs { input main { inputobject data from { %s } } }
     };
 |}
-       name code source)
+       name impl source)
 
-let chain ~n =
+let chain_build ?location n =
   if n < 1 then invalid_arg "Workloads.chain: n must be >= 1";
   let b = Buffer.create 1024 in
   buf_add b preamble;
@@ -41,7 +46,7 @@ let chain ~n =
       if i = 1 then "data of task chain if input main"
       else Printf.sprintf "data of task s%d if output done" (i - 1)
     in
-    step_task b ~name:(Printf.sprintf "s%d" i) ~code:"w.step" ~source
+    step_task ?location b ~name:(Printf.sprintf "s%d" i) ~code:"w.step" ~source
   done;
   buf_add b
     (Printf.sprintf
@@ -51,6 +56,10 @@ let chain ~n =
 |}
        n);
   (Buffer.contents b, "chain")
+
+let chain ~n = chain_build n
+
+let chain_remote ~n ~host = chain_build ~location:host n
 
 let fanout ~width =
   if width < 1 then invalid_arg "Workloads.fanout: width must be >= 1";

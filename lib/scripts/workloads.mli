@@ -8,6 +8,12 @@ val chain : n:int -> string * string
 (** Linear pipeline of [n] steps, each consuming its predecessor's
     output (Fig 1's t1→t2 edge repeated). Code name: [w.step]. *)
 
+val chain_remote : n:int -> host:string -> string * string
+(** {!chain} with every step pinned to the task-host node [host]
+    (["location"] implementation binding) — dispatches and completion
+    reports cross the network, so crash and partition schedules can land
+    on the engine↔host message boundaries. *)
+
 val fanout : width:int -> string * string
 (** One producer, [width] parallel workers, one join consuming all of
     them (Fig 1's diamond generalised). Codes: [w.step], [w.join]. *)

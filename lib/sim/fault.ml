@@ -22,6 +22,35 @@ let periodic_crashes ~node ~period ~down_for ~count =
 
 let ( @+ ) a b = a @ b
 
+(* Static plan check against the set of nodes the target system actually
+   has. Actions are considered in execution order (time, then plan
+   order, matching [apply]'s tie-breaking): a [Restart] must find its
+   node crashed, a [Crash] must not hit a node that is already down.
+   Catches the classic silent no-ops — a typoed node id matching
+   nothing, or a restart that never pairs with a crash. *)
+let validate ~nodes plan =
+  let known n = List.mem n nodes in
+  let ordered = List.stable_sort (fun (ta, _) (tb, _) -> compare ta tb) plan in
+  let bad fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec walk crashed = function
+    | [] -> Ok ()
+    | (at, action) :: rest -> (
+      match action with
+      | Crash n when not (known n) -> bad "crash of unknown node %s at %d" n at
+      | Crash n when List.mem n crashed -> bad "crash of already-crashed node %s at %d" n at
+      | Crash n -> walk (n :: crashed) rest
+      | Restart n when not (known n) -> bad "restart of unknown node %s at %d" n at
+      | Restart n when not (List.mem n crashed) ->
+        bad "restart of node %s at %d, which was never crashed" n at
+      | Restart n -> walk (List.filter (fun c -> c <> n) crashed) rest
+      | Partition_on (a, b) | Partition_off (a, b) ->
+        if not (known a) then bad "partition names unknown node %s at %d" a at
+        else if not (known b) then bad "partition names unknown node %s at %d" b at
+        else if a = b then bad "partition of node %s with itself at %d" a at
+        else walk crashed rest)
+  in
+  walk [] ordered
+
 let apply sim plan ~on =
   let plant (time, action) = ignore (Sim.at sim ~time (fun () -> on action)) in
   List.iter plant plan
@@ -31,3 +60,7 @@ let pp_action ppf = function
   | Restart n -> Format.fprintf ppf "restart %s" n
   | Partition_on (a, b) -> Format.fprintf ppf "partition %s / %s" a b
   | Partition_off (a, b) -> Format.fprintf ppf "heal %s / %s" a b
+
+let to_string plan =
+  String.concat "; "
+    (List.map (fun (at, a) -> Format.asprintf "%dus %a" at pp_action a) plan)

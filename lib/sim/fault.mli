@@ -29,7 +29,21 @@ val periodic_crashes :
 val ( @+ ) : t -> t -> t
 (** Plan union. *)
 
+val validate : nodes:string list -> t -> (unit, string) result
+(** Static well-formedness check against the named node population,
+    considering actions in execution order: every action must name known
+    nodes, a [Crash] must not hit a node that is already down, a
+    [Restart] must find its node crashed, and a partition must involve
+    two distinct known nodes. Layers that apply plans ({!Testbed},
+    {!Cluster}) run this first so a typoed node id or an unpaired
+    restart is an error instead of a silent no-op. *)
+
 val apply : Sim.t -> t -> on:(action -> unit) -> unit
-(** Schedule every planned action on the simulator. *)
+(** Schedule every planned action on the simulator. The plan is taken as
+    given — callers wanting the well-formedness guarantee run
+    {!validate} first. *)
 
 val pp_action : Format.formatter -> action -> unit
+
+val to_string : t -> string
+(** One-line rendering of a whole plan, for reports and test output. *)

@@ -69,6 +69,14 @@ let release_all t ~txid =
 
 let reset t = Hashtbl.reset t.table
 
+let held_total t =
+  Hashtbl.fold
+    (fun _ state acc ->
+      match state with
+      | Writer _ -> acc + 1
+      | Readers readers -> acc + String_set.cardinal readers)
+    t.table 0
+
 let held_keys t ~txid =
   let keep key state acc =
     match state with

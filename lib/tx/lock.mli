@@ -35,3 +35,8 @@ val reset : t -> unit
 
 val held_keys : t -> txid:string -> string list
 (** Sorted; for tests. *)
+
+val held_total : t -> int
+(** Total live lock grants across all transactions (each reader of a key
+    counts once). 0 means the table is fully drained — what a quiescent
+    node must look like; leftovers are orphaned locks. *)

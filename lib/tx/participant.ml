@@ -203,6 +203,8 @@ let committed_keys t = Kvstore.keys t.store
 let prepared_txids t =
   List.sort String.compare (Hashtbl.fold (fun txid _ acc -> txid :: acc) t.prepared [])
 
+let locks_held t = Lock.held_total t.locks
+
 let checkpoint t =
   Kvstore.checkpoint t.store;
   let live =

@@ -33,6 +33,10 @@ val committed_keys : t -> string list
 val prepared_txids : t -> string list
 (** Undecided prepared transactions (sorted), for tests. *)
 
+val locks_held : t -> int
+(** Live lock grants in this node's lock table. A quiescent node holds
+    none; leftovers are orphaned locks (fault-exploration oracle). *)
+
 val store : t -> Kvstore.t
 
 val log_length : t -> int

@@ -452,6 +452,13 @@ let compact mgr =
 
 let committed_count mgr = mgr.committed_total
 
+let active_count mgr = Hashtbl.length mgr.active
+
+let undecided_commits mgr =
+  Hashtbl.fold
+    (fun txid _ acc -> if Hashtbl.mem mgr.finished txid then acc else acc + 1)
+    mgr.committed 0
+
 let resumed_commits mgr = mgr.resumed_total
 
 let one_phase_commits mgr = mgr.one_phase_total

@@ -102,6 +102,16 @@ val compact : manager -> unit
 val committed_count : manager -> int
 (** Transactions this coordinator decided to commit (lifetime). *)
 
+val active_count : manager -> int
+(** Top-level transactions begun here and not yet resolved. A quiescent
+    coordinator has none; leftovers are stuck transactions
+    (fault-exploration oracle). *)
+
+val undecided_commits : manager -> int
+(** Committed decisions whose commit phase has not finished pushing to
+    every participant. Non-zero at quiescence means a commit push is
+    stuck. *)
+
 val resumed_commits : manager -> int
 (** Commit phases resumed by recovery. *)
 

@@ -1,0 +1,343 @@
+(* Tests for the fault-exploration subsystem: decision-point harvesting,
+   plan validation, the oracle battery, the shrinker, the pinned
+   regression schedules ported from the retired bin/fault_grid.ml, and a
+   small end-to-end exploration. *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- decision harvesting --- *)
+
+let test_decision_points_harvested () =
+  let c = Decision.collector () in
+  let _obs = Scenario.chain.Scenario.sc_run [] (Some c) in
+  let pts = Decision.points c in
+  check "a healthy crop of points" true (List.length pts > 20);
+  let kinds = List.map fst (Decision.by_kind pts) in
+  List.iter
+    (fun k -> check ("kind " ^ k ^ " harvested") true (List.mem k kinds))
+    [ "commit"; "dispatch"; "launch"; "conclude" ];
+  check "an rpc protocol boundary appears" true
+    (List.exists (fun k -> contains ~sub:"rpc:" k) kinds);
+  check "remote dispatch names its peer" true
+    (List.exists (fun p -> p.Decision.p_kind = "dispatch" && p.Decision.p_peer = Some "h1") pts);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Decision.p_at <= b.Decision.p_at && sorted rest
+    | _ -> true
+  in
+  check "points sorted by time" true (sorted pts);
+  check "makespan positive" true (Decision.makespan c > 0)
+
+let test_classify_filters_noise () =
+  let some ev = Decision.classify ~src:"n0" ev <> None in
+  check "aborted txns are not decision points" false
+    (some (Event.Txn_resolved { txid = "t1"; committed = false }));
+  check "commits are" true (some (Event.Txn_resolved { txid = "t1"; committed = true }));
+  check "non-protocol rpc ignored" false
+    (some (Event.Rpc_sent { src = "a"; dst = "b"; service = "gossip" }));
+  (match Decision.classify ~src:"a" (Event.Rpc_sent { src = "a"; dst = "b"; service = "tx.prepare" }) with
+  | Some ("rpc:tx.prepare", _, Some "b") -> ()
+  | _ -> Alcotest.fail "tx rpc should classify with its peer");
+  check "retries are not decision points" false
+    (some (Event.Rpc_retried { src = "a"; dst = "b"; service = "tx.prepare" }))
+
+(* --- plan validation (Fault.validate / Testbed.apply_faults) --- *)
+
+let test_plan_validation () =
+  let nodes = [ "n0"; "h1" ] in
+  let ok plan = Fault.validate ~nodes plan = Ok () in
+  check "well-formed crash/restart" true
+    (ok (Fault.crash_restart ~node:"n0" ~at:10 ~down_for:5));
+  check "well-formed even when listed out of order" true
+    (ok [ (15, Fault.Restart "n0"); (10, Fault.Crash "n0") ]);
+  check "unknown crash target rejected" false (ok [ (0, Fault.Crash "ghost") ]);
+  check "restart of never-crashed node rejected" false (ok [ (0, Fault.Restart "n0") ]);
+  check "double crash without restart rejected" false
+    (ok [ (0, Fault.Crash "n0"); (5, Fault.Crash "n0") ]);
+  check "self-partition rejected" false (ok [ (0, Fault.Partition_on ("n0", "n0")) ]);
+  check "partition with unknown peer rejected" false
+    (ok [ (0, Fault.Partition_on ("n0", "ghost")) ]);
+  check "partition both known is fine" true
+    (ok (Fault.partition ~a:"n0" ~b:"h1" ~at:3 ~heal_after:7))
+
+let test_testbed_rejects_bad_plan () =
+  let tb = Testbed.make () in
+  let raises plan =
+    match Testbed.apply_faults tb plan with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check "unknown node raises" true (raises [ (0, Fault.Crash "ghost") ]);
+  check "unpaired restart raises" true (raises [ (0, Fault.Restart "n0") ]);
+  Testbed.apply_faults tb (Fault.crash_restart ~node:"n0" ~at:(Sim.ms 1) ~down_for:(Sim.ms 1))
+
+(* --- oracles --- *)
+
+let reference () = Scenario.chain.Scenario.sc_run [] None
+
+let test_oracles_pass_on_reference () =
+  let obs = reference () in
+  let verdicts = Oracle.judge ~reference:obs obs in
+  check_int "six oracles" 6 (List.length verdicts);
+  List.iter
+    (fun v -> check ("oracle " ^ v.Oracle.v_oracle ^ " passes") true v.Oracle.v_ok)
+    verdicts;
+  check "reference has effects" true (obs.Oracle.o_effects <> []);
+  check "reference drained" true obs.Oracle.o_drained
+
+let test_oracles_flag_divergence () =
+  let obs = reference () in
+  let failing o tampered =
+    List.exists
+      (fun v -> v.Oracle.v_oracle = o && not v.Oracle.v_ok)
+      (Oracle.judge ~reference:obs tampered)
+  in
+  check "lost instance flagged" true
+    (failing "outcome-equivalence" { obs with Oracle.o_statuses = [] });
+  check "duplicated effect flagged by exactly-once" true
+    (failing "exactly-once"
+       { obs with Oracle.o_effects = List.map (fun (k, n) -> (k, n + 1)) obs.Oracle.o_effects });
+  check "duplicated effect flagged by equivalence" true
+    (failing "effect-equivalence"
+       { obs with Oracle.o_effects = List.map (fun (k, n) -> (k, n + 1)) obs.Oracle.o_effects });
+  check "prepared leftovers flagged" true
+    (failing "no-stuck-transactions" { obs with Oracle.o_prepared = [ ("n0", 1) ] });
+  check "undrained run flagged" true
+    (failing "no-stuck-transactions" { obs with Oracle.o_drained = false });
+  check "held locks flagged" true
+    (failing "no-orphaned-locks" { obs with Oracle.o_locks = [ ("h1", 2) ] });
+  check "directory drift flagged" true
+    (failing "directory-consistency"
+       { obs with Oracle.o_directory = [ ("wf-1", "e1") ]; o_owned = [] })
+
+let test_effects_from_durable_history () =
+  Alcotest.(check (list string))
+    "complete rows keyed by iid/path"
+    [ "wf-1/chain/s1"; "wf-1/chain" ]
+    (Oracle.effects_of_history
+       [
+         (1, "launch", "wf-1 root=chain");
+         (2, "complete", "chain/s1 -> out");
+         (3, "instance", "wf-1 done(finished)");
+         (4, "complete", "chain -> finished");
+       ]
+       ~iid:"wf-1")
+
+(* --- shrinking --- *)
+
+let test_units_keep_pairs_together () =
+  let plan =
+    Fault.(
+      crash_restart ~node:"a" ~at:10 ~down_for:5
+      @+ partition ~a:"a" ~b:"b" ~at:20 ~heal_after:5
+      @+ [ (50, Crash "b") ])
+  in
+  let us = Shrink.units plan in
+  check_int "three units" 3 (List.length us);
+  List.iter
+    (fun u ->
+      match u with
+      | [ (_, Fault.Crash n); (_, Fault.Restart n') ] ->
+        check "crash paired with its restart" true (n = n')
+      | [ (_, Fault.Partition_on _); (_, Fault.Partition_off _) ] -> ()
+      | [ (_, Fault.Crash "b") ] -> ()
+      | _ -> Alcotest.fail "unexpected unit shape")
+    us;
+  Alcotest.(check int)
+    "flattening units restores the plan" (List.length plan)
+    (List.length (Shrink.plan_of us))
+
+let test_minimize_to_culprit_unit () =
+  (* the predicate only cares about node [a]'s crash: everything else
+     must be shrunk away, and what remains is a valid 2-action plan *)
+  let fails plan =
+    List.exists (function _, Fault.Crash "a" -> true | _ -> false) plan
+  in
+  let plan =
+    Fault.(
+      crash_restart ~node:"b" ~at:1 ~down_for:3
+      @+ crash_restart ~node:"a" ~at:10 ~down_for:5
+      @+ partition ~a:"a" ~b:"b" ~at:20 ~heal_after:5
+      @+ crash_restart ~node:"b" ~at:40 ~down_for:3)
+  in
+  let minimal, runs = Shrink.minimize ~fails plan in
+  Alcotest.(check (list (pair int bool)))
+    "only the culprit crash/restart survives"
+    [ (10, true); (15, false) ]
+    (List.map
+       (fun (at, a) -> (at, match a with Fault.Crash _ -> true | _ -> false))
+       minimal);
+  check "still well-formed" true (Fault.validate ~nodes:[ "a"; "b" ] minimal = Ok ());
+  check "bounded effort" true (runs <= 64)
+
+let test_minimize_respects_run_cap () =
+  let calls = ref 0 in
+  let fails _ =
+    incr calls;
+    true
+  in
+  let plan =
+    List.concat
+      (List.init 10 (fun i ->
+           Fault.crash_restart ~node:"a" ~at:(i * 100) ~down_for:10))
+  in
+  let _minimal, runs = Shrink.minimize ~max_runs:5 ~fails plan in
+  check "stopped at the cap" true (runs <= 5 && !calls <= 5)
+
+(* --- pinned regression schedules (ported from bin/fault_grid.ml) --- *)
+
+let count_effects rows =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (_, kind, detail) ->
+      if kind = "complete" then begin
+        let path =
+          match String.index_opt detail ' ' with
+          | Some i -> String.sub detail 0 i
+          | None -> detail
+        in
+        Hashtbl.replace tally path (1 + Option.value ~default:0 (Hashtbl.find_opt tally path))
+      end)
+    rows;
+  tally
+
+let run_pinned plan =
+  let tb = Testbed.make ~engine_config:Scenario.engine_config () in
+  let relaunched = ref 0 in
+  Event.subscribe (Sim.events tb.Testbed.sim) (fun ~at:_ ~src:_ ev ->
+      match ev with Event.Wf_relaunched _ -> incr relaunched | _ -> ());
+  Workloads.register ~work:(Sim.ms 5) tb.Testbed.registry;
+  Testbed.apply_faults tb plan;
+  let script, root = Workloads.chain ~n:6 in
+  match
+    Testbed.launch_and_run ~until:Scenario.horizon tb ~script ~root
+      ~inputs:Workloads.seed_inputs
+  with
+  | Ok (iid, Wstate.Wf_done { output = "finished"; _ }) ->
+    let tally = count_effects (Engine.history tb.Testbed.engine iid) in
+    check "effects recorded" true (Hashtbl.length tally > 0);
+    Hashtbl.iter
+      (fun path n -> check_int ("exactly once: " ^ path) 1 n)
+      tally;
+    Alcotest.(check (list string))
+      "nothing left prepared" []
+      (Participant.prepared_txids (Testbed.participant tb "n0"));
+    check_int "no orphaned locks" 0 (Participant.locks_held (Testbed.participant tb "n0"));
+    !relaunched
+  | Ok (_, s) -> Alcotest.failf "unexpected status %a" Wstate.pp_status s
+  | Error e -> Alcotest.fail e
+
+let test_pinned_relaunch_orphan_race () =
+  (* The schedule that found the launch-transaction/crash race fixed by
+     Engine.relaunch_orphan: a crash in the same instant as the launch
+     (the fault, planted at setup, wins the same-time tie) loses the
+     launch's persist flush; the orphan must be re-persisted after the
+     restart and the chain must still run to exactly-once completion. *)
+  let relaunches = run_pinned (Fault.crash_restart ~node:"n0" ~at:0 ~down_for:(Sim.ms 10)) in
+  check "orphan relaunch path exercised" true (relaunches > 0)
+
+let test_pinned_crash_pair () =
+  (* Back-to-back crash/restart cycles mid-run (fault_grid's pair grid):
+     the second crash lands while recovery work from the first is still
+     settling. *)
+  let _ =
+    run_pinned
+      Fault.(
+        crash_restart ~node:"n0" ~at:(Sim.ms 7) ~down_for:(Sim.ms 10)
+        @+ crash_restart ~node:"n0" ~at:(Sim.ms 20) ~down_for:(Sim.ms 10))
+  in
+  ()
+
+(* --- end to end --- *)
+
+let test_explore_chain_end_to_end () =
+  let budget =
+    {
+      Explorer.smoke_budget with
+      Explorer.b_single_cap = 8;
+      b_pair_cap = 4;
+      b_partition_cap = 4;
+      b_combo_cap = 2;
+      b_soak = 2;
+    }
+  in
+  let r = Explorer.explore_scenario budget Scenario.chain in
+  check "a real batch of schedules ran" true (r.Explorer.r_schedules >= 10);
+  check_int "no failures on the healthy engine" 0 (List.length r.Explorer.r_failures);
+  check "decision points counted" true (r.Explorer.r_points > 20);
+  let report = { Explorer.rp_mode = "test"; rp_scenarios = [ r ] } in
+  check_int "totals line up" r.Explorer.r_schedules (Explorer.total_schedules report);
+  let json = Explorer.to_json report in
+  check "json carries the schema tag" true (contains ~sub:"rdal-explore/1" json);
+  check "json carries the scenario" true (contains ~sub:"\"name\": \"chain\"" json);
+  check "json reports zero failures" true (contains ~sub:"\"failures\": 0" json)
+
+let test_judge_plan_flags_divergence () =
+  (* end-to-end wiring of run + judge: against a tampered reference even
+     the empty schedule must be flagged *)
+  let obs = reference () in
+  check "healthy run passes" true
+    (Explorer.judge_plan Scenario.chain ~reference:obs [] = []);
+  let tampered = { obs with Oracle.o_statuses = [] } in
+  check "divergence flagged" true
+    (Explorer.judge_plan Scenario.chain ~reference:tampered [] <> [])
+
+let test_generated_schedules_are_valid () =
+  let c = Decision.collector () in
+  let _ = Scenario.chain.Scenario.sc_run [] (Some c) in
+  let pts = Decision.points c in
+  let scheds =
+    Explorer.schedules Explorer.smoke_budget Scenario.chain pts
+      ~makespan:(Decision.makespan c)
+  in
+  check "schedules generated" true (List.length scheds > 50);
+  List.iter
+    (fun s ->
+      match Fault.validate ~nodes:Scenario.chain.Scenario.sc_nodes s.Explorer.s_plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid generated plan (%s): %s" s.Explorer.s_kind e)
+    scheds
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "decision",
+        [
+          Alcotest.test_case "harvest from reference run" `Quick test_decision_points_harvested;
+          Alcotest.test_case "classification filter" `Quick test_classify_filters_noise;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "Fault.validate" `Quick test_plan_validation;
+          Alcotest.test_case "Testbed.apply_faults rejects" `Quick test_testbed_rejects_bad_plan;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "pass on reference" `Quick test_oracles_pass_on_reference;
+          Alcotest.test_case "flag divergence" `Quick test_oracles_flag_divergence;
+          Alcotest.test_case "effects from durable history" `Quick test_effects_from_durable_history;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "unit pairing" `Quick test_units_keep_pairs_together;
+          Alcotest.test_case "minimize to culprit" `Quick test_minimize_to_culprit_unit;
+          Alcotest.test_case "run cap" `Quick test_minimize_respects_run_cap;
+        ] );
+      ( "pinned",
+        [
+          Alcotest.test_case "relaunch-orphan race" `Quick test_pinned_relaunch_orphan_race;
+          Alcotest.test_case "crash pair" `Quick test_pinned_crash_pair;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "explore the chain" `Quick test_explore_chain_end_to_end;
+          Alcotest.test_case "judge wiring" `Quick test_judge_plan_flags_divergence;
+          Alcotest.test_case "generated plans valid" `Quick test_generated_schedules_are_valid;
+        ] );
+    ]

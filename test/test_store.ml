@@ -22,6 +22,38 @@ let test_wal_rewrite () =
   Alcotest.(check (list int)) "compacted" [ 9 ] (Wal.records wal);
   check_int "appended_total survives rewrite" 4 (Wal.appended_total wal)
 
+let test_wal_rewrite_crash_atomic () =
+  (* rewrite's contract: readers observe the full old contents or the
+     full new contents, never a mix — in particular, between a
+     compaction and the next append the log is exactly the compacted
+     list, and appends extend that list rather than resurrecting any
+     pre-compaction record *)
+  let wal = Wal.create ~name:"w" in
+  List.iter (Wal.append wal) [ 10; 20; 30; 40 ];
+  let old_only = [ 10; 30 ] in
+  (* records dropped by compaction *)
+  Wal.rewrite wal [ 20; 40 ];
+  Alcotest.(check (list int)) "exactly the new contents" [ 20; 40 ] (Wal.records wal);
+  check "no stale record leaks through" true
+    (List.for_all (fun r -> not (List.mem r old_only)) (Wal.records wal));
+  check_int "length tracks the rewrite" 2 (Wal.length wal);
+  Wal.append wal 50;
+  Alcotest.(check (list int))
+    "next append extends the compacted log" [ 20; 40; 50 ] (Wal.records wal);
+  check_int "lifetime count keeps the pre-compaction appends" 5 (Wal.appended_total wal);
+  (* a Kvstore checkpoint rides on rewrite: crash right after it (before
+     any further append) must recover the compacted state exactly *)
+  let s = Kvstore.create ~name:"s" in
+  List.iter (fun (k, v) -> Kvstore.put s k v) [ ("a", "1"); ("b", "2"); ("a", "3") ];
+  Kvstore.checkpoint s;
+  let wal_after_ckpt = Kvstore.wal_length s in
+  Kvstore.crash s;
+  Kvstore.recover s;
+  check_str_opt "newest value, not the overwritten one" (Some "3") (Kvstore.get s "a");
+  check_str_opt "other key intact" (Some "2") (Kvstore.get s "b");
+  check_int "recovered from the compacted log, not a mix" wal_after_ckpt
+    (Kvstore.wal_length s)
+
 (* --- Kvstore --- *)
 
 let test_kv_basic () =
@@ -130,6 +162,7 @@ let () =
         [
           Alcotest.test_case "append order" `Quick test_wal_append_order;
           Alcotest.test_case "rewrite" `Quick test_wal_rewrite;
+          Alcotest.test_case "rewrite crash atomicity" `Quick test_wal_rewrite_crash_atomic;
         ] );
       ( "kvstore",
         [

@@ -345,6 +345,100 @@ let test_mixed_readonly_elided_from_fanout () =
     "reader holds no prepared state" []
     (Participant.prepared_txids (Harness.participant c "b"))
 
+let test_one_phase_commit_through_partition () =
+  (* a partition opens just as the combined prepare+commit ([tx.commit1])
+     would cross the a->b link; the RPC layer retries through the outage
+     and the commit must resolve after the heal with the effect applied
+     exactly once — one combined log record, nothing prepared, no locks *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  let p_b = Harness.participant c "b" in
+  Network.partition_on c.Harness.net "a" "b";
+  ignore
+    (Sim.schedule c.Harness.sim ~delay:(Sim.ms 30) (fun () ->
+         Network.partition_off c.Harness.net "a" "b"));
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"b" ~key:"y" ~value:"v";
+         return ()));
+  check_str_opt "committed after the heal" (Some "v")
+    (Participant.committed_value p_b ~key:"y");
+  check_int "one-phase lane still taken" 1 (Txn.one_phase_commits mgr);
+  check_int "applied exactly once (single log record)" 1 (Participant.log_length p_b);
+  Alcotest.(check (list string))
+    "nothing left prepared" [] (Participant.prepared_txids p_b);
+  check_int "no orphaned locks" 0 (Participant.locks_held p_b)
+
+let test_readonly_elision_through_partition () =
+  (* same, for the read-only fast lane: the [tx.prepare-ro] validation
+     round is cut off mid-flight; after the heal the commit must elide,
+     log nothing, and leave the read locks released *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"b" ~key:"x" ~value:"seed";
+         return ()));
+  let p_b = Harness.participant c "b" in
+  let log_before = Participant.log_length p_b in
+  let t = Txn.begin_ mgr in
+  let got = ref None in
+  (read t ~node:"b" ~key:"x") (fun r -> got := Some r);
+  Harness.run c;
+  check "read completed before the partition" true (!got = Some (Ok (Some "seed")));
+  Network.partition_on c.Harness.net "a" "b";
+  ignore
+    (Sim.schedule c.Harness.sim ~delay:(Sim.ms 30) (fun () ->
+         Network.partition_off c.Harness.net "a" "b"));
+  (match Harness.exec c (Txn.commit t) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "read-only commit failed: %s" (Txn.error_to_string e));
+  check_int "elision resolved through the outage" 1 (Txn.readonly_elisions mgr);
+  check_int "still logged nothing" log_before (Participant.log_length p_b);
+  check_int "read locks released" 0 (Participant.locks_held p_b);
+  (* exactly-once, observable side: an immediate writer is not blocked
+     by leftover read locks and sees the unchanged committed value *)
+  Harness.exec_ok c
+    (Txn.run (Harness.manager c "b") ~max_attempts:1 (fun t ->
+         write t ~node:"b" ~key:"x" ~value:"next";
+         return ()));
+  check_str_opt "writer proceeds after elision" (Some "next")
+    (Participant.committed_value p_b ~key:"x")
+
+let test_checkpoint_then_crash_recovers_exact_state () =
+  (* Wal.rewrite's crash-atomicity contract seen through the participant:
+     a crash right after checkpoint (between the compaction and the next
+     append) must recover exactly the compacted state — never a mix of
+     old and new log contents *)
+  let c = Harness.cluster [ "a"; "b" ] in
+  let mgr = Harness.manager c "a" in
+  List.iter
+    (fun (k, v) ->
+      Harness.exec_ok c
+        (Txn.run mgr (fun t ->
+             write t ~node:"b" ~key:k ~value:v;
+             return ())))
+    [ ("x", "1"); ("y", "2"); ("x", "3") ];
+  let p_b = Harness.participant c "b" in
+  Participant.checkpoint p_b;
+  let compacted = Participant.log_length p_b in
+  Harness.crash c "b";
+  Harness.recover c "b";
+  Harness.run c;
+  check_str_opt "x survives at its newest value" (Some "3")
+    (Participant.committed_value p_b ~key:"x");
+  check_str_opt "y survives" (Some "2") (Participant.committed_value p_b ~key:"y");
+  check_int "recovered log is the compacted one, not a mix" compacted
+    (Participant.log_length p_b);
+  Alcotest.(check (list string))
+    "nothing prepared after recovery" [] (Participant.prepared_txids p_b);
+  Harness.exec_ok c
+    (Txn.run mgr (fun t ->
+         write t ~node:"b" ~key:"z" ~value:"4";
+         return ()));
+  check_str_opt "writes continue after the recovered checkpoint" (Some "4")
+    (Participant.committed_value p_b ~key:"z")
+
 (* --- Crash recovery --- *)
 
 let test_participant_crash_after_prepare_commits_eventually () =
@@ -565,6 +659,10 @@ let () =
           Alcotest.test_case "one-phase refused" `Quick test_one_phase_refused_on_conflict;
           Alcotest.test_case "read-only elided" `Quick test_readonly_txn_elided;
           Alcotest.test_case "read-only conflict" `Quick test_readonly_elision_under_conflict;
+          Alcotest.test_case "one-phase through partition" `Quick
+            test_one_phase_commit_through_partition;
+          Alcotest.test_case "read-only elision through partition" `Quick
+            test_readonly_elision_through_partition;
           Alcotest.test_case "mixed fan-out elision" `Quick
             test_mixed_readonly_elided_from_fanout;
         ] );
@@ -577,6 +675,8 @@ let () =
           Alcotest.test_case "coordinator crash post-decision" `Quick
             test_coordinator_crash_after_decision_resumes_commit;
           Alcotest.test_case "checkpoint" `Quick test_checkpoint_compacts_logs;
+          Alcotest.test_case "checkpoint then crash" `Quick
+            test_checkpoint_then_crash_recovers_exact_state;
           Alcotest.test_case "coordinator log compaction" `Quick
             test_compact_bounds_coordinator_log;
         ] );
