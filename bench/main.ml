@@ -601,7 +601,7 @@ let bench_json () =
     let tb = Testbed.make () in
     Workloads.register ?work:None tb.Testbed.registry;
     let t0 = Sys.time () in
-    let _, status = must (Testbed.launch_and_run tb ~script ~root ~inputs:Workloads.seed_inputs) in
+    let iid, status = must (Testbed.launch_and_run tb ~script ~root ~inputs:Workloads.seed_inputs) in
     let wall = Sys.time () -. t0 in
     (match status with
     | Wstate.Wf_done _ -> ()
@@ -610,8 +610,8 @@ let bench_json () =
     let audit = ref None in
     (Txn.run mgr (fun t ->
          let open Txn in
-         let* insts = Txn.read t ~node:"n0" ~key:Wstate.key_insts in
-         return insts))
+         let* meta = Txn.read t ~node:"n0" ~key:(Wstate.key_meta iid) in
+         return meta))
       (fun r -> audit := Some r);
     Testbed.run tb;
     (match !audit with

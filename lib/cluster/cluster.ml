@@ -20,26 +20,80 @@ type t = {
   metrics : Metrics.t;
   directory : (string, string) Hashtbl.t;  (* iid -> engine node; router's cache *)
   clients : (string * Repo_client.t) list;  (* repository client per engine node *)
+  owner_clients : (string, Repo_client.t) Hashtbl.t;
+      (* per-source clients for directory lookups, cached across calls *)
   mutable seq : int;
+  mutable pending_assigns : (string * string) list;
+      (* (iid, eid) placement writes awaiting the batched flush, newest
+         first — every launch of one poll instant rides one
+         repo.assign_batch RPC per engine instead of one RPC each *)
+  mutable assign_armed : bool;
+  batch_assigns : bool;
+      (* follows the engines' [incremental] config: the naive
+         pre-refactor mode pushes one repo.assign RPC per launch *)
 }
 
 (* How long to wait before re-trying a placement write that exhausted
    the RPC layer's own retries (repository unreachable). *)
 let assign_retry_period = Sim.ms 50
 
-(* Push one (iid -> engine) assignment into the durable directory until
-   it sticks. The RPC already retries transient losses; this loop covers
-   a repository outage longer than the RPC budget, and the recovery hook
-   installed in [make] covers the remaining hole — the owning engine's
-   node crashing while the call is outstanding (the callback is then
-   never invoked, so no loop survives to retry). *)
-let rec ensure_assigned t ~iid ~eid =
+(* Batched placement writes: assignments enqueued within one simulation
+   timestep flush together, grouped into one [repo.assign_batch] RPC per
+   owning engine. The RPC already retries transient losses; the re-queue
+   on error covers a repository outage longer than the RPC budget, and
+   the recovery hook installed in [make] covers the remaining hole — the
+   owning engine's node crashing while the call is outstanding (the
+   callback is then never invoked, so no loop survives to retry). *)
+let rec flush_assigns t =
+  t.assign_armed <- false;
+  let pending = List.rev t.pending_assigns in
+  t.pending_assigns <- [];
+  List.iter
+    (fun eid ->
+      match List.filter_map (fun (iid, e) -> if e = eid then Some iid else None) pending with
+      | [] -> ()
+      | iids ->
+        let pairs = List.map (fun iid -> (iid, eid)) iids in
+        Metrics.incr t.metrics "cluster.assign_batches";
+        Repo_client.assign_many (List.assoc eid t.clients) ~pairs (function
+          | Ok () -> ()
+          | Error _ ->
+            ignore
+              (Sim.schedule t.tb.Testbed.sim ~delay:assign_retry_period (fun () ->
+                   (* only re-push pairs the router still believes in:
+                      a relaunch elsewhere must not be overwritten *)
+                   let still =
+                     List.filter
+                       (fun (iid, _) -> Hashtbl.find_opt t.directory iid = Some eid)
+                       pairs
+                   in
+                   if still <> [] then begin
+                     t.pending_assigns <- List.rev_append still t.pending_assigns;
+                     arm_assigns t
+                   end))))
+    (List.map fst t.tb.Testbed.engines)
+
+and arm_assigns t =
+  if not t.assign_armed then begin
+    t.assign_armed <- true;
+    ignore (Sim.schedule t.tb.Testbed.sim ~delay:0 (fun () -> flush_assigns t))
+  end
+
+(* The pre-refactor path: one assignment, one RPC, its own retry loop. *)
+let rec assign_direct t ~iid ~eid =
   Repo_client.assign (List.assoc eid t.clients) ~iid ~engine:eid (function
     | Ok () -> ()
     | Error _ ->
       ignore
         (Sim.schedule t.tb.Testbed.sim ~delay:assign_retry_period (fun () ->
-             if Hashtbl.find_opt t.directory iid = Some eid then ensure_assigned t ~iid ~eid)))
+             if Hashtbl.find_opt t.directory iid = Some eid then assign_direct t ~iid ~eid)))
+
+let ensure_assigned t ~iid ~eid =
+  if t.batch_assigns then begin
+    t.pending_assigns <- (iid, eid) :: t.pending_assigns;
+    arm_assigns t
+  end
+  else assign_direct t ~iid ~eid
 
 let make ?config ?engine_config ?seed ?(policy = Round_robin) ?(hosts = [])
     ?(repo_node = "repo") ~engines () =
@@ -59,7 +113,9 @@ let make ?config ?engine_config ?seed ?(policy = Round_robin) ?(hosts = [])
   in
   let t =
     { tb; repo; repo_id = repo_node; policy; metrics; directory = Hashtbl.create 32; clients;
-      seq = 0 }
+      owner_clients = Hashtbl.create 4; seq = 0; pending_assigns = []; assign_armed = false;
+      batch_assigns =
+        (match engine_config with Some c -> c.Engine.incremental | None -> true) }
   in
   (* an engine crash can swallow in-flight placement writes (the caller
      died, so nobody retries): re-assert every assignment the router
@@ -135,7 +191,14 @@ let launch t ~script ~root ~inputs =
 let owner t iid = Hashtbl.find_opt t.directory iid
 
 let owner_rpc t ~src ~iid k =
-  let client = Repo_client.create ~rpc:(rpc t) ~src ~repo_node:t.repo_id in
+  let client =
+    match Hashtbl.find_opt t.owner_clients src with
+    | Some c -> c
+    | None ->
+      let c = Repo_client.create ~rpc:(rpc t) ~src ~repo_node:t.repo_id in
+      Hashtbl.replace t.owner_clients src c;
+      c
+  in
   Repo_client.owner client ~iid k
 
 let placements t =

@@ -14,6 +14,11 @@ type t = {
   mutable pending : ((string * string option) list * (unit -> unit)) list;
       (* queued persist requests awaiting the flush event, newest first *)
   mutable flush_armed : bool;
+  ready : (unit -> unit) Queue.t;
+      (* dispatches awaiting their slice of engine CPU: one chained
+         drain event pops the head every [overhead], instead of one
+         pre-scheduled simulator event per dispatch *)
+  mutable draining : bool;
 }
 
 let create ?(overhead = 0) ?(batch = true) ~rpc ~node ~mgr ~participant () =
@@ -30,13 +35,17 @@ let create ?(overhead = 0) ?(batch = true) ~rpc ~node ~mgr ~participant () =
       batch;
       pending = [];
       flush_armed = false;
+      ready = Queue.create ();
+      draining = false;
     }
   in
   Node.on_crash node (fun () ->
       t.incarnation <- t.incarnation + 1;
       t.busy_until <- 0;
       t.pending <- [];
-      t.flush_armed <- false);
+      t.flush_armed <- false;
+      Queue.clear t.ready;
+      t.draining <- false);
   t
 
 let sim t = t.sim
@@ -93,6 +102,24 @@ let persist t writes k =
     end
   end
 
+(* The intrusive ready deque: enqueues are O(1); one drain event is in
+   flight at a time, popping the head every [overhead] — timing is
+   identical to the historical per-dispatch busy-cursor scheduling
+   (k-th dispatch fires at max(enqueue, previous fire) + overhead), but
+   the simulator heap holds one event per engine, not one per queued
+   dispatch. *)
+let rec drain t () =
+  match Queue.take_opt t.ready with
+  | None -> t.draining <- false
+  | Some fire ->
+    t.busy_until <- Sim.now t.sim;
+    if Node.up t.node then fire ();
+    if Queue.is_empty t.ready then t.draining <- false else schedule_drain t t.overhead
+
+and schedule_drain t delay =
+  let inc = t.incarnation in
+  ignore (Sim.schedule t.sim ~delay (fun () -> if t.incarnation = inc then drain t ()))
+
 let send_exec t ~host ~retries req k =
   let fire () =
     Sim.emit t.sim ~src:(node_id t)
@@ -109,14 +136,16 @@ let send_exec t ~host ~retries req k =
   in
   if t.overhead = 0 then fire ()
   else begin
-    let now = Sim.now t.sim in
-    let start = max now t.busy_until in
-    t.busy_until <- start + t.overhead;
-    let inc = t.incarnation in
-    ignore
-      (Sim.schedule t.sim ~delay:(start + t.overhead - now) (fun () ->
-           if t.incarnation = inc && Node.up t.node then fire ()))
+    Queue.push fire t.ready;
+    if not t.draining then begin
+      t.draining <- true;
+      let now = Sim.now t.sim in
+      let start = max now t.busy_until in
+      schedule_drain t (start + t.overhead - now)
+    end
   end
+
+let ready_len t = Queue.length t.ready
 
 let committed_value t ~key = Participant.committed_value t.participant ~key
 

@@ -49,7 +49,16 @@ val persist : t -> (string * string option) list -> (unit -> unit) -> unit
 
 val send_exec : t -> host:string -> retries:int -> Wfmsg.exec_req -> ((string, string) result -> unit) -> unit
 (** Dispatch one implementation execution to a task host (emits
-    [Task_dispatched], then the at-least-once RPC). *)
+    [Task_dispatched], then the at-least-once RPC). With a non-zero
+    [overhead] the dispatch joins the engine's ready deque: enqueue is
+    O(1) and a single chained drain event pops one dispatch per
+    [overhead] — same timing as per-dispatch scheduling, one simulator
+    event per engine instead of one per queued dispatch. *)
+
+val ready_len : t -> int
+(** Dispatches currently queued on the ready deque (0 when [overhead]
+    is 0 — dispatches then fire inline). Backs the
+    [engine.ready_queue_len] gauge. *)
 
 val committed_value : t -> key:string -> string option
 (** Read the engine node's committed store outside any transaction. *)

@@ -15,6 +15,9 @@ type config = {
   default_timeout : Sim.time;
   dispatch_overhead : Sim.time;
   batch_persists : bool;
+  incremental : bool;
+  retain_concluded : bool;
+  trace : bool;
 }
 
 let default_config =
@@ -25,6 +28,9 @@ let default_config =
     default_timeout = Sim.sec 10;
     dispatch_overhead = 0;
     batch_persists = true;
+    incremental = true;
+    retain_concluded = true;
+    trace = true;
   }
 
 type t = {
@@ -38,7 +44,11 @@ type t = {
   metrics : Metrics.t;
   rng : Rng.t;  (* split once at creation to keep downstream seeds stable *)
   insts : (string, Instate.t) Hashtbl.t;
-  mutable inst_order : string list;
+  mutable inst_rev : string list;  (* launch order, newest first (O(1) append) *)
+  compiled : (string, Schema.task) Hashtbl.t;
+      (* schema cache keyed by root ^ NUL ^ script: a capacity workload
+         launching the same script 100k times compiles it once and all
+         instances share one schema tree *)
   mutable seq : int;
   mutable epoch : int;
   mutable orphans : Instate.t list;
@@ -127,7 +137,34 @@ let action_payload t inst action =
 
 (* --- the evaluation pump, dispatch, watchdog, failure handling --- *)
 
-let rec mark_dirty t inst =
+let instance_index t inst =
+  match inst.Instate.index with
+  | Some idx -> idx
+  | None ->
+    let idx = Sched.build_index ~effective:(effective_body t) inst.Instate.schema in
+    inst.Instate.index <- Some idx;
+    idx
+
+(* the store path one effectful action mutates — what the next pass's
+   incremental scan must treat as dirty *)
+let action_path = function
+  | Sched.Start { a_path; _ }
+  | Sched.Fire_mark { a_path; _ }
+  | Sched.Do_repeat { a_path; _ }
+  | Sched.Complete { a_path; _ }
+  | Sched.Fail_task { a_path; _ }
+  | Sched.Arm_timer { a_path; _ } -> a_path
+
+(* [paths] scopes the next pass to the records just changed (push-based
+   propagation through the instance's reverse-dependency index); [None]
+   forces a full pass — launch, recovery, reconfiguration. In naive
+   (pre-refactor) mode every pass is a full rescan and [paths] is
+   irrelevant. *)
+let rec mark_dirty ?paths t inst =
+  (if t.config.incremental then
+     match paths with
+     | None -> inst.Instate.pending <- Sched.All
+     | Some ps -> inst.Instate.pending <- Sched.add_dirty inst.Instate.pending ps);
   inst.Instate.dirty <- true;
   if not inst.Instate.inflight then begin
     inst.Instate.inflight <- true;
@@ -142,7 +179,14 @@ and pump t inst =
   inst.Instate.dirty <- false;
   if inst.Instate.status <> Wstate.Wf_running then inst.Instate.inflight <- false
   else begin
-    let actions = Sched.scan (iview t inst) ~root:inst.Instate.schema in
+    let actions =
+      if t.config.incremental then begin
+        let dirty = inst.Instate.pending in
+        inst.Instate.pending <- Sched.no_dirty;
+        Sched.scan_from (instance_index t inst) (iview t inst) ~root:inst.Instate.schema ~dirty
+      end
+      else Sched.scan (iview t inst) ~root:inst.Instate.schema
+    in
     let actions =
       List.filter
         (function
@@ -168,7 +212,7 @@ and pump t inst =
           List.iter (action_side_effects t inst) effectful;
           inst.Instate.inflight <- false;
           finalize t inst;
-          mark_dirty t inst)
+          mark_dirty ~paths:(List.map action_path effectful) t inst)
     end
   end
 
@@ -187,7 +231,7 @@ and arm_timer_action t inst = function
           (fun () ->
             Hashtbl.replace inst.Instate.timers key ();
             emit t (Event.Timer_fired { path = pkey a_path; set = a_set });
-            mark_dirty t inst)
+            mark_dirty ~paths:[ a_path ] t inst)
     in
     (* the deadline persists across crashes: recovery resumes the
        remaining wait rather than restarting the whole timeout *)
@@ -265,7 +309,7 @@ and retry_task t inst ~path ~task =
             emit t (Event.Task_retried { path = pkey path; attempt = next });
             match effective_body t task with
             | Sched.E_fn code -> dispatch t inst ~path ~task ~code ~set ~inputs ~attempt:next
-            | Sched.E_compound _ | Sched.E_missing _ -> mark_dirty t inst)
+            | Sched.E_compound _ | Sched.E_missing _ -> mark_dirty ~paths:[ path ] t inst)
       end
     | _ -> ()
 
@@ -274,7 +318,7 @@ and fail_policy t inst ~path ~task ~reason =
   let action = Sched.fail_action task ~path ~attempt ~reason in
   persist t (action_payload t inst action) (fun () ->
       apply_and_announce t inst action;
-      mark_dirty t inst)
+      mark_dirty ~paths:[ action_path action ] t inst)
 
 and finalize t inst =
   if inst.Instate.status = Wstate.Wf_running && not inst.Instate.concluding then begin
@@ -298,7 +342,11 @@ and finalize t inst =
                });
           let callbacks = inst.Instate.callbacks in
           inst.Instate.callbacks <- [];
-          List.iter (fun cb -> cb status) callbacks)
+          List.iter (fun cb -> cb status) callbacks;
+          (* bound resident memory: pump-only state always goes; with
+             [retain_concluded = false] the whole mirror goes too *)
+          if t.config.retain_concluded then Instate.trim_concluded inst
+          else Instate.release inst)
     in
     match Instate.get_state inst rpath with
     | Some (Wstate.Done { output; objects; _ }) -> conclude (Wstate.Wf_done { output; objects })
@@ -311,7 +359,7 @@ and finalize t inst =
 let apply_one t inst action =
   persist t (action_payload t inst action) (fun () ->
       apply_and_announce t inst action;
-      mark_dirty t inst)
+      mark_dirty ~paths:[ action_path action ] t inst)
 
 let process_report t inst ~task ~attempt ~is_mark (r : Wfmsg.report) =
   let path = r.Wfmsg.r_path in
@@ -377,22 +425,25 @@ let rebuild_instance t iid =
           (Instate.running_leaves inst ~effective:(effective_body t));
         if inst.Instate.status = Wstate.Wf_running then mark_dirty t inst))
 
+let dir_iid_of_key key =
+  String.sub key (String.length Wstate.dir_prefix) (String.length key - String.length Wstate.dir_prefix)
+
 (* A commit finished by the recovery termination protocol can add an
    instance to the store after [recover] already scanned it: reconcile
-   whenever such a commit lands. *)
-let reconcile t =
+   whenever such a commit lands. Incremental mode reconciles exactly the
+   iids named by the commit's directory rows — O(writes), where the
+   legacy roster list forces an O(instances) decode per commit. *)
+let reconcile_one t iid =
+  if not (Hashtbl.mem t.insts iid) then begin
+    rebuild_instance t iid;
+    if Hashtbl.mem t.insts iid && not (List.mem iid t.inst_rev) then
+      t.inst_rev <- iid :: t.inst_rev
+  end
+
+let reconcile_roster t =
   match Dispatch.committed_value t.disp ~key:Wstate.key_insts with
   | None -> ()
-  | Some raw ->
-    let iids = Wstate.decode_insts raw in
-    List.iter
-      (fun iid ->
-        if not (Hashtbl.mem t.insts iid) then begin
-          rebuild_instance t iid;
-          if Hashtbl.mem t.insts iid && not (List.mem iid t.inst_order) then
-            t.inst_order <- t.inst_order @ [ iid ]
-        end)
-      iids
+  | Some raw -> List.iter (reconcile_one t) (Wstate.decode_insts raw)
 
 (* Re-persist an instance whose launch transaction was lost to a crash
    before its decision. A committed-but-unapplied launch is instead
@@ -417,15 +468,19 @@ let relaunch_orphan t (orphan : Instate.t) =
         forget ();
         let inst = Instate.reset orphan in
         let meta = Instate.meta inst ~status:Wstate.Wf_running in
-        if not (List.mem inst.Instate.iid t.inst_order) then
-          t.inst_order <- t.inst_order @ [ inst.Instate.iid ];
+        if not (List.mem inst.Instate.iid t.inst_rev) then
+          t.inst_rev <- inst.Instate.iid :: t.inst_rev;
         Hashtbl.replace t.insts inst.Instate.iid inst;
         emit t (Event.Wf_relaunched { iid = inst.Instate.iid });
+        let dir_write =
+          if t.config.incremental then begin
+            t.seq <- t.seq + 1;
+            (Wstate.key_dir inst.Instate.iid, Some (Wstate.encode_dir_seq t.seq))
+          end
+          else (Wstate.key_insts, Some (Wstate.encode_insts (List.rev t.inst_rev)))
+        in
         persist t
-          [
-            (Wstate.key_insts, Some (Wstate.encode_insts t.inst_order));
-            (Wstate.key_meta inst.Instate.iid, Some (Wstate.encode_meta meta));
-          ]
+          [ dir_write; (Wstate.key_meta inst.Instate.iid, Some (Wstate.encode_meta meta)) ]
           (fun () -> mark_dirty t inst)
       end
   in
@@ -434,15 +489,32 @@ let relaunch_orphan t (orphan : Instate.t) =
 let recover t () =
   t.epoch <- t.epoch + 1;
   Hashtbl.reset t.insts;
-  (match Dispatch.committed_value t.disp ~key:Wstate.key_insts with
-  | None -> t.inst_order <- []
-  | Some raw ->
-    let iids = Wstate.decode_insts raw in
-    t.inst_order <- iids;
-    List.iter (rebuild_instance t) iids);
+  (if t.config.incremental then begin
+     (* per-instance directory rows carry the launch sequence number so
+        the replay order matches the original launch order *)
+     let entries =
+       List.filter_map
+         (fun key ->
+           if String.starts_with ~prefix:Wstate.dir_prefix key then
+             Option.bind (Dispatch.committed_value t.disp ~key) (fun raw ->
+                 Option.map (fun seq -> (seq, dir_iid_of_key key)) (Wstate.decode_dir_seq raw))
+           else None)
+         (Dispatch.committed_keys t.disp)
+     in
+     let ordered = List.map snd (List.sort compare entries) in
+     t.inst_rev <- List.rev ordered;
+     List.iter (rebuild_instance t) ordered
+   end
+   else
+     match Dispatch.committed_value t.disp ~key:Wstate.key_insts with
+     | None -> t.inst_rev <- []
+     | Some raw ->
+       let iids = Wstate.decode_insts raw in
+       t.inst_rev <- List.rev iids;
+       List.iter (rebuild_instance t) iids);
   t.orphans <- List.filter (fun (o : Instate.t) -> not (Hashtbl.mem t.insts o.Instate.iid)) t.orphans;
   List.iter (relaunch_orphan t) t.orphans;
-  emit t (Event.Recovery_replayed { instances = List.length t.inst_order })
+  emit t (Event.Recovery_replayed { instances = List.length t.inst_rev })
 
 (* --- construction and public API --- *)
 
@@ -459,11 +531,12 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
      source label — in a multi-engine cluster each engine only observes
      its own stream (cluster-wide views subscribe unfiltered). *)
   let own = Node.id node in
-  Event.subscribe (Sim.events sim) (fun ~at ~src ev ->
-      if src = own then
-        match Event.to_trace ev with
-        | Some (kind, detail) -> Trace.record tracer ~at ~kind detail
-        | None -> ());
+  if config.trace then
+    Event.subscribe (Sim.events sim) (fun ~at ~src ev ->
+        if src = own then
+          match Event.to_trace ev with
+          | Some (kind, detail) -> Trace.record tracer ~at ~kind detail
+          | None -> ());
   Metrics.attach metrics ~src:own (Sim.events sim);
   let t =
     {
@@ -479,7 +552,8 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
       metrics;
       rng = Rng.split (Sim.rng sim);
       insts = Hashtbl.create 8;
-      inst_order = [];
+      inst_rev = [];
+      compiled = Hashtbl.create 8;
       seq = 0;
       epoch = 1;
       orphans = [];
@@ -498,20 +572,54 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
       t.orphans <- running @ t.orphans);
   Node.on_recover node (recover t);
   Dispatch.on_apply t.disp (fun writes ->
-      if List.exists (fun (key, _) -> key = Wstate.key_insts) writes then begin
+      let dir_iids =
+        if config.incremental then
+          List.filter_map
+            (fun (key, _) ->
+              if String.starts_with ~prefix:Wstate.dir_prefix key then Some (dir_iid_of_key key)
+              else None)
+            writes
+        else []
+      in
+      let roster =
+        (not config.incremental) && List.exists (fun (key, _) -> key = Wstate.key_insts) writes
+      in
+      if dir_iids <> [] || roster then begin
         let epoch = t.epoch in
         ignore
           (Sim.schedule sim ~delay:0 (fun () ->
-               if t.epoch = epoch && Node.up node then reconcile t))
+               if t.epoch = epoch && Node.up node then
+                 if config.incremental then List.iter (reconcile_one t) dir_iids
+                 else reconcile_roster t))
       end);
   ignore (attach_host_on t node);
   t
 
 let attach_host t node = attach_host_on t node
 
+(* Launching the same script text repeatedly (the capacity bench does it
+   100k times) re-parses an identical source each time: cache the
+   compiled schema by (root, script). Instances never mutate the shared
+   tree — reconfigure swaps in a freshly compiled one — so sharing is
+   safe. Naive mode compiles every launch, the historical cost model. *)
+let compile_cached t ~script ~root =
+  if not t.config.incremental then
+    Result.map_error Frontend.error_to_string (Frontend.compile script ~root)
+  else begin
+    let key = root ^ "\x00" ^ script in
+    match Hashtbl.find_opt t.compiled key with
+    | Some schema -> Ok schema
+    | None -> (
+      match Frontend.compile script ~root with
+      | Error e -> Error (Frontend.error_to_string e)
+      | Ok schema ->
+        Hashtbl.replace t.compiled key schema;
+        Ok schema)
+  end
+
 let launch ?iid t ~script ~root ~inputs =
-  match Frontend.compile script ~root with
-  | Error e -> Error (Frontend.error_to_string e)
+  match compile_cached t ~script ~root with
+  | Error e -> Error e
   | Ok _ when (match iid with Some i -> Hashtbl.mem t.insts i | None -> false) ->
     Error ("duplicate instance id " ^ Option.get iid)
   | Ok schema ->
@@ -524,15 +632,20 @@ let launch ?iid t ~script ~root ~inputs =
         ~external_inputs:inputs
     in
     let meta = Instate.meta inst ~status:Wstate.Wf_running in
-    let order = t.inst_order @ [ iid ] in
     (* visible immediately: callers can attach on_complete before the
        launch transaction commits; scheduling starts once durable *)
-    t.inst_order <- order;
+    t.inst_rev <- iid :: t.inst_rev;
     Hashtbl.replace t.insts iid inst;
     emit t (Event.Wf_launched { iid; root });
+    let dir_write =
+      (* one O(1) row per instance instead of rewriting the whole
+         roster list (O(n) WAL bytes per launch, O(n²) over a run) *)
+      if t.config.incremental then (Wstate.key_dir iid, Some (Wstate.encode_dir_seq t.seq))
+      else (Wstate.key_insts, Some (Wstate.encode_insts (List.rev t.inst_rev)))
+    in
     persist t
       [
-        (Wstate.key_insts, Some (Wstate.encode_insts order));
+        dir_write;
         (Wstate.key_meta iid, Some (Wstate.encode_meta meta));
         Instate.history_write inst ~now:(Sim.now t.sim) ~kind:"launch" ~detail:("root=" ^ root);
       ]
@@ -550,7 +663,7 @@ let on_complete t iid cb =
     | Wstate.Wf_running -> inst.Instate.callbacks <- inst.Instate.callbacks @ [ cb ]
     | done_or_failed -> cb done_or_failed)
 
-let instances t = t.inst_order
+let instances t = List.rev t.inst_rev
 
 let task_state t iid ~path =
   match Hashtbl.find_opt t.insts iid with
@@ -619,13 +732,14 @@ let gc t iid k =
     let doomed =
       List.filter (fun key -> String.starts_with ~prefix key) (Dispatch.committed_keys t.disp)
     in
-    let order = List.filter (fun i -> i <> iid) t.inst_order in
-    let writes =
-      (Wstate.key_insts, Some (Wstate.encode_insts order))
-      :: List.map (fun key -> (key, None)) doomed
+    let rev = List.filter (fun i -> i <> iid) t.inst_rev in
+    let dir_write =
+      if t.config.incremental then (Wstate.key_dir iid, None)
+      else (Wstate.key_insts, Some (Wstate.encode_insts (List.rev rev)))
     in
+    let writes = dir_write :: List.map (fun key -> (key, None)) doomed in
     persist t writes (fun () ->
-        t.inst_order <- order;
+        t.inst_rev <- rev;
         Hashtbl.remove t.insts iid;
         emit t (Event.Wf_collected { iid });
         k (Ok ()))
@@ -645,6 +759,9 @@ let reconfigure t iid ~transform k =
         (fun () ->
           inst.Instate.script_text <- text;
           inst.Instate.schema <- schema;
+          (* the reverse-dependency index was built against the old
+             tree; drop it so the next pump rebuilds from the new one *)
+          inst.Instate.index <- None;
           emit t (Event.Wf_reconfigured { iid });
           mark_dirty t inst;
           k (Ok ())))
@@ -657,3 +774,12 @@ let system_retries_total t = Metrics.value t.metrics "engine.system_retries"
 let marks_total t = Metrics.value t.metrics "engine.marks"
 let reconfigs_total t = Metrics.value t.metrics "engine.reconfigs"
 let recoveries_total t = Metrics.value t.metrics "engine.recoveries"
+
+(* Residency accounting for the capacity bench: reachable words from
+   the live mirror table, sampled on demand (walking 100k instances is
+   too expensive to do implicitly). *)
+let observe_residency t =
+  let words = Obj.reachable_words (Obj.repr t.insts) in
+  Metrics.set t.metrics "engine.resident_words" words;
+  Metrics.set t.metrics "engine.ready_queue_len" (Dispatch.ready_len t.disp);
+  words

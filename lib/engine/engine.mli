@@ -30,6 +30,28 @@ type config = {
       (** coalesce all persists of one evaluation pass into a single
           transaction (default true); false restores one commit per
           persist *)
+  incremental : bool;
+      (** push-based incremental scheduling (default true): each pass
+          re-evaluates only the tasks reachable from the just-changed
+          records through the instance's reverse-dependency index, the
+          instance directory is one O(1) durable row per instance, and
+          identical scripts share one compiled schema. [false] restores
+          the pre-refactor cost model — a full rescan of every task on
+          every pass and a whole-roster directory rewrite per launch —
+          and is what the capacity bench's speedup gate compares
+          against. Scheduling decisions are identical in both modes. *)
+  retain_concluded : bool;
+      (** keep a concluded instance's task-state mirror in memory for
+          post-hoc inspection (default true, the historical behaviour;
+          auxiliary scan state is always dropped at conclusion). [false]
+          additionally releases the mirrors, bounding resident memory by
+          the {e live} instance count — capacity runs want this. Durable
+          records are unaffected either way ({!gc} removes those). *)
+  trace : bool;
+      (** subscribe the legacy human-readable trace to the event bus
+          (default true). Trace lines are rendered and retained for
+          every engine-originated event, so high-volume capacity runs
+          turn this off; {!trace} then returns an empty trace. *)
 }
 
 val default_config : config
@@ -163,3 +185,10 @@ val marks_total : t -> int
 val reconfigs_total : t -> int
 
 val recoveries_total : t -> int
+
+val observe_residency : t -> int
+(** Sample resident memory: reachable words from the live instance
+    mirrors ([Obj.reachable_words]), published as the
+    [engine.resident_words] gauge (alongside [engine.ready_queue_len])
+    in {!metrics}, and returned. Walking the heap is proportional to
+    resident state — call it at measurement points, not per event. *)

@@ -16,6 +16,11 @@ type t = {
   mutable dirty : bool;
   mutable inflight : bool;
   mutable concluding : bool;
+  mutable pending : Sched.dirty;
+      (* paths whose records changed since the last evaluation pass;
+         the incremental pump consumes this as the scan_from seed *)
+  mutable index : Sched.index option;
+      (* cached reverse-dependency index; invalidated by reconfigure *)
 }
 
 let pkey = Wstate.path_to_string
@@ -39,6 +44,8 @@ let create ~iid ~script_text ~schema ~status ~external_inputs =
     dirty = false;
     inflight = false;
     concluding = false;
+    pending = Sched.All;  (* the first pass after (re)build is a full one *)
+    index = None;
   }
 
 (* Same identity and script, empty mirrors — for re-persisting a launch
@@ -251,6 +258,32 @@ let apply_action_mirror inst ~now ~deadline_of action =
       (Wstate.Done { attempt = a_attempt; output = a_name; kind = a_kind; objects = a_objects })
   | Sched.Fail_task { a_path; a_reason } ->
     Hashtbl.replace inst.states (pkey a_path) (Wstate.Failed a_reason)
+
+(* --- bounding memory after conclusion --- *)
+
+(* Always safe once an instance has concluded: fired-timer records,
+   armed-timer bookkeeping, the scan index and the pending set serve
+   only a running evaluation pump. Separate from [release] because the
+   mirror tables still back the introspection API. *)
+let trim_concluded inst =
+  Hashtbl.reset inst.timers;
+  Hashtbl.reset inst.timer_arms;
+  Hashtbl.reset inst.timers_armed;
+  inst.index <- None;
+  inst.pending <- Sched.no_dirty
+
+(* Eager full drop (engine config [retain_concluded = false]): the
+   mirror tables go too, so a concluded instance costs O(1) resident
+   words. Introspection (task_state / task_states / marks_of) then
+   answers empty for the instance; the committed store keeps the durable
+   records and history untouched. *)
+let release inst =
+  trim_concluded inst;
+  Hashtbl.reset inst.states;
+  Hashtbl.reset inst.chosen;
+  Hashtbl.reset inst.marks;
+  Hashtbl.reset inst.repeats;
+  inst.external_inputs <- []
 
 (* --- rebuilding mirrors from the committed store --- *)
 

@@ -29,6 +29,11 @@ type t = {
   mutable dirty : bool;
   mutable inflight : bool;
   mutable concluding : bool;
+  mutable pending : Sched.dirty;
+      (** paths changed since the last evaluation pass — the seed for
+          the incremental {!Sched.scan_from} *)
+  mutable index : Sched.index option;
+      (** cached reverse-dependency index; reconfiguration resets it *)
 }
 
 val create :
@@ -98,6 +103,19 @@ val action_writes :
 val apply_action_mirror :
   t -> now:Sim.time -> deadline_of:(Schema.task -> Sim.time) -> Sched.action -> unit
 (** Mirror update only — the caller emits the corresponding events. *)
+
+(** {1 Bounding memory after conclusion} *)
+
+val trim_concluded : t -> unit
+(** Drop the state that only serves a running evaluation pump (timer
+    records, armed-timer bookkeeping, scan index, pending set). Always
+    applied when an instance concludes. *)
+
+val release : t -> unit
+(** {!trim_concluded} plus the mirror tables themselves: a concluded
+    instance then costs O(1) resident words. Introspection accessors
+    answer empty afterwards; the committed store is untouched. Applied
+    on conclusion when the engine runs with [retain_concluded = false]. *)
 
 (** {1 Recovery} *)
 

@@ -3,9 +3,11 @@ type hist = { mutable count : int; mutable sum : int; mutable rev_samples : int 
 type t = {
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, hist) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 8 }
+let create () =
+  { counters = Hashtbl.create 32; histograms = Hashtbl.create 8; gauges = Hashtbl.create 8 }
 
 let incr ?(by = 1) t name =
   match Hashtbl.find_opt t.counters name with
@@ -26,6 +28,20 @@ let observe t name v =
   h.rev_samples <- v :: h.rev_samples
 
 let value t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+(* Gauges are last-write-wins point-in-time observations (resident
+   words, ready-queue length) — the caller samples them explicitly,
+   unlike counters/histograms which accumulate from the event bus. *)
+let set t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name = match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+let gauges t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
@@ -125,5 +141,11 @@ let to_json t =
            (pct sorted h.count 95)
            (pct sorted h.count 99)))
     hists;
+  Buffer.add_string buf "},\"gauges\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (gauges t);
   Buffer.add_string buf "}}";
   Buffer.contents buf

@@ -62,10 +62,23 @@ let rec find_node ~effective (task : Schema.task) = function
       | None -> None)
     | E_fn _ | E_missing _ -> None)
 
+(* --- candidate selection (push-based incremental scans) --- *)
+
+(* A scan pass visits the whole tree; [sel] decides which nodes are
+   actually (re-)evaluated. [sel_cand path] — this node's readiness may
+   have changed since the last pass, evaluate it. [sel_desc path] — some
+   strict descendant is a candidate, so descend through this Running
+   scope even if the scope itself is not a candidate. The full scan uses
+   the constant-true selector. *)
+type sel = { sel_cand : string -> bool; sel_desc : string -> bool }
+
+let sel_all = { sel_cand = (fun _ -> true); sel_desc = (fun _ -> true) }
+
 (* --- availability --- *)
 
 type ctx = {
   c_view : view;
+  c_sel : sel;
   c_scope : Wstate.path;
   c_enclosing : string option;
   c_scope_set : string option;
@@ -213,16 +226,25 @@ let binding_ready ctx (b : Schema.binding) =
     if List.for_all Option.is_some resolved then Some (List.map Option.get resolved) else None
   end
 
-(* One scan pass; actions come back in declaration order. *)
+(* One scan pass; actions come back in declaration order. Nodes that are
+   not candidates per [ctx.c_sel] are skipped — sound because a
+   non-candidate's readiness cannot have changed since the previous
+   pass, when it was either acted upon or found unready. *)
 let rec scan_task ~ctx (task : Schema.task) acc =
   let v = ctx.c_view in
   let path = ctx.c_scope @ [ task.Schema.name ] in
   match v.v_state path with
   | Some (Wstate.Done _ | Wstate.Failed _) -> acc
-  | None | Some (Wstate.Waiting _) -> scan_waiting ~ctx task path acc
+  | None | Some (Wstate.Waiting _) ->
+    if ctx.c_sel.sel_cand (Wstate.path_to_string path) then scan_waiting ~ctx task path acc
+    else acc
   | Some (Wstate.Running _) -> (
     match v.v_effective task with
-    | E_compound { children; bindings; alias } -> scan_scope ~v ~path ~children ~bindings ~alias acc
+    | E_compound { children; bindings; alias } ->
+      let key = Wstate.path_to_string path in
+      if ctx.c_sel.sel_cand key || ctx.c_sel.sel_desc key then
+        scan_scope ~v ~sel:ctx.c_sel ~path ~children ~bindings ~alias acc
+      else acc
     | E_fn _ | E_missing _ -> acc)
 
 and scan_waiting ~ctx task path acc =
@@ -247,11 +269,12 @@ and scan_waiting ~ctx task path acc =
         (fun acc set -> Arm_timer { a_path = path; a_set = set; a_task = task; a_attempt = attempt } :: acc)
         acc timers)
 
-and scan_scope ~v ~path ~children ~bindings ~alias acc =
+and scan_scope ~v ~sel ~path ~children ~bindings ~alias acc =
   let chosen = v.v_chosen path in
   let ctx =
     {
       c_view = v;
+      c_sel = sel;
       c_scope = path;
       c_enclosing = Some alias;
       c_scope_set = Option.map (fun c -> c.Wstate.c_set) chosen;
@@ -260,13 +283,20 @@ and scan_scope ~v ~path ~children ~bindings ~alias acc =
     }
   in
   let attempt = running_attempt v path in
+  (* binding evaluation only when the scope itself is a candidate: if it
+     is not, no binding input changed since the last pass, so none can
+     have become ready (and none was ready then, or it would have fired
+     and closed the scope) *)
+  let self = sel.sel_cand (Wstate.path_to_string path) in
   let ready kinds =
-    List.find_map
-      (fun (b : Schema.binding) ->
-        if List.mem b.Schema.b_kind kinds then
-          Option.map (fun objects -> (b, objects)) (binding_ready ctx b)
-        else None)
-      bindings
+    if not self then None
+    else
+      List.find_map
+        (fun (b : Schema.binding) ->
+          if List.mem b.Schema.b_kind kinds then
+            Option.map (fun objects -> (b, objects)) (binding_ready ctx b)
+          else None)
+        bindings
   in
   match ready [ Ast.Outcome; Ast.Abort_outcome ] with
   | Some (b, objects) ->
@@ -279,24 +309,28 @@ and scan_scope ~v ~path ~children ~bindings ~alias acc =
       Do_repeat { a_path = path; a_name = b.Schema.b_name; a_objects = objects; a_attempt = attempt + 1 }
       :: acc
     | None ->
-      let fired = v.v_marks path in
       let acc =
-        List.fold_left
-          (fun acc (b : Schema.binding) ->
-            if b.Schema.b_kind = Ast.Mark && not (List.mem_assoc b.Schema.b_name fired) then
-              match binding_ready ctx b with
-              | Some objects ->
-                Fire_mark { a_path = path; a_name = b.Schema.b_name; a_objects = objects } :: acc
-              | None -> acc
-            else acc)
-          acc bindings
+        if not self then acc
+        else begin
+          let fired = v.v_marks path in
+          List.fold_left
+            (fun acc (b : Schema.binding) ->
+              if b.Schema.b_kind = Ast.Mark && not (List.mem_assoc b.Schema.b_name fired) then
+                match binding_ready ctx b with
+                | Some objects ->
+                  Fire_mark { a_path = path; a_name = b.Schema.b_name; a_objects = objects } :: acc
+                | None -> acc
+              else acc)
+            acc bindings
+        end
       in
       List.fold_left (fun acc child -> scan_task ~ctx child acc) acc children)
 
-let scan v ~root =
+let scan_sel sel v ~root =
   let root_ctx =
     {
       c_view = v;
+      c_sel = sel;
       c_scope = [];
       c_enclosing = None;
       c_scope_set = None;
@@ -305,6 +339,109 @@ let scan v ~root =
     }
   in
   List.rev (scan_task ~ctx:root_ctx root [])
+
+let scan v ~root = scan_sel sel_all v ~root
+
+(* --- the reverse-dependency index --- *)
+
+(* Built once per instance from the (expanded) schema: for every store
+   path whose records can change, the set of paths whose readiness that
+   change can affect. Edges, for a compound scope P with children C and
+   output bindings B:
+   - P -> P/c for every child c: starting, repeating or re-choosing the
+     scope re-evaluates every constituent (this also covers enclosing
+     [C_input] references, which read the scope's chosen record);
+   - P/s -> P/c whenever child c's input sets name sibling s as an
+     object or notification source;
+   - P/s -> P whenever a binding in B names sibling s.
+   Dirty paths are always candidates themselves, so no self edges. *)
+type index = { idx_dependents : (string, Wstate.path list) Hashtbl.t }
+
+let build_index ~effective (root : Schema.task) =
+  let tbl : (string, Wstate.path list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge src dst =
+    let key = Wstate.path_to_string src in
+    match Hashtbl.find_opt tbl key with
+    | Some deps -> if not (List.mem dst !deps) then deps := dst :: !deps
+    | None -> Hashtbl.add tbl key (ref [ dst ])
+  in
+  let rec walk path (task : Schema.task) =
+    match effective task with
+    | E_fn _ | E_missing _ -> ()
+    | E_compound { children; bindings; _ } ->
+      let sibling name =
+        List.exists (fun (c : Schema.task) -> c.Schema.name = name) children
+      in
+      let src_edge dst name = if sibling name then add_edge (path @ [ name ]) dst in
+      List.iter
+        (fun (c : Schema.task) ->
+          let cpath = path @ [ c.Schema.name ] in
+          add_edge path cpath;
+          List.iter
+            (fun (s : Schema.input_set) ->
+              List.iter
+                (fun (io : Schema.input_object) ->
+                  List.iter
+                    (fun (os : Schema.obj_source) -> src_edge cpath os.Schema.s_task)
+                    io.Schema.io_sources)
+                s.Schema.is_objects;
+              List.iter
+                (List.iter (fun (ns : Schema.notif_source) -> src_edge cpath ns.Schema.n_task))
+                s.Schema.is_notifications)
+            c.Schema.inputs;
+          walk cpath c)
+        children;
+      List.iter
+        (fun (b : Schema.binding) ->
+          List.iter
+            (fun ((_, sources) : string * Schema.obj_source list) ->
+              List.iter (fun (os : Schema.obj_source) -> src_edge path os.Schema.s_task) sources)
+            b.Schema.b_objects;
+          List.iter
+            (List.iter (fun (ns : Schema.notif_source) -> src_edge path ns.Schema.n_task))
+            b.Schema.b_notifications)
+        bindings
+  in
+  walk [ root.Schema.name ] root;
+  let idx_dependents = Hashtbl.create (Hashtbl.length tbl) in
+  Hashtbl.iter (fun key deps -> Hashtbl.add idx_dependents key !deps) tbl;
+  { idx_dependents }
+
+(* --- dirty sets --- *)
+
+type dirty = All | Paths of Wstate.path list
+
+let no_dirty = Paths []
+
+let add_dirty d paths = match d with All -> All | Paths ps -> Paths (paths @ ps)
+
+let is_clean = function Paths [] -> true | All | Paths _ -> false
+
+let scan_from idx v ~root ~dirty =
+  match dirty with
+  | All -> scan v ~root
+  | Paths [] -> []
+  | Paths ps ->
+    (* candidates: the dirty paths plus their indexed dependents; the
+       walker descends into a Running scope only when the scope itself
+       is a candidate or a strict ancestor of one *)
+    let cand = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        let key = Wstate.path_to_string p in
+        Hashtbl.replace cand key ();
+        match Hashtbl.find_opt idx.idx_dependents key with
+        | Some deps ->
+          List.iter (fun d -> Hashtbl.replace cand (Wstate.path_to_string d) ()) deps
+        | None -> ())
+      ps;
+    let within = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun key () ->
+        String.iteri (fun i c -> if c = '/' then Hashtbl.replace within (String.sub key 0 i) ()) key)
+      cand;
+    let sel = { sel_cand = Hashtbl.mem cand; sel_desc = Hashtbl.mem within } in
+    scan_sel sel v ~root
 
 (* --- output shaping and implementation kv helpers --- *)
 

@@ -86,6 +86,42 @@ val scan : view -> root:Schema.task -> action list
 (** One full evaluation pass over the instance tree; actions come back
     in declaration order. Pure: same view, same actions. *)
 
+(** {1 Incremental propagation}
+
+    Push-based scheduling: instead of rescanning the whole instance on
+    every notification, a {!index} built once per instance records which
+    paths' readiness each store path can affect, and {!scan_from}
+    evaluates only the dependents of the paths that actually changed.
+    The pruned pass emits exactly the actions the full {!scan} would —
+    a non-candidate's inputs are unchanged since the previous pass, so
+    its readiness cannot have changed either. *)
+
+type index
+(** Reverse-dependency index over one (expanded) schema: producer path
+    → the paths whose input sets or output bindings read it, plus each
+    compound scope → its constituents (a scope start, repeat or chosen
+    change re-evaluates every child). Rebuild after reconfiguration. *)
+
+val build_index : effective:(Schema.task -> effective) -> Schema.task -> index
+
+(** The accumulated change set between two evaluation passes. *)
+type dirty = All | Paths of Wstate.path list
+
+val no_dirty : dirty
+
+val add_dirty : dirty -> Wstate.path list -> dirty
+(** [All] absorbs everything; path lists concatenate (deduplicated at
+    scan time). *)
+
+val is_clean : dirty -> bool
+
+val scan_from : index -> view -> root:Schema.task -> dirty:dirty -> action list
+(** The incremental pass: evaluate only the dirty paths and their
+    indexed dependents. [scan_from idx v ~root ~dirty:All] is exactly
+    [scan v ~root]; with [dirty:(Paths ps)] it returns the same actions
+    the full scan would, provided every store change since the previous
+    pass is covered by [ps]. *)
+
 val prioritise : action list -> action list
 (** Reorder a pass's actions for dispatch: non-starts first in scan
     order, then starts by descending ["priority"] implementation kv

@@ -29,6 +29,18 @@ let path_to_string path = String.concat "/" path
 
 let key_insts = "wf:insts"
 
+(* O(1)-per-launch durable directory: one key per instance, valued with
+   the engine's launch sequence number (recovery sorts by it to rebuild
+   launch order). [key_insts] remains for the legacy whole-list schema
+   (naive mode re-encodes the full list on every launch). *)
+let dir_prefix = "wf:dir:"
+
+let key_dir iid = dir_prefix ^ iid
+
+let encode_dir_seq = string_of_int
+
+let decode_dir_seq = int_of_string_opt
+
 let key_meta iid = Printf.sprintf "wf:%s:meta" iid
 
 let key_reconf iid = Printf.sprintf "wf:%s:reconf" iid

@@ -47,6 +47,19 @@ type meta = {
 val path_to_string : path -> string
 
 val key_insts : string
+(** Legacy whole-list instance directory (naive mode re-encodes the full
+    list on every launch). The incremental engine uses one {!key_dir}
+    record per instance instead — O(1) WAL bytes per launch. *)
+
+val dir_prefix : string
+
+val key_dir : string -> string
+(** [dir_prefix ^ iid], valued with {!encode_dir_seq} of the engine's
+    launch sequence number; recovery sorts by it to restore order. *)
+
+val encode_dir_seq : int -> string
+
+val decode_dir_seq : string -> int option
 
 val key_meta : string -> string
 

@@ -48,6 +48,13 @@ let assign t ~iid ~engine k =
       | Ok _ -> k (Ok ())
       | Error e -> k (Error ("rpc: " ^ e)))
 
+let assign_many t ~pairs k =
+  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_assign_batch
+    ~body:(Wire.(list (pair string string)) pairs)
+    (function
+      | Ok _ -> k (Ok ())
+      | Error e -> k (Error ("rpc: " ^ e)))
+
 let owner t ~iid k =
   Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_owner
     ~body:(Wire.string iid) (function

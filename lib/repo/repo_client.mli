@@ -24,6 +24,11 @@ val assign :
   t -> iid:string -> engine:string -> ((unit, string) result -> unit) -> unit
 (** Record that [engine] owns instance [iid] (cluster placement). *)
 
+val assign_many :
+  t -> pairs:(string * string) list -> ((unit, string) result -> unit) -> unit
+(** Record a whole batch of ownerships in one [repo.assign_batch] RPC —
+    one directory round-trip per flush instead of one per instance. *)
+
 val owner : t -> iid:string -> ((string option, string) result -> unit) -> unit
 (** Which engine owns [iid]? [Ok None] when the directory has no entry. *)
 

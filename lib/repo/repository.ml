@@ -23,6 +23,8 @@ let service_inspect = "repo.inspect"
 
 let service_assign = "repo.assign"
 
+let service_assign_batch = "repo.assign_batch"
+
 let service_owner = "repo.owner"
 
 let service_placements = "repo.placements"
@@ -87,6 +89,8 @@ let list_names t =
 (* --- instance placement directory (cluster layer) --- *)
 
 let assign t ~iid ~engine = Kvstore.put t.store (key_place iid) engine
+
+let assign_many t ~pairs = List.iter (fun (iid, engine) -> assign t ~iid ~engine) pairs
 
 let owner t ~iid = Kvstore.get t.store (key_place iid)
 
@@ -164,6 +168,11 @@ let handle_assign t ~src:_ body =
   assign t ~iid ~engine;
   Wire.bool true
 
+let handle_assign_batch t ~src:_ body =
+  let pairs = Wire.(decode (d_list (d_pair d_string d_string))) body in
+  assign_many t ~pairs;
+  Wire.int (List.length pairs)
+
 let handle_owner t ~src:_ body =
   let iid = Wire.(decode d_string) body in
   Wire.(option string) (owner t ~iid)
@@ -179,6 +188,7 @@ let create ~rpc ~node =
   Node.serve node ~service:service_list (handle_list t);
   Node.serve node ~service:service_inspect (handle_inspect t);
   Node.serve node ~service:service_assign (handle_assign t);
+  Node.serve node ~service:service_assign_batch (handle_assign_batch t);
   Node.serve node ~service:service_owner (handle_owner t);
   Node.serve node ~service:service_placements (handle_placements t);
   Node.on_crash node (fun () -> Kvstore.crash t.store);

@@ -52,6 +52,12 @@ val history : t -> name:string -> version list
 
 val assign : t -> iid:string -> engine:string -> unit
 
+val assign_many : t -> pairs:(string * string) list -> unit
+(** Record a batch of [(iid, engine)] ownerships at once — the wire
+    handler behind [repo.assign_batch], which the cluster layer uses to
+    amortise one RPC over every launch of a poll instead of one RPC per
+    instance. *)
+
 val owner : t -> iid:string -> string option
 
 val placements : t -> (string * string) list
@@ -68,6 +74,8 @@ val service_list : string
 val service_inspect : string
 
 val service_assign : string
+
+val service_assign_batch : string
 
 val service_owner : string
 

@@ -1,0 +1,236 @@
+(* The incremental scheduler against the reference full rescan.
+
+   The pre-refactor scheduler re-evaluated every task of every instance
+   on every pass; that logic is still in the library as [Sched.scan]
+   (what [Engine.config.incremental = false] runs) and serves as the
+   oracle here. The push-based path ([Sched.scan_from] through the
+   reverse-dependency index) must make {e identical} decisions:
+
+   - pointwise: on any reachable view, a scan from [All] equals the full
+     scan, and a scan from an empty dirty set is empty;
+   - end-to-end: driving a whole workflow incrementally produces the
+     same decision sequence (dispatches, completions, marks, failures,
+     in order) and the same final task states as the full-rescan drive,
+     on randomized workflow DAGs and under crash/recovery. *)
+
+let check = Alcotest.(check bool)
+
+(* --- observing decision sequences from the event bus --- *)
+
+let decision_log sim =
+  let log = ref [] in
+  Event.subscribe (Sim.events sim) (fun ~at:_ ~src:_ ev ->
+      let d =
+        match ev with
+        | Event.Task_dispatched { path; code; host; attempt } ->
+          Some (Printf.sprintf "dispatch %s %s@%s #%d" path code host attempt)
+        | Event.Task_completed { path; output; aborted; _ } ->
+          Some (Printf.sprintf "complete %s %s%s" path output (if aborted then " aborted" else ""))
+        | Event.Task_marked { path; mark } -> Some (Printf.sprintf "mark %s %s" path mark)
+        | Event.Task_repeated { path; output; attempt } ->
+          Some (Printf.sprintf "repeat %s %s #%d" path output attempt)
+        | Event.Task_failed { path; reason } -> Some (Printf.sprintf "fail %s %s" path reason)
+        | _ -> None
+      in
+      match d with Some d -> log := d :: !log | None -> ());
+  fun () -> List.rev !log
+
+let config_of ~incremental =
+  { Engine.default_config with incremental; retain_concluded = true }
+
+(* One full run of [script] in the given mode: decision sequence, final
+   status, final task states. *)
+let drive ~incremental ?faults (script, root) =
+  let tb = Testbed.make ~engine_config:(config_of ~incremental) () in
+  Workloads.register tb.Testbed.registry;
+  let decisions = decision_log tb.Testbed.sim in
+  Option.iter (Testbed.apply_faults tb) faults;
+  match Testbed.launch_and_run ~until:(Sim.sec 120) tb ~script ~root ~inputs:Workloads.seed_inputs with
+  | Error e -> Alcotest.failf "launch failed: %s" e
+  | Ok (iid, status) ->
+    (decisions (), status, Engine.task_states tb.Testbed.engine iid)
+
+let modes_agree ?faults workload =
+  let d_inc, s_inc, st_inc = drive ~incremental:true ?faults workload in
+  let d_ref, s_ref, st_ref = drive ~incremental:false ?faults workload in
+  if d_inc <> d_ref then
+    Alcotest.failf "decision sequences diverge:\nincremental: %s\nreference:   %s"
+      (String.concat " | " d_inc) (String.concat " | " d_ref);
+  check "same final status" true (s_inc = s_ref);
+  check "same final task states" true (st_inc = st_ref)
+
+(* --- randomized workflow DAGs --- *)
+
+(* n tasks t1..tn inside one compound; each ti consumes the root input,
+   one predecessor, an ordered-alternatives list of predecessors, or a
+   multi-object join of predecessors. The root outcome sources from tn,
+   so conclusion can race still-running branches (scope suppression is
+   part of what must stay equivalent). *)
+type dag_node =
+  | From_root
+  | Alternatives of int list  (* one input object, ordered sources *)
+  | Join of int list  (* one input object per predecessor *)
+
+let dag_script nodes =
+  let n = Array.length nodes in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    {|
+class Data;
+taskclass Step {
+    inputs { input main { data of class Data } };
+    outputs { outcome done { data of class Data } }
+};
+taskclass Rand {
+    inputs { input main { data of class Data } };
+    outputs { outcome finished { data of class Data } }
+};
+|};
+  (* one join taskclass per arity in use *)
+  let arities =
+    List.sort_uniq compare
+      (Array.to_list nodes
+      |> List.filter_map (function Join ps when List.length ps > 1 -> Some (List.length ps) | _ -> None))
+  in
+  List.iter
+    (fun a ->
+      Buffer.add_string b (Printf.sprintf "taskclass Join%d {\n    inputs { input main {\n" a);
+      for i = 1 to a do
+        Buffer.add_string b
+          (Printf.sprintf "        d%d of class Data%s\n" i (if i = a then "" else ";"))
+      done;
+      Buffer.add_string b "    } };\n    outputs { outcome done { data of class Data } }\n};\n")
+    arities;
+  Buffer.add_string b "compoundtask rand of taskclass Rand {\n";
+  Array.iteri
+    (fun i node ->
+      let name = Printf.sprintf "t%d" (i + 1) in
+      let src j = Printf.sprintf "data of task t%d if output done" j in
+      match node with
+      | Join ps when List.length ps > 1 ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    task %s of taskclass Join%d {\n\
+             \        implementation { \"code\" is \"w.join\" };\n\
+             \        inputs { input main {\n"
+             name (List.length ps));
+        List.iteri
+          (fun k j ->
+            Buffer.add_string b
+              (Printf.sprintf "            inputobject d%d from { %s };\n" (k + 1) (src j)))
+          ps;
+        Buffer.add_string b "        } }\n    };\n"
+      | From_root | Alternatives [] | Join [] ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    task %s of taskclass Step {\n\
+             \        implementation { \"code\" is \"w.step\" };\n\
+             \        inputs { input main { inputobject data from { data of task rand if input \
+              main } } }\n\
+             \    };\n"
+             name)
+      | Alternatives ps | Join ps ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    task %s of taskclass Step {\n\
+             \        implementation { \"code\" is \"w.step\" };\n\
+             \        inputs { input main { inputobject data from { %s } } }\n\
+             \    };\n"
+             name
+             (String.concat "; " (List.map src ps))))
+    nodes;
+  Buffer.add_string b
+    (Printf.sprintf
+       "    outputs { outcome finished { outputobject data from { data of task t%d if output \
+        done } } }\n\
+        }\n"
+       n);
+  (Buffer.contents b, "rand")
+
+let gen_dag =
+  QCheck.Gen.(
+    int_range 2 9 >>= fun n ->
+    let node i =
+      if i = 0 then return From_root
+      else
+        (* up to 3 predecessors from t1..ti *)
+        list_size (int_range 0 (min 3 i)) (int_range 1 i) >>= fun ps ->
+        let ps = List.sort_uniq compare ps in
+        match ps with
+        | [] -> return From_root
+        | [ _ ] -> return (Join ps)
+        | _ -> oneofl [ Alternatives ps; Join ps ]
+    in
+    let rec build i acc =
+      if i >= n then return (Array.of_list (List.rev acc))
+      else node i >>= fun nd -> build (i + 1) (nd :: acc)
+    in
+    build 0 [])
+
+let prop_random_dags =
+  QCheck.Test.make ~name:"incremental = full rescan on random DAGs" ~count:40
+    (QCheck.make gen_dag ~print:(fun nodes -> fst (dag_script nodes)))
+    (fun nodes ->
+      modes_agree (dag_script nodes);
+      true)
+
+(* --- the structured workload families, including under faults --- *)
+
+let test_families () =
+  modes_agree (Workloads.chain ~n:12);
+  modes_agree (Workloads.fanout ~width:6);
+  modes_agree (Workloads.nested ~depth:5);
+  modes_agree (Workloads.alternatives ~k:4 ~alive:3)
+
+let test_crash_recovery () =
+  (* an engine crash mid-run exercises recovery's full replay in both
+     modes (per-instance directory rows vs the legacy roster list) *)
+  let faults = Fault.crash_restart ~node:"n0" ~at:(Sim.ms 30) ~down_for:(Sim.ms 50) in
+  let d_inc, s_inc, st_inc = drive ~incremental:true ~faults (Workloads.chain ~n:10) in
+  let d_ref, s_ref, st_ref = drive ~incremental:false ~faults (Workloads.chain ~n:10) in
+  ignore (d_inc, d_ref);
+  check "crash/recovery: same final status" true (s_inc = s_ref);
+  check "crash/recovery: same final task states" true (st_inc = st_ref)
+
+(* --- pointwise: scan_from against scan on a fresh instance --- *)
+
+let pointwise (script, root) =
+  match Frontend.compile script ~root with
+  | Error e -> Alcotest.failf "compile failed: %s" (Frontend.error_to_string e)
+  | Ok schema ->
+    let effective t = Registry.effective (Registry.create ()) t in
+    let inst =
+      Instate.create ~iid:"pw" ~script_text:script ~schema ~status:Wstate.Wf_running
+        ~external_inputs:Workloads.seed_inputs
+    in
+    let v = Instate.view inst ~effective in
+    let idx = Sched.build_index ~effective schema in
+    let full = Sched.scan v ~root:schema in
+    let from_all = Sched.scan_from idx v ~root:schema ~dirty:Sched.All in
+    check "scan_from All = scan" true (from_all = full);
+    check "scan_from clean = []" true (Sched.scan_from idx v ~root:schema ~dirty:Sched.no_dirty = []);
+    (* the launch frontier is exactly what marking the root dirty finds *)
+    let from_root =
+      Sched.scan_from idx v ~root:schema ~dirty:(Sched.Paths [ [ schema.Schema.name ] ])
+    in
+    check "root-dirty finds the launch frontier" true (from_root = full)
+
+let test_pointwise () =
+  pointwise (Workloads.chain ~n:8);
+  pointwise (Workloads.fanout ~width:4);
+  pointwise (Workloads.nested ~depth:4);
+  pointwise (Workloads.alternatives ~k:3 ~alive:2)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_dags ]
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "workload families" `Quick test_families;
+          Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
+          Alcotest.test_case "pointwise scan_from" `Quick test_pointwise;
+        ] );
+      ("property", qsuite);
+    ]
