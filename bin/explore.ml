@@ -7,17 +7,19 @@
    dispatches, recovery boundaries). Failing schedules are shrunk to
    minimal counterexamples.
 
-   Usage: dune exec bin/explore.exe -- [--smoke] [--quiet]
+   Usage: dune exec bin/explore.exe -- [--smoke] [--quiet] [--jobs N]
             [--workload NAME]... [--out FILE]
 
    Writes a machine-readable report (default EXPLORE.json) and exits
-   non-zero if any schedule failed an oracle. *)
+   non-zero if any schedule failed an oracle. The report is
+   byte-identical for any --jobs value. *)
 
 let usage () =
   print_string
     "explore: event-derived fault exploration\n\
      \n\
      \  --smoke           CI-sized budget (fewer schedules per generator)\n\
+     \  --jobs N          explore across N domains (default: available cores)\n\
      \  --workload NAME   only this scenario (chain | supply-chain | cluster3);\n\
      \                    repeatable, default all\n\
      \  --out FILE        report path (default EXPLORE.json)\n\
@@ -28,10 +30,18 @@ let () =
   let out = ref "EXPLORE.json" in
   let quiet = ref false in
   let workloads = ref [] in
+  let jobs = ref (Pool.default_jobs ()) in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
       smoke := true;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+        exit 2);
       parse rest
     | "--quiet" :: rest ->
       quiet := true;
@@ -59,7 +69,7 @@ let () =
   let budget = if !smoke then Explorer.smoke_budget else Explorer.default_budget in
   let mode = if !smoke then "smoke" else "full" in
   let log = if !quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
-  let report = Explorer.explore ~log ~mode budget scenarios in
+  let report = Explorer.explore ~log ~jobs:!jobs ~mode budget scenarios in
   let oc = open_out !out in
   output_string oc (Explorer.to_json report);
   close_out oc;

@@ -601,7 +601,14 @@ let attach_host t node = attach_host_on t node
    100k times) re-parses an identical source each time: cache the
    compiled schema by (root, script). Instances never mutate the shared
    tree — reconfigure swaps in a freshly compiled one — so sharing is
-   safe. Naive mode compiles every launch, the historical cost model. *)
+   safe. Naive mode compiles every launch, the historical cost model.
+
+   Domain-safety invariant: the cache is engine-scoped, not global, and
+   an engine (with its whole sim stack) is confined to the domain that
+   built it — parallel exploration gives each schedule's run a fresh
+   stack (DESIGN.md §13), so this table is only ever touched from one
+   domain and needs no lock. Any future cross-domain schema sharing must
+   either keep per-domain caches or add a mutex here. *)
 let compile_cached t ~script ~root =
   if not t.config.incremental then
     Result.map_error Frontend.error_to_string (Frontend.compile script ~root)

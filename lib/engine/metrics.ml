@@ -4,10 +4,16 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, hist) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
+  event_names : (string, int ref) Hashtbl.t;  (* Event.name -> "events."-prefixed counter *)
 }
 
 let create () =
-  { counters = Hashtbl.create 32; histograms = Hashtbl.create 8; gauges = Hashtbl.create 8 }
+  {
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 8;
+    gauges = Hashtbl.create 8;
+    event_names = Hashtbl.create 16;
+  }
 
 let incr ?(by = 1) t name =
   match Hashtbl.find_opt t.counters name with
@@ -54,9 +60,32 @@ let samples t name =
 
 (* Engine-level counters keep their own stable names (they back the
    [Engine.*_total] accessors); every event additionally bumps a generic
-   [events.<tag>] counter so new event types are visible without code. *)
+   [events.<tag>] counter so new event types are visible without code.
+
+   The [events.<tag>] counter ref is memoized per registry: [Event.name]
+   returns a small fixed set of static strings, so the table stays tiny
+   and the per-event string concatenation plus counters-table probe
+   disappear from the hot path. Registries are engine-scoped (never
+   shared across domains), so the plain Hashtbl needs no lock. *)
+let event_counter t name =
+  match Hashtbl.find_opt t.event_names name with
+  | Some r -> r
+  | None ->
+    let full = "events." ^ name in
+    let r =
+      match Hashtbl.find_opt t.counters full with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.counters full r;
+        r
+    in
+    Hashtbl.replace t.event_names name r;
+    r
+
 let record t ev =
-  incr t ("events." ^ Event.name ev);
+  let c = event_counter t (Event.name ev) in
+  c := !c + 1;
   match ev with
   | Event.Task_dispatched _ -> incr t "engine.dispatches"
   | Event.Impl_completed _ -> incr t "engine.completions"

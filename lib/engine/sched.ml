@@ -80,11 +80,26 @@ type ctx = {
   c_view : view;
   c_sel : sel;
   c_scope : Wstate.path;
+  c_scope_key : string;  (* path_to_string c_scope, threaded to avoid re-concat *)
   c_enclosing : string option;
   c_scope_set : string option;
   c_scope_inputs : (string * Value.obj) list;
   c_siblings : Schema.task list;
 }
+
+(* [path_to_string (scope @ [name])] in one allocation; the scan pass
+   computes this once per visited node, so it must not build the
+   intermediate path list or concat chain. *)
+let child_key parent name =
+  if parent = "" then name
+  else begin
+    let lp = String.length parent and ln = String.length name in
+    let b = Bytes.create (lp + 1 + ln) in
+    Bytes.blit_string parent 0 b 0 lp;
+    Bytes.set b lp '/';
+    Bytes.blit_string name 0 b (lp + 1) ln;
+    Bytes.unsafe_to_string b
+  end
 
 let is_sibling ctx name = List.exists (fun (s : Schema.task) -> s.Schema.name = name) ctx.c_siblings
 
@@ -231,21 +246,24 @@ let binding_ready ctx (b : Schema.binding) =
    non-candidate's readiness cannot have changed since the previous
    pass, when it was either acted upon or found unready. *)
 let rec scan_task ~ctx (task : Schema.task) acc =
-  let v = ctx.c_view in
-  let path = ctx.c_scope @ [ task.Schema.name ] in
-  match v.v_state path with
-  | Some (Wstate.Done _ | Wstate.Failed _) -> acc
-  | None | Some (Wstate.Waiting _) ->
-    if ctx.c_sel.sel_cand (Wstate.path_to_string path) then scan_waiting ~ctx task path acc
-    else acc
-  | Some (Wstate.Running _) -> (
-    match v.v_effective task with
-    | E_compound { children; bindings; alias } ->
-      let key = Wstate.path_to_string path in
-      if ctx.c_sel.sel_cand key || ctx.c_sel.sel_desc key then
-        scan_scope ~v ~sel:ctx.c_sel ~path ~children ~bindings ~alias acc
-      else acc
-    | E_fn _ | E_missing _ -> acc)
+  let key = child_key ctx.c_scope_key task.Schema.name in
+  (* Selector check before any state lookup: a node that is neither a
+     candidate nor an ancestor of one is skipped in O(1) regardless of
+     its state, so wide clean scopes cost two table probes per child. *)
+  if not (ctx.c_sel.sel_cand key || ctx.c_sel.sel_desc key) then acc
+  else begin
+    let v = ctx.c_view in
+    let path = ctx.c_scope @ [ task.Schema.name ] in
+    match v.v_state path with
+    | Some (Wstate.Done _ | Wstate.Failed _) -> acc
+    | None | Some (Wstate.Waiting _) ->
+      if ctx.c_sel.sel_cand key then scan_waiting ~ctx task path acc else acc
+    | Some (Wstate.Running _) -> (
+      match v.v_effective task with
+      | E_compound { children; bindings; alias } ->
+        scan_scope ~v ~sel:ctx.c_sel ~path ~key ~children ~bindings ~alias acc
+      | E_fn _ | E_missing _ -> acc)
+  end
 
 and scan_waiting ~ctx task path acc =
   match waiting_attempt ctx.c_view path with
@@ -269,13 +287,14 @@ and scan_waiting ~ctx task path acc =
         (fun acc set -> Arm_timer { a_path = path; a_set = set; a_task = task; a_attempt = attempt } :: acc)
         acc timers)
 
-and scan_scope ~v ~sel ~path ~children ~bindings ~alias acc =
+and scan_scope ~v ~sel ~path ~key ~children ~bindings ~alias acc =
   let chosen = v.v_chosen path in
   let ctx =
     {
       c_view = v;
       c_sel = sel;
       c_scope = path;
+      c_scope_key = key;
       c_enclosing = Some alias;
       c_scope_set = Option.map (fun c -> c.Wstate.c_set) chosen;
       c_scope_inputs = (match chosen with Some c -> c.Wstate.c_inputs | None -> []);
@@ -287,7 +306,7 @@ and scan_scope ~v ~sel ~path ~children ~bindings ~alias acc =
      is not, no binding input changed since the last pass, so none can
      have become ready (and none was ready then, or it would have fired
      and closed the scope) *)
-  let self = sel.sel_cand (Wstate.path_to_string path) in
+  let self = sel.sel_cand key in
   let ready kinds =
     if not self then None
     else
@@ -332,6 +351,7 @@ let scan_sel sel v ~root =
       c_view = v;
       c_sel = sel;
       c_scope = [];
+      c_scope_key = "";
       c_enclosing = None;
       c_scope_set = None;
       c_scope_inputs = [];

@@ -35,14 +35,22 @@ let default_budget =
     b_shrink_runs = 64;
   }
 
+(* CI-sized caps. The hot-path flattening and domain pool bought enough
+   headroom to sweep ~1000 schedules (up from 248) and stay inside the
+   ~5s smoke envelope; shrink effort stays reduced because smoke runs
+   exist to detect regressions, not to produce minimal repros. *)
 let smoke_budget =
   {
     default_budget with
-    b_single_cap = 64;
-    b_pair_cap = 24;
-    b_partition_cap = 24;
-    b_combo_cap = 12;
-    b_soak = 16;
+    b_offsets = [ 0; 1; 2; 3 ];
+    b_down_for = [ Sim.ms 5; Sim.ms 10; Sim.ms 40 ];
+    b_heal_after = [ Sim.ms 30; Sim.ms 80; Sim.ms 120 ];
+    b_single_cap = 280;
+    b_pair_cap = 96;
+    b_partition_cap = 96;
+    b_combo_cap = 48;
+    b_soak = 150;
+    b_shrink_runs = 32;
   }
 
 type schedule = { s_kind : string; s_plan : Fault.t }
@@ -237,7 +245,16 @@ type scenario_report = {
 
 type report = { rp_mode : string; rp_scenarios : scenario_report list }
 
-let explore_scenario ?(log = fun (_ : string) -> ()) budget sc =
+(* Judging and shrinking both fan out across the domain pool. The merge
+   is canonical by construction: [Pool.map] returns results in schedule
+   order whatever the worker interleaving, and every downstream fold
+   (failure list, report, JSON) consumes that order — so the report is
+   byte-identical for [jobs = 1] and [jobs = N]. Each schedule's run
+   builds a fresh simulation stack ([Scenario.sc_run]); the only state
+   crossing domains is the read-only [reference] observation and the
+   progress counter. Progress/FAIL logging goes through a serialised
+   callback and is the one thing allowed to interleave differently. *)
+let explore_scenario ?(log = fun (_ : string) -> ()) ?(jobs = 1) budget sc =
   log (Printf.sprintf "[%s] reference run" sc.Scenario.sc_name);
   let c = Decision.collector () in
   let reference = sc.Scenario.sc_run [] (Some c) in
@@ -254,33 +271,39 @@ let explore_scenario ?(log = fun (_ : string) -> ()) budget sc =
   log
     (Printf.sprintf "[%s] %d decision points, makespan %d us, %d schedules"
        sc.Scenario.sc_name (List.length points) makespan (List.length scheds));
-  let done_ = ref 0 in
-  let failures =
-    List.filter_map
+  let log = Pool.protect_log log in
+  let sarr = Array.of_list scheds in
+  let total = Array.length sarr in
+  let done_ = Atomic.make 0 in
+  let judged =
+    Pool.map ~jobs
       (fun s ->
-        incr done_;
-        if !done_ mod 50 = 0 then
-          log (Printf.sprintf "[%s] %d/%d" sc.Scenario.sc_name !done_ (List.length scheds));
-        match judge_plan sc ~reference s.s_plan with
-        | [] -> None
-        | bad ->
-          log
-            (Printf.sprintf "[%s] FAIL %s: %s — shrinking" sc.Scenario.sc_name s.s_kind
-               (Fault.to_string s.s_plan));
-          let fails p = judge_plan sc ~reference p <> [] in
-          let min_plan, shrink_runs =
-            Shrink.minimize ~max_runs:budget.b_shrink_runs ~fails s.s_plan
-          in
-          Some
-            {
-              f_scenario = sc.Scenario.sc_name;
-              f_kind = s.s_kind;
-              f_plan = s.s_plan;
-              f_verdicts = bad;
-              f_min_plan = min_plan;
-              f_shrink_runs = shrink_runs;
-            })
-      scheds
+        let d = 1 + Atomic.fetch_and_add done_ 1 in
+        if d mod 200 = 0 then log (Printf.sprintf "[%s] %d/%d" sc.Scenario.sc_name d total);
+        match judge_plan sc ~reference s.s_plan with [] -> None | bad -> Some (s, bad))
+      sarr
+  in
+  let failing = Array.to_list judged |> List.filter_map Fun.id in
+  let failures =
+    Pool.map ~jobs
+      (fun (s, bad) ->
+        log
+          (Printf.sprintf "[%s] FAIL %s: %s — shrinking" sc.Scenario.sc_name s.s_kind
+             (Fault.to_string s.s_plan));
+        let fails p = judge_plan sc ~reference p <> [] in
+        let min_plan, shrink_runs =
+          Shrink.minimize ~max_runs:budget.b_shrink_runs ~fails s.s_plan
+        in
+        {
+          f_scenario = sc.Scenario.sc_name;
+          f_kind = s.s_kind;
+          f_plan = s.s_plan;
+          f_verdicts = bad;
+          f_min_plan = min_plan;
+          f_shrink_runs = shrink_runs;
+        })
+      (Array.of_list failing)
+    |> Array.to_list
   in
   {
     r_scenario = sc.Scenario.sc_name;
@@ -288,12 +311,12 @@ let explore_scenario ?(log = fun (_ : string) -> ()) budget sc =
     r_points = List.length points;
     r_by_kind = Decision.by_kind points;
     r_makespan = makespan;
-    r_schedules = List.length scheds;
+    r_schedules = total;
     r_failures = failures;
   }
 
-let explore ?log ?(mode = "full") budget scenarios =
-  { rp_mode = mode; rp_scenarios = List.map (explore_scenario ?log budget) scenarios }
+let explore ?log ?jobs ?(mode = "full") budget scenarios =
+  { rp_mode = mode; rp_scenarios = List.map (explore_scenario ?log ?jobs budget) scenarios }
 
 let total_schedules r = List.fold_left (fun a s -> a + s.r_schedules) 0 r.rp_scenarios
 

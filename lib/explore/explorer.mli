@@ -26,7 +26,7 @@ type budget = {
 val default_budget : budget
 
 val smoke_budget : budget
-(** CI-sized caps; still >= 200 schedules across the stock scenarios. *)
+(** CI-sized caps; ~1000 schedules across the stock scenarios. *)
 
 type schedule = { s_kind : string; s_plan : Fault.t }
 
@@ -65,12 +65,19 @@ val judge_plan :
     A raised exception becomes a failing ["no-exception"] verdict. *)
 
 val explore_scenario :
-  ?log:(string -> unit) -> budget -> Scenario.t -> scenario_report
-(** Reference run, schedule generation, exploration, shrinking. Raises
-    [Failure] if the fault-free reference run fails its own oracles. *)
+  ?log:(string -> unit) -> ?jobs:int -> budget -> Scenario.t -> scenario_report
+(** Reference run, schedule generation, exploration, shrinking. Judging
+    and shrinking fan out over [jobs] domains ({!Pool.map}); the report
+    is byte-identical whatever [jobs] is. Raises [Failure] if the
+    fault-free reference run fails its own oracles. *)
 
 val explore :
-  ?log:(string -> unit) -> ?mode:string -> budget -> Scenario.t list -> report
+  ?log:(string -> unit) ->
+  ?jobs:int ->
+  ?mode:string ->
+  budget ->
+  Scenario.t list ->
+  report
 
 val total_schedules : report -> int
 

@@ -1,0 +1,57 @@
+(* A small work-stealing domain pool for embarrassingly parallel
+   exploration. No Domainslib in the tree, so this is hand-rolled on
+   stdlib primitives: one shared [Atomic] cursor hands out item indices
+   (workers "steal" the next undone index — with independent items this
+   degenerate deque is all the stealing we need), and every worker
+   writes its result into a slot owned by that index.
+
+   Determinism contract: the result array is in item order regardless of
+   [jobs] or scheduling, so any fold over it is canonical. Two workers
+   never share mutable state beyond the cursor and their disjoint result
+   slots; each [f] call must itself be self-contained (explore runs
+   build a fresh simulation stack per schedule, see DESIGN.md §13). *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Serialise a log callback for use from worker domains. *)
+let protect_log log =
+  let m = Mutex.create () in
+  fun s ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> log s)
+
+(* [map ~jobs f items] = [Array.map f items], fanned out over up to
+   [jobs] domains (the caller participates, so [jobs - 1] are spawned).
+   An exception from one [f] call does not wedge the pool: the worker
+   records it and moves on to the next index, every other item still
+   completes, and after all domains join the lowest-index exception is
+   re-raised in the caller — deterministically, independent of which
+   worker hit it first. *)
+let map ?(jobs = 1) f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.map f items
+  else begin
+    let next = Atomic.make 0 in
+    let results = Array.make n None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          let r = match f items.(i) with v -> Ok v | exception e -> Error e in
+          results.(i) <- Some r
+        end
+      done
+    in
+    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index below the cursor is filled *))
+      results
+  end

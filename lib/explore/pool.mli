@@ -1,0 +1,18 @@
+(** Work-stealing domain pool for independent exploration runs.
+
+    Hand-rolled on [Domain] + [Atomic]: a shared cursor hands out item
+    indices, results land in per-index slots, so output order is
+    canonical (item order) whatever the worker interleaving. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val protect_log : (string -> unit) -> string -> unit
+(** Mutex-serialised wrapper, safe to call from worker domains. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f items] is [Array.map f items] computed by up to [jobs]
+    domains (the calling domain participates; [jobs <= 1] runs inline
+    with no spawn). [f] must not share mutable state across calls. An
+    exception from one call doesn't stop the other items; after all
+    workers join, the lowest-index exception is re-raised. *)

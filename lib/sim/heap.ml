@@ -19,48 +19,71 @@ let grow t x =
     t.data <- data
   end
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
+(* Hole-based sifts: carry the element being placed in a local and slide
+   the hole, one array write per level instead of a three-write swap,
+   with a single final write. No allocation on either path. *)
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let sift_up t i x =
+  let data = t.data in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let p = Array.unsafe_get data parent in
+    if t.cmp x p < 0 then begin
+      Array.unsafe_set data !i p;
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set data !i x
+
+let sift_down t i x =
+  let data = t.data in
+  let size = t.size in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= size then continue := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < size && t.cmp (Array.unsafe_get data r) (Array.unsafe_get data l) < 0 then r
+        else l
+      in
+      let cv = Array.unsafe_get data c in
+      if t.cmp cv x < 0 then begin
+        Array.unsafe_set data !i cv;
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set data !i x
 
 let push t x =
   grow t x;
-  t.data.(t.size) <- x;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let i = t.size in
+  t.size <- i + 1;
+  sift_up t i x
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some top
-  end
+exception Empty
+
+let top t = if t.size = 0 then raise Empty else Array.unsafe_get t.data 0
+
+let pop_exn t =
+  if t.size = 0 then raise Empty;
+  let data = t.data in
+  let top = Array.unsafe_get data 0 in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then sift_down t 0 (Array.unsafe_get data last);
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let to_list t =
   let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i) :: acc) in

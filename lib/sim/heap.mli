@@ -18,5 +18,15 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** Removes and returns the minimum element, or [None] when empty. *)
 
+exception Empty
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but without the option allocation; raises [Empty] on an
+    empty heap. This is the simulator's hot-loop entry point. *)
+
+val top : 'a t -> 'a
+(** Like {!peek} but without the option allocation; raises [Empty] on an
+    empty heap. *)
+
 val to_list : 'a t -> 'a list
 (** Snapshot of the contents in heap (not sorted) order. *)

@@ -65,15 +65,15 @@ let step t =
     fire t ev;
     true
 
+(* The drain loop is the per-event hot path: one [pop_exn] per event, no
+   option boxing, and the common no-limit case skips the bound check. *)
 let run ?until t =
-  let within ev = match until with None -> true | Some limit -> ev.at <= limit in
-  let rec loop () =
-    match Heap.peek t.queue with
-    | Some ev when within ev ->
-      ignore (Heap.pop t.queue);
-      fire t ev;
-      loop ()
-    | Some _ | None ->
-      (match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ())
-  in
-  loop ()
+  (match until with
+  | None -> while not (Heap.is_empty t.queue) do fire t (Heap.pop_exn t.queue) done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      if Heap.is_empty t.queue || (Heap.top t.queue).at > limit then continue := false
+      else fire t (Heap.pop_exn t.queue)
+    done);
+  match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ()

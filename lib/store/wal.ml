@@ -1,25 +1,41 @@
+(* Growable-array backing: an append is one store plus a counter bump
+   (amortized — doubling copies on growth), with none of the cons-cell
+   churn of the previous list representation, and [records] reads out in
+   order without an O(n) reversal. *)
 type 'a t = {
   name : string;
-  mutable rev_records : 'a list;
+  mutable data : 'a array;
   mutable count : int;
   mutable appended_total : int;
 }
 
-let create ~name = { name; rev_records = []; count = 0; appended_total = 0 }
+let create ~name = { name; data = [||]; count = 0; appended_total = 0 }
 
 let name t = t.name
 
+let grow t record =
+  let capacity = Array.length t.data in
+  if t.count = capacity then begin
+    let next = max 16 (2 * capacity) in
+    let data = Array.make next record in
+    Array.blit t.data 0 data 0 t.count;
+    t.data <- data
+  end
+
 let append t record =
-  t.rev_records <- record :: t.rev_records;
+  grow t record;
+  t.data.(t.count) <- record;
   t.count <- t.count + 1;
   t.appended_total <- t.appended_total + 1
 
-let records t = List.rev t.rev_records
+let records t =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i) :: acc) in
+  collect (t.count - 1) []
 
 let length t = t.count
 
 let rewrite t records =
-  t.rev_records <- List.rev records;
-  t.count <- List.length records
+  t.data <- Array.of_list records;
+  t.count <- Array.length t.data
 
 let appended_total t = t.appended_total

@@ -77,6 +77,63 @@ let prop_wire_list_roundtrip =
       let enc = Wire.(list (pair string int)) in
       Wire.(decode (d_list (d_pair d_string d_int))) (enc l) = l)
 
+(* --- reused-buffer encoder paths --- *)
+
+(* Wire.run reuses one scratch buffer per domain. Legacy combinators
+   nest run (the in-use fallback path); consecutive calls must not leak
+   bytes from one encoding into the next; and [b_int]'s direct decimal
+   emission must agree with the historical string framing. *)
+
+let test_wire_scratch_reuse_is_clean () =
+  let long = String.make 300 'x' in
+  let a = Wire.string long in
+  let b = Wire.string "short" in
+  check "second encode unpolluted by first" true (Wire.(decode d_string) b = "short");
+  check "first encode intact" true (Wire.(decode d_string) a = long);
+  (* nested legacy combinators: outer run holds the scratch, inner runs
+     take the fresh-buffer fallback *)
+  let enc = Wire.(pair (list (pair string int)) (option string)) in
+  let v = ([ ("a:b", 7); ("", -1); (long, max_int) ], Some "tail") in
+  check "nested combinators roundtrip" true
+    (Wire.(decode (d_pair (d_list (d_pair d_string d_int)) (d_option d_string))) (enc v) = v)
+
+let prop_wire_int_direct_decimal =
+  QCheck.Test.make ~name:"b_int direct decimal matches string framing" ~count:500
+    QCheck.(oneof [ int; int_range (-1000) 1000 ])
+    (fun n ->
+      Wire.int n = Wire.string (string_of_int n) && Wire.(decode d_int) (Wire.int n) = n)
+
+let prop_wire_repeated_runs_independent =
+  QCheck.Test.make ~name:"scratch reuse: encode twice = encode once" ~count:200
+    QCheck.(pair string (list small_int))
+    (fun (s, l) ->
+      let enc () = Wire.(pair string (list int)) (s, l) in
+      let first = enc () in
+      let second = enc () in
+      first = second && Wire.(decode (d_pair d_string (d_list d_int))) second = (s, l))
+
+(* Two domains encoding concurrently must not share scratch bytes (the
+   scratch is domain-local storage). *)
+let test_wire_scratch_domain_isolated () =
+  let rounds = 2000 in
+  let encode_round i =
+    let payload = Printf.sprintf "payload-%d-%s" i (String.make (i mod 50) 'y') in
+    Wire.(decode d_string) (Wire.string payload) = payload
+  in
+  let other = Domain.spawn (fun () ->
+      let ok = ref true in
+      for i = 0 to rounds - 1 do
+        if not (encode_round i) then ok := false
+      done;
+      !ok)
+  in
+  let mine = ref true in
+  for i = 0 to rounds - 1 do
+    if not (encode_round (i + 7)) then mine := false
+  done;
+  check "spawned domain encodes cleanly" true (Domain.join other);
+  check "main domain encodes cleanly" true !mine
+
 (* --- Network --- *)
 
 let test_delivery_and_latency () =
@@ -340,7 +397,14 @@ let test_rpc_invalid_cache_cap_rejected () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_wire_string_roundtrip; prop_wire_list_roundtrip ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_wire_string_roundtrip;
+      prop_wire_list_roundtrip;
+      prop_wire_int_direct_decimal;
+      prop_wire_repeated_runs_independent;
+    ]
 
 let () =
   Alcotest.run "net"
@@ -350,6 +414,8 @@ let () =
           Alcotest.test_case "roundtrips" `Quick test_wire_roundtrips;
           Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
           Alcotest.test_case "rejects extreme lengths" `Quick test_wire_rejects_extreme_lengths;
+          Alcotest.test_case "scratch reuse clean" `Quick test_wire_scratch_reuse_is_clean;
+          Alcotest.test_case "scratch domain-isolated" `Quick test_wire_scratch_domain_isolated;
         ] );
       ( "value codec",
         [

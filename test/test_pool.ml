@@ -1,0 +1,120 @@
+(* Tests for the domain pool and parallel exploration: canonical result
+   order independent of [jobs], identical verdicts and shrunk
+   counterexamples between --jobs 1 and --jobs 4, and a poisoned oracle
+   in one worker neither wedging the pool nor perturbing the report. *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+(* --- Pool.map basics --- *)
+
+let test_map_matches_sequential () =
+  let items = Array.init 97 (fun i -> i) in
+  let f x = (x * 7919) mod 1009 in
+  let seq = Array.map f items in
+  List.iter
+    (fun jobs -> check ("jobs " ^ string_of_int jobs) true (Pool.map ~jobs f items = seq))
+    [ 1; 2; 4; 8 ]
+
+let test_map_edge_shapes () =
+  check "empty" true (Pool.map ~jobs:4 (fun x -> x) [||] = [||]);
+  check "singleton" true (Pool.map ~jobs:4 string_of_int [| 42 |] = [| "42" |]);
+  check "more jobs than items" true (Pool.map ~jobs:16 succ [| 1; 2; 3 |] = [| 2; 3; 4 |])
+
+let test_poisoned_item_does_not_wedge () =
+  let n = 40 in
+  let completed = Atomic.make 0 in
+  let f i =
+    if i = 3 || i = 7 then failwith (Printf.sprintf "poison-%d" i)
+    else begin
+      Atomic.incr completed;
+      i
+    end
+  in
+  match Pool.map ~jobs:4 f (Array.init n (fun i -> i)) with
+  | _ -> Alcotest.fail "expected the poisoned exception to propagate"
+  | exception Failure msg ->
+    (* all healthy items still ran to completion on the other workers,
+       and the re-raised exception is the lowest-index one whichever
+       worker hit it first *)
+    check_string "deterministic exception choice" "poison-3" msg;
+    check_int "no item abandoned" (n - 2) (Atomic.get completed)
+
+(* --- parallel exploration determinism --- *)
+
+(* Chain scenario with a deterministically poisoned run: a few percent
+   of non-empty plans raise instead of running. judge_plan must convert
+   the exception into a failing "no-exception" verdict in whichever
+   worker domain it lands, and the report must stay byte-identical
+   across jobs counts — including the shrunk counterexamples, since the
+   poison predicate (and so the shrinker's fails oracle) is a pure
+   function of the plan. *)
+let poisoned sc =
+  {
+    sc with
+    Scenario.sc_name = sc.Scenario.sc_name ^ "-poisoned";
+    sc_run =
+      (fun plan c ->
+        if plan <> [] && Hashtbl.hash plan mod 17 = 0 then failwith "poisoned oracle"
+        else sc.Scenario.sc_run plan c);
+  }
+
+let tiny_budget =
+  {
+    Explorer.smoke_budget with
+    Explorer.b_single_cap = 30;
+    b_pair_cap = 10;
+    b_partition_cap = 10;
+    b_combo_cap = 6;
+    b_soak = 8;
+    b_shrink_runs = 16;
+  }
+
+let report_json ~jobs sc =
+  let r = Explorer.explore ~jobs ~mode:"test" tiny_budget [ sc ] in
+  (r, Explorer.to_json r)
+
+let test_jobs_byte_identical_clean () =
+  let _, j1 = report_json ~jobs:1 Scenario.chain in
+  let _, j4 = report_json ~jobs:4 Scenario.chain in
+  check_string "clean sweep reports identical" j1 j4
+
+let test_jobs_byte_identical_with_failures () =
+  let sc = poisoned Scenario.chain in
+  let r1, j1 = report_json ~jobs:1 sc in
+  let r4, j4 = report_json ~jobs:4 sc in
+  check "poison produced failures" true (Explorer.total_failures r1 > 0);
+  check_int "same failure count" (Explorer.total_failures r1) (Explorer.total_failures r4);
+  (* byte-identical JSON covers verdict sets, failure order and the
+     minimized counterexamples *)
+  check_string "failing sweep reports identical" j1 j4;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          check "exception surfaced as no-exception verdict" true
+            (List.exists (fun v -> v.Oracle.v_oracle = "no-exception") f.Explorer.f_verdicts);
+          check "counterexample shrunk to a sub-plan" true
+            (List.length f.Explorer.f_min_plan <= List.length f.Explorer.f_plan))
+        s.Explorer.r_failures)
+    r1.Explorer.rp_scenarios
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential map" `Quick test_map_matches_sequential;
+          Alcotest.test_case "edge shapes" `Quick test_map_edge_shapes;
+          Alcotest.test_case "poisoned item doesn't wedge" `Quick test_poisoned_item_does_not_wedge;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "jobs 1 = jobs 4 (clean)" `Quick test_jobs_byte_identical_clean;
+          Alcotest.test_case "jobs 1 = jobs 4 (failures + shrink)" `Quick
+            test_jobs_byte_identical_with_failures;
+        ] );
+    ]

@@ -40,6 +40,70 @@ let prop_heap_length =
       ignore (Heap.pop h);
       before = List.length xs && Heap.length h = max 0 (before - 1))
 
+(* pop_exn drains exactly like pop, without the option boxing *)
+let prop_heap_pop_exn_sorts =
+  QCheck.Test.make ~name:"pop_exn drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        if Heap.is_empty h then List.rev acc
+        else begin
+          let top = Heap.top h in
+          let x = Heap.pop_exn h in
+          if top <> x then QCheck.Test.fail_report "top <> pop_exn";
+          drain (x :: acc)
+        end
+      in
+      drain [] = List.sort compare xs)
+
+(* Interleaved pushes and pops: after any prefix of operations the heap
+   agrees with a sorted-list model. Exercises the hole-based sifts from
+   arbitrary intermediate shapes, not just build-then-drain. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap agrees with sorted-list model under interleaving" ~count:200
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (function
+          | Some x ->
+            Heap.push h x;
+            model := List.sort compare (x :: !model);
+            Heap.length h = List.length !model
+          | None -> (
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+              model := rest;
+              x = m
+            | None, _ :: _ | Some _, [] -> false))
+        ops)
+
+(* Equal keys come out in insertion order under the simulator's
+   (time, seq) comparator — the stability contract the event queue
+   relies on, preserved across the allocation-free sift rewrite. *)
+let prop_heap_stable_for_equal_keys =
+  QCheck.Test.make ~name:"equal keys pop in insertion order" ~count:200
+    QCheck.(list (int_bound 5))
+    (fun keys ->
+      let cmp (ka, sa) (kb, sb) = match compare ka kb with 0 -> compare sa sb | c -> c in
+      let h = Heap.create ~cmp in
+      List.iteri (fun seq k -> Heap.push h (k, seq)) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      let out = drain [] in
+      (* sorted by key, and within a key the seq values strictly increase *)
+      let rec ok = function
+        | (ka, sa) :: ((kb, sb) :: _ as rest) ->
+          (ka < kb || (ka = kb && sa < sb)) && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok out)
+
 (* --- Rng --- *)
 
 let test_rng_deterministic () =
@@ -208,7 +272,15 @@ let test_fault_empty_union () =
   check "empty plan schedules nothing" false !fired
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
-  [ prop_heap_sorts; prop_heap_length; prop_rng_int_in_bounds; prop_rng_float_in_bounds ]
+  [
+    prop_heap_sorts;
+    prop_heap_length;
+    prop_heap_pop_exn_sorts;
+    prop_heap_model;
+    prop_heap_stable_for_equal_keys;
+    prop_rng_int_in_bounds;
+    prop_rng_float_in_bounds;
+  ]
 
 let () =
   Alcotest.run "sim"
