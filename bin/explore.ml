@@ -20,8 +20,10 @@ let usage () =
      \n\
      \  --smoke           CI-sized budget (fewer schedules per generator)\n\
      \  --jobs N          explore across N domains (default: available cores)\n\
-     \  --workload NAME   only this scenario (chain | supply-chain | cluster3);\n\
-     \                    repeatable, default all\n\
+     \  --workload NAME   only this scenario (chain | supply-chain | cluster3 |\n\
+     \                    recovery-retry | recovery-timeout | recovery-alternative |\n\
+     \                    recovery-compensate, or the family alias 'recovery');\n\
+     \                    repeatable, default: the classic three\n\
      \  --out FILE        report path (default EXPLORE.json)\n\
      \  --quiet           no per-scenario progress on stderr\n"
 
@@ -49,11 +51,16 @@ let () =
     | "--out" :: file :: rest ->
       out := file;
       parse rest
+    | "--workload" :: "recovery" :: rest ->
+      workloads := !workloads @ Scenario.recovery_all;
+      parse rest
     | "--workload" :: name :: rest ->
       (match Scenario.by_name name with
       | Some sc -> workloads := !workloads @ [ sc ]
       | None ->
-        Printf.eprintf "unknown workload %s (chain | supply-chain | cluster3)\n" name;
+        Printf.eprintf
+          "unknown workload %s (chain | supply-chain | cluster3 | recovery | recovery-*)\n"
+          name;
         exit 2);
       parse rest
     | ("--help" | "-h") :: _ ->

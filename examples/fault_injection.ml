@@ -13,26 +13,54 @@ let work = Sim.ms 40
 
 let crash_plan = Fault.periodic_crashes ~node:"n0" ~period:Sim.(ms 100) ~down_for:(Sim.ms 30) ~count:3
 
-let run_engine () =
-  let engine_config =
-    { Engine.default_config with Engine.default_deadline = Sim.ms 120; system_max_attempts = 30 }
+(* The fault-tolerance envelope is part of the script, not the testbed:
+   each leaf declares its watchdog deadline and its retry budget in a
+   [recovery { ... }] section. (An earlier revision instead widened the
+   engine-wide knobs [default_deadline]/[system_max_attempts] — the
+   same numbers, but invisible to anyone reading the workflow.) *)
+let declare_recovery src =
+  let replace_all s ~marker ~replacement =
+    let ml = String.length marker in
+    let rec find i =
+      if i + ml > String.length s then None
+      else if String.sub s i ml = marker then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> s
+    | Some i -> String.sub s 0 i ^ replacement ^ String.sub s (i + ml) (String.length s - i - ml)
   in
-  let tb = Testbed.make ~engine_config () in
+  List.fold_left
+    (fun s code ->
+      replace_all s
+        ~marker:(Printf.sprintf {|implementation { "code" is %S };|} code)
+        ~replacement:
+          (Printf.sprintf
+             {|implementation { "code" is %S, "deadline" is "120" };
+        recovery { retry 30 };|}
+             code))
+    src
+    [ "refPaymentAuthorisation"; "refCheckStock"; "refDispatch"; "refPaymentCapture" ]
+
+let run_engine () =
+  let tb = Testbed.make () in
   Impls.register_process_order ~work ~scenario:Impls.order_ok tb.Testbed.registry;
   Fault.apply tb.Testbed.sim crash_plan ~on:(function
     | Fault.Crash n -> Testbed.crash tb n
     | Fault.Restart n -> Testbed.recover tb n
     | Fault.Partition_on _ | Fault.Partition_off _ -> ());
   match
-    Testbed.launch_and_run tb ~script:Paper_scripts.process_order
+    Testbed.launch_and_run tb
+      ~script:(declare_recovery Paper_scripts.process_order)
       ~root:Paper_scripts.process_order_root ~inputs:order
   with
   | Ok (_, Wstate.Wf_done { output; _ }) ->
-    Format.printf "engine:   finished in %-16s at %6d ms; %d dispatches, %d retries, %d recoveries@."
+    Format.printf
+      "engine:   finished in %-16s at %6d ms; %d dispatches, %d policy retries, %d recoveries@."
       output
       (Sim.now tb.Testbed.sim / 1000)
       (Engine.dispatches_total tb.Testbed.engine)
-      (Engine.system_retries_total tb.Testbed.engine)
+      (Engine.policy_retries_total tb.Testbed.engine)
       (Engine.recoveries_total tb.Testbed.engine)
   | Ok (_, status) -> Format.printf "engine:   %a@." Wstate.pp_status status
   | Error e -> Format.printf "engine:   error %s@." e

@@ -30,12 +30,21 @@ let () =
   Sim.run ~until:(Sim.ms 30) tb.Testbed.sim;
 
   (* 3. Reconfigure the RUNNING instance: add an audit task (the t5 of
-     the paper's §3 scenario) that observes t2. *)
-  Registry.bind tb.Testbed.registry ~code:"quickstart.audit" (Registry.const "audited" []);
+     the paper's §3 scenario) that observes t2. The new task brings its
+     own declared recovery strategy — the engine compiles the section of
+     a constituent added mid-run exactly as it would at launch, so the
+     flaky first probe below is retried on the task's own budget, not
+     the engine-wide one. *)
+  let audit_probes = ref 0 in
+  Registry.bind tb.Testbed.registry ~code:"quickstart.audit" (fun _ctx ->
+      incr audit_probes;
+      if !audit_probes = 1 then failwith "audit store not warmed up"
+      else Registry.finish "audited" []);
   let audit_decl =
     {|
 task t5 of taskclass Audit {
     implementation { "code" is "quickstart.audit" };
+    recovery { retry 2 };
     inputs { input main { notification from { task t2 if output transformed } } }
 }
 |}
@@ -73,4 +82,6 @@ task t5 of taskclass Audit {
   (match Engine.task_state tb.Testbed.engine !iid ~path:[ "diamond"; "t5" ] with
   | Some s -> Format.printf "t5 (added mid-run): %a@." Wstate.pp_task_state s
   | None -> print_endline "t5 never recorded");
-  Format.printf "reconfigurations applied: %d@." (Engine.reconfigs_total tb.Testbed.engine)
+  Format.printf "reconfigurations applied: %d@." (Engine.reconfigs_total tb.Testbed.engine);
+  Format.printf "policy retries (t5's declared budget): %d@."
+    (Engine.policy_retries_total tb.Testbed.engine)

@@ -52,10 +52,34 @@ type input_set_spec = {
 
 type implementation = (string * string) list
 
+(* Declarative recovery strategy (REL-style): a recovery { ... } section
+   attached to a task or compound, kept separate from the functional
+   specification but compiled with it. *)
+type timeout_action =
+  | Ta_alternative  (** fall over to the next ranked alternative code *)
+  | Ta_substitute of string  (** dispatch this implementation code instead *)
+  | Ta_abort  (** give up: fail the task through its abort path *)
+
+type recovery_clause =
+  | R_retry of { count : int; backoff : int option; max : int option; loc : Loc.t }
+      (** [retry n [backoff b [max m]]] — up to [n] re-dispatches per
+          implementation code, delayed b*2^(attempt-1) ms capped at m. *)
+  | R_timeout of { ms : int; action : timeout_action; loc : Loc.t }
+      (** [timeout t then ...] — per-attempt watchdog deadline in ms. *)
+  | R_alternative of { codes : string list; loc : Loc.t }
+      (** [alternative "c1", "c2"] — ranked fallback implementation codes
+          tried after the primary's retry budget is exhausted. *)
+  | R_compensate of { task : string; loc : Loc.t }
+      (** [compensate t] — run sibling task [t]'s implementation once if
+          this task concludes through an abort outcome. *)
+
+type recovery = recovery_clause list
+
 type task_decl = {
   td_name : string;
   td_class : string;
   td_impl : implementation;
+  td_recovery : recovery;
   td_inputs : input_set_spec list;
   td_loc : Loc.t;
 }
@@ -75,6 +99,7 @@ and compound_decl = {
   cd_name : string;
   cd_class : string;
   cd_impl : implementation;
+  cd_recovery : recovery;
   cd_inputs : input_set_spec list;
   cd_constituents : constituent list;
   cd_outputs : output_binding list;
@@ -141,6 +166,23 @@ let constituent_loc = function
   | C_template_inst { ti_loc; _ } -> ti_loc
 
 let impl_code impl = List.assoc_opt "code" impl
+
+let recovery_clause_loc = function
+  | R_retry { loc; _ } | R_timeout { loc; _ } | R_alternative { loc; _ } | R_compensate { loc; _ }
+    ->
+    loc
+
+let recovery_retry rc =
+  List.find_map (function R_retry r -> Some (r.count, r.backoff, r.max) | _ -> None) rc
+
+let recovery_timeout rc =
+  List.find_map (function R_timeout t -> Some (t.ms, t.action) | _ -> None) rc
+
+let recovery_alternatives rc =
+  List.concat_map (function R_alternative a -> a.codes | _ -> []) rc
+
+let recovery_compensate rc =
+  List.find_map (function R_compensate c -> Some c.task | _ -> None) rc
 
 let impl_location impl = List.assoc_opt "location" impl
 

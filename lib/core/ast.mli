@@ -69,10 +69,35 @@ type input_set_spec = {
 type implementation = (string * string) list
 (** [implementation { "code" is "X", "location" is "n1", ... }]. *)
 
+(** What a [timeout t then ...] clause does when the watchdog fires. *)
+type timeout_action =
+  | Ta_alternative  (** fall over to the next ranked alternative code *)
+  | Ta_substitute of string  (** dispatch this implementation code instead *)
+  | Ta_abort  (** give up: fail the task through its abort path *)
+
+(** One clause of a [recovery { ... }] section — the declarative
+    recovery strategy (REL line of work), kept separate from the
+    functional specification but compiled with it. *)
+type recovery_clause =
+  | R_retry of { count : int; backoff : int option; max : int option; loc : Loc.t }
+      (** [retry n [backoff b [max m]]] — up to [n] re-dispatches per
+          implementation code, delayed b*2^(attempt-1) ms capped at m. *)
+  | R_timeout of { ms : int; action : timeout_action; loc : Loc.t }
+      (** [timeout t then ...] — per-attempt watchdog deadline in ms. *)
+  | R_alternative of { codes : string list; loc : Loc.t }
+      (** [alternative "c1", "c2"] — ranked fallback implementation codes
+          tried after the primary's retry budget is exhausted. *)
+  | R_compensate of { task : string; loc : Loc.t }
+      (** [compensate t] — run sibling task [t]'s implementation once if
+          this task concludes through an abort outcome. *)
+
+type recovery = recovery_clause list
+
 type task_decl = {
   td_name : string;
   td_class : string;
   td_impl : implementation;
+  td_recovery : recovery;
   td_inputs : input_set_spec list;
   td_loc : Loc.t;
 }
@@ -94,6 +119,7 @@ and compound_decl = {
   cd_name : string;
   cd_class : string;
   cd_impl : implementation;  (** usually empty; kept for uniformity *)
+  cd_recovery : recovery;
   cd_inputs : input_set_spec list;  (** empty when used as an implementation *)
   cd_constituents : constituent list;
   cd_outputs : output_binding list;
@@ -153,6 +179,20 @@ val impl_code : implementation -> string option
 
 val impl_location : implementation -> string option
 (** The ["location"] binding (hosting node), if present. *)
+
+val recovery_clause_loc : recovery_clause -> Loc.t
+
+val recovery_retry : recovery -> (int * int option * int option) option
+(** The [retry] clause as [(count, backoff, max)], if declared. *)
+
+val recovery_timeout : recovery -> (int * timeout_action) option
+(** The [timeout] clause as [(ms, action)], if declared. *)
+
+val recovery_alternatives : recovery -> string list
+(** Ranked fallback implementation codes, declaration order. *)
+
+val recovery_compensate : recovery -> string option
+(** The compensation target task, if declared. *)
 
 val output_kind_to_string : output_kind -> string
 

@@ -64,6 +64,25 @@ let read_string st =
      “code ” — trim, they are never significant *)
   Token.String (String.trim (Buffer.contents buf))
 
+let is_digit c = c >= '0' && c <= '9'
+
+let read_number st at =
+  let buf = Buffer.create 8 in
+  let rec consume () =
+    match peek st with
+    | Some c when is_digit c ->
+      Buffer.add_char buf c;
+      advance st;
+      consume ()
+    | Some c when is_ident_start c ->
+      raise (Error (Printf.sprintf "malformed number ending in %C" c, at))
+    | Some _ | None -> ()
+  in
+  consume ();
+  match int_of_string_opt (Buffer.contents buf) with
+  | Some n -> Token.Int n
+  | None -> raise (Error ("number out of range", at))
+
 let read_ident st =
   let buf = Buffer.create 16 in
   let rec consume () =
@@ -141,6 +160,9 @@ let tokens input =
     | Some ',' ->
       advance st;
       emit Token.Comma at;
+      scan ()
+    | Some c when is_digit c ->
+      emit (read_number st at) at;
       scan ()
     | Some c when is_ident_start c ->
       let word = read_ident st in

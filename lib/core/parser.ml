@@ -28,6 +28,13 @@ let string_lit st =
     s
   | other -> fail st (Printf.sprintf "expected a string literal, found %s" (Token.to_string other))
 
+let int_lit st =
+  match current st with
+  | Token.Int n ->
+    advance st;
+    n
+  | other -> fail st (Printf.sprintf "expected a number, found %s" (Token.to_string other))
+
 let skip_semis st =
   while current st = Token.Semi do
     advance st
@@ -140,6 +147,77 @@ let implementation_block st =
 let inputs_block st =
   expect st Token.Kw_inputs;
   braced_items st input_set_spec
+
+(* Recovery clauses use contextual keywords: 'retry', 'timeout', etc.
+   stay ordinary identifiers elsewhere (the paper's scripts use both as
+   names), and are only given meaning inside a recovery { ... } block. *)
+let recovery_clause st =
+  let loc = current_loc st in
+  match current st with
+  | Token.Ident "retry" ->
+    advance st;
+    let count = int_lit st in
+    let backoff =
+      if current st = Token.Ident "backoff" then begin
+        advance st;
+        Some (int_lit st)
+      end
+      else None
+    in
+    let max =
+      if current st = Token.Ident "max" then begin
+        advance st;
+        Some (int_lit st)
+      end
+      else None
+    in
+    Ast.R_retry { count; backoff; max; loc }
+  | Token.Ident "timeout" ->
+    advance st;
+    let ms = int_lit st in
+    if current st = Token.Ident "then" then advance st
+    else fail st (Printf.sprintf "expected 'then' after the timeout, found %s" (Token.to_string (current st)));
+    let action =
+      match current st with
+      | Token.Ident "alternative" ->
+        advance st;
+        Ast.Ta_alternative
+      | Token.Ident "substitute" ->
+        advance st;
+        Ast.Ta_substitute (string_lit st)
+      | Token.Kw_abort ->
+        advance st;
+        Ast.Ta_abort
+      | other ->
+        fail st
+          (Printf.sprintf "expected 'alternative', 'substitute' or 'abort' after 'then', found %s"
+             (Token.to_string other))
+    in
+    Ast.R_timeout { ms; action; loc }
+  | Token.Ident "alternative" ->
+    advance st;
+    let rec codes acc =
+      let c = string_lit st in
+      if current st = Token.Comma then begin
+        advance st;
+        codes (c :: acc)
+      end
+      else List.rev (c :: acc)
+    in
+    Ast.R_alternative { codes = codes []; loc }
+  | Token.Ident "compensate" ->
+    advance st;
+    let task = ident st in
+    Ast.R_compensate { task; loc }
+  | other ->
+    fail st
+      (Printf.sprintf
+         "expected a recovery clause (retry / timeout / alternative / compensate), found %s"
+         (Token.to_string other))
+
+let recovery_block st =
+  expect st Token.Kw_recovery;
+  braced_items st recovery_clause
 
 let output_kind st =
   match current st with
@@ -257,10 +335,12 @@ let rec task_decl st =
   skip_semis st;
   let td_impl = if current st = Token.Kw_implementation then implementation_block st else [] in
   skip_semis st;
+  let td_recovery = if current st = Token.Kw_recovery then recovery_block st else [] in
+  skip_semis st;
   let td_inputs = if current st = Token.Kw_inputs then inputs_block st else [] in
   skip_semis st;
   expect st Token.Rbrace;
-  { Ast.td_name; td_class; td_impl; td_inputs; td_loc }
+  { Ast.td_name; td_class; td_impl; td_recovery; td_inputs; td_loc }
 
 and compound_decl st =
   expect st Token.Kw_compoundtask;
@@ -271,6 +351,7 @@ and compound_decl st =
   let cd_class = ident st in
   expect st Token.Lbrace;
   let impl = ref [] in
+  let recovery = ref [] in
   let inputs = ref [] in
   let constituents = ref [] in
   let outputs = ref [] in
@@ -280,6 +361,9 @@ and compound_decl st =
     | Token.Rbrace -> ()
     | Token.Kw_implementation ->
       impl := implementation_block st;
+      sections ()
+    | Token.Kw_recovery ->
+      recovery := recovery_block st;
       sections ()
     | Token.Kw_inputs ->
       inputs := inputs_block st;
@@ -303,7 +387,8 @@ and compound_decl st =
     | other ->
       fail st
         (Printf.sprintf
-           "expected a section (implementation / inputs / task / compoundtask / outputs), found %s"
+           "expected a section (implementation / recovery / inputs / task / compoundtask / \
+            outputs), found %s"
            (Token.to_string other))
   in
   sections ();
@@ -312,6 +397,7 @@ and compound_decl st =
     Ast.cd_name;
     cd_class;
     cd_impl = !impl;
+    cd_recovery = !recovery;
     cd_inputs = !inputs;
     cd_constituents = List.rev !constituents;
     cd_outputs = !outputs;
@@ -353,15 +439,19 @@ let template_decl st =
   | `Task ->
     let td_impl = if current st = Token.Kw_implementation then implementation_block st else [] in
     skip_semis st;
+    let td_recovery = if current st = Token.Kw_recovery then recovery_block st else [] in
+    skip_semis st;
     let td_inputs = if current st = Token.Kw_inputs then inputs_block st else [] in
     skip_semis st;
     expect st Token.Rbrace;
     let body =
-      Ast.T_task { td_name = name; td_class = klass; td_impl; td_inputs; td_loc = tpl_loc }
+      Ast.T_task
+        { td_name = name; td_class = klass; td_impl; td_recovery; td_inputs; td_loc = tpl_loc }
     in
     { Ast.tpl_name = name; tpl_params = params; tpl_body = body; tpl_loc }
   | `Compound ->
     let impl = ref [] in
+    let recovery = ref [] in
     let inputs = ref [] in
     let constituents = ref [] in
     let outputs = ref [] in
@@ -371,6 +461,9 @@ let template_decl st =
       | Token.Rbrace -> ()
       | Token.Kw_implementation ->
         impl := implementation_block st;
+        sections ()
+      | Token.Kw_recovery ->
+        recovery := recovery_block st;
         sections ()
       | Token.Kw_inputs ->
         inputs := inputs_block st;
@@ -401,6 +494,7 @@ let template_decl st =
           cd_name = name;
           cd_class = klass;
           cd_impl = !impl;
+          cd_recovery = !recovery;
           cd_inputs = !inputs;
           cd_constituents = List.rev !constituents;
           cd_outputs = !outputs;

@@ -42,6 +42,30 @@ let pp_inputs_block ppf = function
   | [] -> ()
   | sets -> fprintf ppf "@[<v>inputs %a@];@ " (pp_block pp_input_set_spec) sets
 
+let pp_recovery_clause ppf = function
+  | Ast.R_retry { count; backoff; max; _ } ->
+    fprintf ppf "retry %d" count;
+    (match backoff with Some b -> fprintf ppf " backoff %d" b | None -> ());
+    (match max with Some m -> fprintf ppf " max %d" m | None -> ())
+  | Ast.R_timeout { ms; action; _ } -> (
+    fprintf ppf "timeout %d then " ms;
+    match action with
+    | Ast.Ta_alternative -> fprintf ppf "alternative"
+    | Ast.Ta_substitute code -> fprintf ppf "substitute %S" code
+    | Ast.Ta_abort -> fprintf ppf "abort")
+  | Ast.R_alternative { codes; _ } ->
+    fprintf ppf "alternative %a"
+      (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") (fun ppf c -> fprintf ppf "%S" c))
+      codes
+  | Ast.R_compensate { task; _ } -> fprintf ppf "compensate %s" task
+
+let pp_recovery_block ppf = function
+  | [] -> ()
+  | clauses ->
+    fprintf ppf "recovery { %a };@ "
+      (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf "; ") pp_recovery_clause)
+      clauses
+
 let pp_kind ppf kind = fprintf ppf "%s" (Ast.output_kind_to_string kind)
 
 let pp_output_dep ppf = function
@@ -54,13 +78,13 @@ let pp_output_binding ppf (ob : Ast.output_binding) =
   fprintf ppf "@[<v>%a %s %a@]" pp_kind ob.ob_kind ob.ob_name (pp_block pp_output_dep) ob.ob_deps
 
 let rec pp_task ppf (td : Ast.task_decl) =
-  fprintf ppf "@[<v>task %s of taskclass %s {@;<1 4>@[<v>%a%a@]@ }@]" td.td_name td.td_class
-    pp_implementation td.td_impl pp_inputs_block td.td_inputs
+  fprintf ppf "@[<v>task %s of taskclass %s {@;<1 4>@[<v>%a%a%a@]@ }@]" td.td_name td.td_class
+    pp_implementation td.td_impl pp_recovery_block td.td_recovery pp_inputs_block td.td_inputs
 
 and pp_compound ppf (cd : Ast.compound_decl) =
-  fprintf ppf "@[<v>compoundtask %s of taskclass %s {@;<1 4>@[<v>%a%a%a%a@]@ }@]" cd.cd_name
-    cd.cd_class pp_implementation cd.cd_impl pp_inputs_block cd.cd_inputs pp_constituents
-    cd.cd_constituents pp_outputs_block cd.cd_outputs
+  fprintf ppf "@[<v>compoundtask %s of taskclass %s {@;<1 4>@[<v>%a%a%a%a%a@]@ }@]" cd.cd_name
+    cd.cd_class pp_implementation cd.cd_impl pp_recovery_block cd.cd_recovery pp_inputs_block
+    cd.cd_inputs pp_constituents cd.cd_constituents pp_outputs_block cd.cd_outputs
 
 and pp_constituents ppf = function
   | [] -> ()
@@ -102,14 +126,15 @@ let pp_parameters ppf = function
 let pp_template ppf (tpl : Ast.template_decl) =
   match tpl.tpl_body with
   | Ast.T_task td ->
-    fprintf ppf "@[<v>tasktemplate task %s of taskclass %s {@;<1 4>@[<v>%a%a%a@]@ }@]"
+    fprintf ppf "@[<v>tasktemplate task %s of taskclass %s {@;<1 4>@[<v>%a%a%a%a@]@ }@]"
       tpl.tpl_name td.td_class pp_parameters tpl.tpl_params pp_implementation td.td_impl
-      pp_inputs_block td.td_inputs
+      pp_recovery_block td.td_recovery pp_inputs_block td.td_inputs
   | Ast.T_compound cd ->
-    fprintf ppf "@[<v>tasktemplate compoundtask %s of taskclass %s {@;<1 4>@[<v>%a%a%a%a%a@]@ }@]"
+    fprintf ppf
+      "@[<v>tasktemplate compoundtask %s of taskclass %s {@;<1 4>@[<v>%a%a%a%a%a%a@]@ }@]"
       tpl.tpl_name cd.cd_class pp_parameters tpl.tpl_params pp_implementation cd.cd_impl
-      pp_inputs_block cd.cd_inputs pp_constituents cd.cd_constituents pp_outputs_block
-      cd.cd_outputs
+      pp_recovery_block cd.cd_recovery pp_inputs_block cd.cd_inputs pp_constituents
+      cd.cd_constituents pp_outputs_block cd.cd_outputs
 
 let pp_decl ppf = function
   | Ast.D_class { cls_name; cls_parent = None; _ } -> fprintf ppf "class %s" cls_name

@@ -32,10 +32,56 @@ type binding = {
   b_objects : (string * obj_source list) list;
 }
 
+(* Compiled recovery policy: the executable form of a task's
+   recovery { ... } section. [p_declared = false] is the compiled form
+   of "no clause written": every field holds the sentinel that makes the
+   engine fall back to its config-seeded default policy, reproducing the
+   legacy global-knob behaviour exactly. *)
+type policy = {
+  p_retry : int option;  (* extra attempts per implementation code *)
+  p_backoff_ms : int;  (* base delay before a policy retry; 0 = immediate *)
+  p_backoff_max_ms : int option;  (* cap on the exponential backoff *)
+  p_timeout_ms : int option;  (* per-attempt watchdog deadline *)
+  p_on_timeout : Ast.timeout_action;  (* what the watchdog does *)
+  p_alternatives : string list;  (* ranked fallback implementation codes *)
+  p_compensate : string option;  (* sibling task run once on abort *)
+  p_declared : bool;  (* was a recovery section written at all *)
+}
+
+let no_policy =
+  {
+    p_retry = None;
+    p_backoff_ms = 0;
+    p_backoff_max_ms = None;
+    p_timeout_ms = None;
+    p_on_timeout = Ast.Ta_abort;
+    p_alternatives = [];
+    p_compensate = None;
+    p_declared = false;
+  }
+
+let policy_of_recovery (rc : Ast.recovery) =
+  if rc = [] then no_policy
+  else
+    let retry = Ast.recovery_retry rc in
+    let timeout = Ast.recovery_timeout rc in
+    {
+      p_retry = Option.map (fun (n, _, _) -> n) retry;
+      p_backoff_ms =
+        (match retry with Some (_, Some b, _) -> b | Some (_, None, _) | None -> 0);
+      p_backoff_max_ms = (match retry with Some (_, _, m) -> m | None -> None);
+      p_timeout_ms = Option.map fst timeout;
+      p_on_timeout = (match timeout with Some (_, a) -> a | None -> Ast.Ta_abort);
+      p_alternatives = Ast.recovery_alternatives rc;
+      p_compensate = Ast.recovery_compensate rc;
+      p_declared = true;
+    }
+
 type task = {
   name : string;
   klass : string;
   impl : (string * string) list;
+  policy : policy;
   inputs : input_set list;
   outputs : output list;
   body : body;
@@ -150,6 +196,7 @@ let rec task_of_decl script (td : Ast.task_decl) =
     name = td.td_name;
     klass = td.td_class;
     impl = td.td_impl;
+    policy = policy_of_recovery td.td_recovery;
     inputs = input_sets_of ~tc ~specs:td.td_inputs ~owner:td.td_name;
     outputs = outputs_of_class tc;
     body = Simple;
@@ -166,6 +213,7 @@ and compound_of_decl script (cd : Ast.compound_decl) =
     name = cd.cd_name;
     klass = cd.cd_class;
     impl = cd.cd_impl;
+    policy = policy_of_recovery cd.cd_recovery;
     inputs = input_sets_of ~tc ~specs:cd.cd_inputs ~owner:cd.cd_name;
     outputs = outputs_of_class tc;
     body =

@@ -45,10 +45,30 @@ type binding = {
   b_objects : (string * obj_source list) list;
 }
 
+type policy = {
+  p_retry : int option;  (** extra attempts per implementation code *)
+  p_backoff_ms : int;  (** base delay before a policy retry; 0 = immediate *)
+  p_backoff_max_ms : int option;  (** cap on the exponential backoff *)
+  p_timeout_ms : int option;  (** per-attempt watchdog deadline *)
+  p_on_timeout : Ast.timeout_action;  (** what the watchdog does *)
+  p_alternatives : string list;  (** ranked fallback implementation codes *)
+  p_compensate : string option;  (** sibling task run once on abort *)
+  p_declared : bool;  (** was a recovery section written at all *)
+}
+(** Compiled recovery policy of one task. When [p_declared] is false the
+    engine substitutes its config-seeded default policy, reproducing the
+    pre-policy global-knob behaviour exactly. *)
+
+val no_policy : policy
+(** The compiled form of "no recovery section". *)
+
+val policy_of_recovery : Ast.recovery -> policy
+
 type task = {
   name : string;
   klass : string;
   impl : (string * string) list;
+  policy : policy;
   inputs : input_set list;
   outputs : output list;
   body : body;

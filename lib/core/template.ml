@@ -26,13 +26,24 @@ let subst_output_dep env = function
 let subst_output_binding env (ob : Ast.output_binding) =
   { ob with Ast.ob_deps = List.map (subst_output_dep env) ob.ob_deps }
 
+let subst_recovery_clause env = function
+  | Ast.R_compensate { task; loc } -> Ast.R_compensate { task = subst_name env task; loc }
+  | (Ast.R_retry _ | Ast.R_timeout _ | Ast.R_alternative _) as clause -> clause
+
+let subst_recovery env rc = List.map (subst_recovery_clause env) rc
+
 let rec subst_task env (td : Ast.task_decl) =
-  { td with Ast.td_inputs = List.map (subst_input_set env) td.td_inputs }
+  {
+    td with
+    Ast.td_recovery = subst_recovery env td.td_recovery;
+    td_inputs = List.map (subst_input_set env) td.td_inputs;
+  }
 
 and subst_compound env (cd : Ast.compound_decl) =
   {
     cd with
-    Ast.cd_inputs = List.map (subst_input_set env) cd.cd_inputs;
+    Ast.cd_recovery = subst_recovery env cd.cd_recovery;
+    cd_inputs = List.map (subst_input_set env) cd.cd_inputs;
     cd_constituents = List.map (subst_constituent env) cd.cd_constituents;
     cd_outputs = List.map (subst_output_binding env) cd.cd_outputs;
   }

@@ -1,6 +1,7 @@
 type t =
   | Ident of string
   | String of string
+  | Int of int
   | Kw_class
   | Kw_taskclass
   | Kw_task
@@ -24,6 +25,7 @@ type t =
   | Kw_implementation
   | Kw_parameters
   | Kw_extends
+  | Kw_recovery
   | Lbrace
   | Rbrace
   | Lparen
@@ -57,6 +59,7 @@ let keywords =
     ("implementation", Kw_implementation);
     ("parameters", Kw_parameters);
     ("extends", Kw_extends);
+    ("recovery", Kw_recovery);
   ]
 
 let keyword_of_string s = List.assoc_opt s keywords
@@ -64,6 +67,7 @@ let keyword_of_string s = List.assoc_opt s keywords
 let to_string = function
   | Ident s -> Printf.sprintf "identifier %S" s
   | String s -> Printf.sprintf "string %S" s
+  | Int n -> Printf.sprintf "number %d" n
   | Lbrace -> "'{'"
   | Rbrace -> "'}'"
   | Lparen -> "'('"

@@ -3,6 +3,7 @@
 type t =
   | Ident of string
   | String of string  (** double-quoted literal, e.g. implementation values *)
+  | Int of int  (** decimal literal, used by recovery clauses *)
   | Kw_class
   | Kw_taskclass
   | Kw_task
@@ -26,6 +27,7 @@ type t =
   | Kw_implementation
   | Kw_parameters
   | Kw_extends
+  | Kw_recovery
   | Lbrace
   | Rbrace
   | Lparen

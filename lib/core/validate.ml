@@ -158,6 +158,51 @@ let check_object_sources env site sources ~expect ~loc =
         ~task:os.os_task ~cond:os.os_cond ~loc:os.os_loc)
     sources
 
+(* --- recovery clauses --- *)
+
+let check_recovery env site ~impl ~recovery ~self_loc:_ =
+  let count_kind pred = List.length (List.filter pred recovery) in
+  let dup_check ~what pred =
+    if count_kind pred > 1 then
+      let clause = List.find pred recovery in
+      error env (Ast.recovery_clause_loc clause) "duplicate %s clause in recovery section" what
+  in
+  dup_check ~what:"retry" (function Ast.R_retry _ -> true | _ -> false);
+  dup_check ~what:"timeout" (function Ast.R_timeout _ -> true | _ -> false);
+  dup_check ~what:"compensate" (function Ast.R_compensate _ -> true | _ -> false);
+  let has_alternatives = Ast.recovery_alternatives recovery <> [] in
+  let check_clause = function
+    | Ast.R_retry { count; backoff; max; loc } ->
+      if count = 0 && backoff <> None then
+        error env loc "retry 0 cannot take a backoff (there is no retry to delay)";
+      (match (backoff, max) with
+      | None, Some _ -> error env loc "max requires a backoff base"
+      | Some b, Some m when m < b ->
+        error env loc "backoff cap %d is below the base delay %d" m b
+      | _ -> ())
+    | Ast.R_timeout { ms; action; loc } -> (
+      (if action = Ast.Ta_alternative && not has_alternatives then
+         error env loc "timeout ... then alternative requires an alternative clause");
+      (match List.assoc_opt "duration" impl with
+      | Some dur -> (
+        match int_of_string_opt dur with
+        | Some d when ms < d ->
+          error env loc "timeout %dms is shorter than the declared duration %dms" ms d
+        | _ -> ())
+      | None -> ());
+      match action with
+      | Ast.Ta_substitute "" -> error env loc "substitute requires a non-empty implementation code"
+      | _ -> ())
+    | Ast.R_alternative { codes; loc } ->
+      if List.exists (fun c -> c = "") codes then
+        error env loc "alternative implementation codes must be non-empty"
+    | Ast.R_compensate { task; loc } ->
+      if task = site.self then error env loc "task %s cannot compensate itself" task
+      else if List.assoc_opt task site.scope = None then
+        error env loc "compensate names undeclared task %s" task
+  in
+  List.iter check_clause recovery
+
 (* --- instance input sets --- *)
 
 let check_input_sets env site ~class_name ~inputs ~loc =
@@ -289,9 +334,14 @@ let referenced_constituents (cd : Ast.compound_decl) =
           iss.iss_deps)
       inputs
   in
+  (* a compensation target counts as referenced: the compensating task
+     is typically fed by nobody and fired only through the policy *)
   let from_constituent = function
-    | Ast.C_task td -> from_inputs td.Ast.td_inputs
-    | Ast.C_compound inner -> from_inputs inner.Ast.cd_inputs
+    | Ast.C_task td ->
+      Option.to_list (Ast.recovery_compensate td.Ast.td_recovery) @ from_inputs td.Ast.td_inputs
+    | Ast.C_compound inner ->
+      Option.to_list (Ast.recovery_compensate inner.Ast.cd_recovery)
+      @ from_inputs inner.Ast.cd_inputs
     | Ast.C_template_inst _ -> []
   in
   let from_bindings =
@@ -355,10 +405,12 @@ let find_cycle edges =
 
 let rec check_task env ~scope (td : Ast.task_decl) =
   let site = { scope; self = td.td_name } in
+  check_recovery env site ~impl:td.td_impl ~recovery:td.td_recovery ~self_loc:td.td_loc;
   check_input_sets env site ~class_name:td.td_class ~inputs:td.td_inputs ~loc:td.td_loc
 
 and check_compound env ~scope (cd : Ast.compound_decl) =
   let site = { scope; self = cd.cd_name } in
+  check_recovery env site ~impl:cd.cd_impl ~recovery:cd.cd_recovery ~self_loc:cd.cd_loc;
   check_input_sets env site ~class_name:cd.cd_class ~inputs:cd.cd_inputs ~loc:cd.cd_loc;
   check_named_duplicates env ~what:"constituent task"
     (List.map (fun c -> (Ast.constituent_name c, Ast.constituent_loc c)) cd.cd_constituents);

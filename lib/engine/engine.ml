@@ -20,6 +20,18 @@ type config = {
   trace : bool;
 }
 
+(* The config-seeded default recovery policy: the single source of truth
+   for what a task with no [recovery { ... }] section gets. The config
+   fields [default_deadline], [dispatch_rpc_retries] and
+   [system_max_attempts] are aliases that seed this record once at
+   engine creation; everything at dispatch/retry time reads the policy,
+   never the config. *)
+type default_policy = {
+  dp_deadline : Sim.time;  (* per-attempt watchdog deadline *)
+  dp_rpc_retries : int;  (* RPC send budget per dispatch *)
+  dp_max_attempts : int;  (* total execution attempts per task *)
+}
+
 let default_config =
   {
     default_deadline = Sim.sec 30;
@@ -40,6 +52,7 @@ type t = {
   disp : Dispatch.t;
   reg : Registry.t;
   config : config;
+  default_policy : default_policy;
   tracer : Trace.t;
   metrics : Metrics.t;
   rng : Rng.t;  (* split once at creation to keep downstream seeds stable *)
@@ -59,6 +72,7 @@ type t = {
 
 let node_id t = Node.id t.node
 let node t = t.node
+let default_policy t = t.default_policy
 let rpc t = t.rpc
 let trace t = t.tracer
 let metrics t = t.metrics
@@ -76,12 +90,27 @@ let iview t inst = Instate.view inst ~effective:(effective_body t)
 let find_task_node t inst path = Instate.find_node inst ~effective:(effective_body t) path
 let task_live t inst path = Sched.task_live (iview t inst) path
 
-(* --- spans from implementation kvs + config --- *)
+(* --- spans from the policy, implementation kvs + config --- *)
 
+(* A declared [timeout N then ...] clause is the per-attempt watchdog
+   deadline; otherwise the legacy "deadline" kv, then the config-seeded
+   default policy. *)
 let deadline_span t task =
-  match Sched.impl_ms task ~key:"deadline" with
+  match task.Schema.policy.Schema.p_timeout_ms with
   | Some n -> Sim.ms n
-  | None -> t.config.default_deadline
+  | None -> (
+    match Sched.impl_ms task ~key:"deadline" with
+    | Some n -> Sim.ms n
+    | None -> t.default_policy.dp_deadline)
+
+(* The task's compiled policy resolved against the default policy;
+   [primary] is the registry-effective implementation code. *)
+let task_rpolicy t task ~primary =
+  Sched.resolve_policy task ~primary ~default_max_attempts:t.default_policy.dp_max_attempts
+
+let rpolicy_of t task =
+  let primary = match effective_body t task with Sched.E_fn code -> code | _ -> "" in
+  task_rpolicy t task ~primary
 
 let timeout_span t task =
   match Sched.impl_ms task ~key:"timeout" with
@@ -89,6 +118,68 @@ let timeout_span t task =
   | None -> t.config.default_timeout
 
 let persist t writes k = Dispatch.persist t.disp writes k
+
+(* --- compensation (declared [compensate <task>] on abort) --- *)
+
+(* An abort-outcome completion of a task whose policy names a sibling
+   compensation handler, not yet compensated: resolve the handler to a
+   dispatchable code. The durable guard row and history row ride in the
+   same transaction as the completion (exactly-once record); the
+   handler's execution itself is a one-shot dispatch after commit. *)
+let compensation_of t inst action =
+  match action with
+  | Sched.Complete { a_path; a_kind = Ast.Abort_outcome; _ } -> (
+    match find_task_node t inst a_path with
+    | Some task -> (
+      match task.Schema.policy.Schema.p_compensate with
+      | Some target when not (Instate.is_compensated inst a_path) -> (
+        let tpath = Sched.parent_path a_path @ [ target ] in
+        match find_task_node t inst tpath with
+        | Some handler -> (
+          match effective_body t handler with
+          | Sched.E_fn code -> Some (a_path, target, tpath, handler, code)
+          | Sched.E_compound _ | Sched.E_missing _ -> None)
+        | None -> None)
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
+let compensation_writes t inst action =
+  match compensation_of t inst action with
+  | None -> []
+  | Some (a_path, target, _, _, _) ->
+    [
+      (Wstate.key_comp inst.Instate.iid a_path, Some "1");
+      Instate.history_write inst ~now:(Sim.now t.sim) ~kind:"policy-compensate"
+        ~detail:(pkey a_path ^ " -> " ^ target);
+    ]
+
+(* Post-commit side of the same decision: mark the mirror, announce,
+   fire the handler. The handler runs with the aborted task's chosen
+   inputs; its report arrives for a non-Running path and is ignored
+   (at-most-once execution, exactly-once durable record). *)
+let run_compensation t inst compensation =
+  match compensation with
+  | None -> ()
+  | Some (a_path, target, tpath, handler, code) ->
+    Instate.mark_compensated inst a_path;
+    emit t (Event.Policy_compensated { path = pkey a_path; task = target });
+    let inputs =
+      match Instate.get_chosen inst a_path with Some c -> c.Wstate.c_inputs | None -> []
+    in
+    let host =
+      match Ast.impl_location handler.Schema.impl with Some n -> n | None -> node_id t
+    in
+    Dispatch.send_exec t.disp ~host ~retries:t.default_policy.dp_rpc_retries
+      {
+        Wfmsg.x_iid = inst.Instate.iid;
+        x_path = tpath;
+        x_attempt = 1;
+        x_code = code;
+        x_set = "compensate";
+        x_inputs = inputs;
+      }
+      (fun _ -> ())
 
 (* --- applying scheduler actions --- *)
 
@@ -104,7 +195,11 @@ let apply_and_announce t inst action =
       | _ -> 0)
     | _ -> 0
   in
+  (* decided against the pre-commit mirror, fired after the mirror
+     update below (the guard row committed with this action) *)
+  let compensation = compensation_of t inst action in
   Instate.apply_action_mirror inst ~now ~deadline_of:(deadline_span t) action;
+  run_compensation t inst compensation;
   match action with
   | Sched.Start _ | Sched.Arm_timer _ -> ()
   | Sched.Fire_mark { a_path; a_name; _ } ->
@@ -134,6 +229,7 @@ let apply_and_announce t inst action =
 let action_payload t inst action =
   Instate.action_writes inst ~now:(Sim.now t.sim) ~deadline_of:(deadline_span t) action
   @ Instate.action_history inst ~now:(Sim.now t.sim) action
+  @ compensation_writes t inst action
 
 (* --- the evaluation pump, dispatch, watchdog, failure handling --- *)
 
@@ -260,9 +356,14 @@ and action_side_effects t inst = function
   | Sched.Fail_task _ -> ()
 
 and dispatch t inst ~path ~task ~code ~set ~inputs ~attempt =
+  (* [code] is the registry-effective primary; a declared policy maps
+     the durable attempt counter onto its ranked code list, so a
+     recovered engine redispatches the same alternative it was on *)
+  let rp = task_rpolicy t task ~primary:code in
+  let code = Sched.policy_code rp ~attempt in
   let host = match Ast.impl_location task.Schema.impl with Some n -> n | None -> node_id t in
   let epoch = t.epoch in
-  Dispatch.send_exec t.disp ~host ~retries:t.config.dispatch_rpc_retries
+  Dispatch.send_exec t.disp ~host ~retries:t.default_policy.dp_rpc_retries
     { Wfmsg.x_iid = inst.Instate.iid; x_path = path; x_attempt = attempt; x_code = code;
       x_set = set; x_inputs = inputs }
     (function
@@ -281,34 +382,145 @@ and schedule_watchdog ?delay t inst ~path ~task ~attempt =
       match Instate.get_state inst path with
       | Some (Wstate.Running { attempt = a; _ }) when a = attempt ->
         emit t (Event.Watchdog_fired { path = pkey path });
-        retry_task t inst ~path ~task
+        handle_expiry t inst ~path ~task
       | _ -> ()
   in
   ignore (Sim.schedule t.sim ~delay:span check)
+
+(* The watchdog tripped: a declared [timeout ... then ...] clause decides
+   what happens; without one (or without a declared policy at all) the
+   legacy path retries against the attempt budget. *)
+and handle_expiry t inst ~path ~task =
+  let rp = rpolicy_of t task in
+  match rp.Sched.rp_timeout_ms with
+  | None -> retry_task t inst ~path ~task
+  | Some _ -> (
+    match rp.Sched.rp_on_timeout with
+    | Ast.Ta_abort -> fail_policy t inst ~path ~task ~reason:"recovery timeout"
+    | Ast.Ta_alternative | Ast.Ta_substitute _ -> (
+      match Instate.get_state inst path with
+      | Some (Wstate.Running { attempt; set; _ }) -> (
+        let target =
+          match rp.Sched.rp_on_timeout with
+          | Ast.Ta_substitute _ -> Sched.policy_substitute_start rp
+          | Ast.Ta_alternative | Ast.Ta_abort ->
+            let next = Sched.policy_next_band_start rp ~attempt in
+            if next <= rp.Sched.rp_base_total then Some next else None
+        in
+        match target with
+        | Some target when target > attempt ->
+          jump_to_attempt t inst ~path ~task ~set ~rp ~attempt:target
+        | Some _ ->
+          (* already in the target band (e.g. the substitute itself timed
+             out): a bounded retry within it, not a forward jump *)
+          retry_task t inst ~path ~task
+        | None -> fail_policy t inst ~path ~task ~reason:"recovery alternatives exhausted")
+      | _ -> ()))
+
+(* Timeout-driven substitution: skip the attempt counter to the first
+   attempt of the target code's band. The bump is persisted like any
+   retry, so the substitution itself survives a crash — recovery derives
+   the active code from the counter alone. *)
+and jump_to_attempt t inst ~path ~task ~set ~rp ~attempt =
+  let now = Sim.now t.sim in
+  let code = Sched.policy_code rp ~attempt in
+  let running =
+    Wstate.Running { attempt; set; started = now; deadline = now + deadline_span t task }
+  in
+  let inputs =
+    match Instate.get_chosen inst path with Some c -> c.Wstate.c_inputs | None -> []
+  in
+  persist t
+    [
+      (Wstate.key_task inst.Instate.iid path, Some (Wstate.encode_task_state running));
+      Instate.history_write inst ~now ~kind:"policy-substitute"
+        ~detail:(pkey path ^ " -> " ^ code ^ " (timeout)");
+    ]
+    (fun () ->
+      Hashtbl.replace inst.Instate.states (pkey path) running;
+      emit t (Event.Task_retried { path = pkey path; attempt });
+      emit t (Event.Policy_substituted { path = pkey path; code });
+      match effective_body t task with
+      | Sched.E_fn primary -> dispatch t inst ~path ~task ~code:primary ~set ~inputs ~attempt
+      | Sched.E_compound _ | Sched.E_missing _ -> mark_dirty ~paths:[ path ] t inst)
 
 and retry_task t inst ~path ~task =
   if not (task_live t inst path) then ()
   else
     match Instate.get_state inst path with
     | Some (Wstate.Running { attempt; set; _ }) ->
-      if attempt >= t.config.system_max_attempts then
+      let rp = rpolicy_of t task in
+      if Sched.policy_exhausted rp ~attempt then
         fail_policy t inst ~path ~task ~reason:(Printf.sprintf "gave up after %d attempts" attempt)
       else begin
         let now = Sim.now t.sim in
         let next = attempt + 1 in
+        let delay = Sim.ms (Sched.policy_backoff_ms rp ~attempt:next) in
+        let fire_at = now + delay in
         let running =
-          Wstate.Running { attempt = next; set; started = now; deadline = now + deadline_span t task }
+          Wstate.Running
+            { attempt = next; set; started = now; deadline = fire_at + deadline_span t task }
         in
         let inputs =
           match Instate.get_chosen inst path with Some c -> c.Wstate.c_inputs | None -> []
         in
-        persist t
-          [ (Wstate.key_task inst.Instate.iid path, Some (Wstate.encode_task_state running)) ]
-          (fun () ->
+        (* a failure-driven advance into the next band switches code *)
+        let substituted =
+          rp.Sched.rp_declared
+          && Sched.policy_band rp ~attempt:next > Sched.policy_band rp ~attempt
+        in
+        let writes =
+          ((Wstate.key_task inst.Instate.iid path, Some (Wstate.encode_task_state running))
+          ::
+          (if delay > 0 then
+             (* same transaction as the attempt bump: a crash mid-backoff
+                recovers the remaining budget and the remaining wait *)
+             [
+               ( Wstate.key_backoff inst.Instate.iid path,
+                 Some (Wstate.encode_backoff (next, fire_at)) );
+             ]
+           else []))
+          @ (if rp.Sched.rp_declared then
+               [
+                 Instate.history_write inst ~now ~kind:"policy-retry"
+                   ~detail:
+                     (Printf.sprintf "%s (attempt %d, backoff %dms)" (pkey path) next
+                        (delay / Sim.ms 1));
+               ]
+             else [])
+          @
+          if substituted then
+            [
+              Instate.history_write inst ~now ~kind:"policy-substitute"
+                ~detail:(pkey path ^ " -> " ^ Sched.policy_code rp ~attempt:next ^ " (failure)");
+            ]
+          else []
+        in
+        persist t writes (fun () ->
             Hashtbl.replace inst.Instate.states (pkey path) running;
+            if delay > 0 then Instate.set_backoff inst path ~attempt:next ~fire_at;
             emit t (Event.Task_retried { path = pkey path; attempt = next });
+            if rp.Sched.rp_declared then
+              emit t
+                (Event.Policy_retry
+                   { path = pkey path; attempt = next; delay_ms = delay / Sim.ms 1 });
+            if substituted then
+              emit t
+                (Event.Policy_substituted
+                   { path = pkey path; code = Sched.policy_code rp ~attempt:next });
             match effective_body t task with
-            | Sched.E_fn code -> dispatch t inst ~path ~task ~code ~set ~inputs ~attempt:next
+            | Sched.E_fn code ->
+              if delay = 0 then dispatch t inst ~path ~task ~code ~set ~inputs ~attempt:next
+              else begin
+                let epoch = t.epoch in
+                ignore
+                  (Sim.schedule t.sim ~delay (fun () ->
+                       if t.epoch = epoch && Node.up t.node && task_live t inst path then
+                         match Instate.get_state inst path with
+                         | Some (Wstate.Running { attempt = a; _ }) when a = next ->
+                           dispatch t inst ~path ~task ~code ~set ~inputs ~attempt:next
+                         | _ -> ()))
+              end
             | Sched.E_compound _ | Sched.E_missing _ -> mark_dirty ~paths:[ path ] t inst)
       end
     | _ -> ()
@@ -423,6 +635,31 @@ let rebuild_instance t iid =
             let remaining = max 0 (deadline - Sim.now t.sim) + Sim.ms 1 in
             schedule_watchdog ~delay:remaining t inst ~path ~task ~attempt)
           (Instate.running_leaves inst ~effective:(effective_body t));
+        (* pending policy backoffs: resume the remaining wait against the
+           persisted attempt counter, then redispatch that same attempt —
+           the budget carries over, it is never reset *)
+        List.iter
+          (fun (path, attempt, fire_at) ->
+            match (find_task_node t inst path, Instate.get_state inst path) with
+            | Some task, Some (Wstate.Running { attempt = a; set; _ }) when a = attempt -> (
+              match effective_body t task with
+              | Sched.E_fn code ->
+                let inputs =
+                  match Instate.get_chosen inst path with
+                  | Some c -> c.Wstate.c_inputs
+                  | None -> []
+                in
+                let epoch = t.epoch in
+                ignore
+                  (Sim.schedule t.sim ~delay:(max 0 (fire_at - Sim.now t.sim)) (fun () ->
+                       if t.epoch = epoch && Node.up t.node && task_live t inst path then
+                         match Instate.get_state inst path with
+                         | Some (Wstate.Running { attempt = a2; _ }) when a2 = attempt ->
+                           dispatch t inst ~path ~task ~code ~set ~inputs ~attempt
+                         | _ -> ()))
+              | Sched.E_compound _ | Sched.E_missing _ -> ())
+            | _ -> ())
+          (Instate.pending_backoffs inst);
         if inst.Instate.status = Wstate.Wf_running then mark_dirty t inst))
 
 let dir_iid_of_key key =
@@ -548,6 +785,12 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
           ~node ~mgr ~participant ();
       reg;
       config;
+      default_policy =
+        {
+          dp_deadline = config.default_deadline;
+          dp_rpc_retries = config.dispatch_rpc_retries;
+          dp_max_attempts = config.system_max_attempts;
+        };
       tracer;
       metrics;
       rng = Rng.split (Sim.rng sim);
@@ -779,6 +1022,9 @@ let dispatches_total t = Metrics.value t.metrics "engine.dispatches"
 let completions_total t = Metrics.value t.metrics "engine.completions"
 let system_retries_total t = Metrics.value t.metrics "engine.system_retries"
 let marks_total t = Metrics.value t.metrics "engine.marks"
+let policy_retries_total t = Metrics.value t.metrics "engine.policy_retries"
+let policy_substitutions_total t = Metrics.value t.metrics "engine.policy_substitutions"
+let policy_compensations_total t = Metrics.value t.metrics "engine.policy_compensations"
 let reconfigs_total t = Metrics.value t.metrics "engine.reconfigs"
 let recoveries_total t = Metrics.value t.metrics "engine.recoveries"
 

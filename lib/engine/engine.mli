@@ -18,9 +18,16 @@
     mid-execution, the per-dispatch watchdog re-dispatches. *)
 
 type config = {
-  default_deadline : Sim.time;  (** dispatch-to-completion watchdog *)
+  default_deadline : Sim.time;
+      (** dispatch-to-completion watchdog. Alias: seeds
+          {!default_policy.dp_deadline} at engine creation — tasks with a
+          declared [recovery] section override it per task. *)
   dispatch_rpc_retries : int;
-  system_max_attempts : int;  (** re-dispatches before the task fails *)
+      (** Alias: seeds {!default_policy.dp_rpc_retries}. *)
+  system_max_attempts : int;
+      (** re-dispatches before the task fails. Alias: seeds
+          {!default_policy.dp_max_attempts}; a declared [retry n] clause
+          overrides the budget per task (per implementation code). *)
   default_timeout : Sim.time;  (** timer input sets without a ["timeout"] kv *)
   dispatch_overhead : Sim.time;
       (** engine CPU cost per dispatch, serialised per engine (0 =
@@ -56,7 +63,19 @@ type config = {
 
 val default_config : config
 
+(** The config-seeded default recovery policy — what a task without a
+    [recovery { ... }] section executes under. Compiled once at engine
+    creation from the three config aliases above; dispatch, watchdog and
+    retry paths consult policy records only, never the raw config. *)
+type default_policy = {
+  dp_deadline : Sim.time;  (** per-attempt watchdog deadline *)
+  dp_rpc_retries : int;  (** RPC send budget per dispatch *)
+  dp_max_attempts : int;  (** total execution attempts per task *)
+}
+
 type t
+
+val default_policy : t -> default_policy
 
 val create :
   ?config:config ->
@@ -181,6 +200,16 @@ val completions_total : t -> int
 val system_retries_total : t -> int
 
 val marks_total : t -> int
+
+val policy_retries_total : t -> int
+(** Retries scheduled by {e declared} recovery policies (the default
+    policy's retries count only in {!system_retries_total}). *)
+
+val policy_substitutions_total : t -> int
+(** Switches to a ranked alternative or timeout substitute. *)
+
+val policy_compensations_total : t -> int
+(** Compensation handlers launched after abort outcomes. *)
 
 val reconfigs_total : t -> int
 

@@ -11,6 +11,8 @@ type t = {
   timers : (string, unit) Hashtbl.t;  (* fired; key = "path|set" *)
   timer_arms : (string, Sim.time) Hashtbl.t;  (* persisted deadlines; key = "path|set" *)
   timers_armed : (string, int) Hashtbl.t;  (* volatile; value = attempt armed for *)
+  backoffs : (string, int * Sim.time) Hashtbl.t;  (* pending policy backoffs: attempt, fire_at *)
+  compensated : (string, unit) Hashtbl.t;  (* aborts whose compensation is recorded *)
   mutable callbacks : (Wstate.status -> unit) list;
   mutable hseq : int;  (* next persistent-history index *)
   mutable dirty : bool;
@@ -39,6 +41,8 @@ let create ~iid ~script_text ~schema ~status ~external_inputs =
     timers = Hashtbl.create 8;
     timer_arms = Hashtbl.create 8;
     timers_armed = Hashtbl.create 8;
+    backoffs = Hashtbl.create 4;
+    compensated = Hashtbl.create 4;
     callbacks = [];
     hseq = 0;
     dirty = false;
@@ -71,6 +75,22 @@ let get_marks inst path =
 let get_repeat inst path = Hashtbl.find_opt inst.repeats (pkey path)
 
 let timer_fired inst path ~set = Hashtbl.mem inst.timers (pkey path ^ "|" ^ set)
+
+let get_backoff inst path = Hashtbl.find_opt inst.backoffs (pkey path)
+
+let set_backoff inst path ~attempt ~fire_at =
+  Hashtbl.replace inst.backoffs (pkey path) (attempt, fire_at)
+
+let is_compensated inst path = Hashtbl.mem inst.compensated (pkey path)
+
+let mark_compensated inst path = Hashtbl.replace inst.compensated (pkey path) ()
+
+(* pending policy backoffs, for recovery to resume *)
+let pending_backoffs inst =
+  Hashtbl.fold
+    (fun key (attempt, fire_at) acc ->
+      (String.split_on_char '/' key, attempt, fire_at) :: acc)
+    inst.backoffs []
 
 let view inst ~effective =
   {
@@ -135,6 +155,13 @@ let subtree_keys inst path =
   let acc = collect inst.chosen (fun k -> Wstate.key_chosen iid (split k)) acc in
   let acc = collect inst.marks (fun k -> Wstate.key_marks iid (split k)) acc in
   let acc = collect inst.repeats (fun k -> Wstate.key_repeat iid (split k)) acc in
+  let collect_self tbl mk acc =
+    Hashtbl.fold
+      (fun key _ acc -> if descendant key || key = p then mk key :: acc else acc)
+      tbl acc
+  in
+  let acc = collect_self inst.backoffs (fun k -> Wstate.key_backoff iid (split k)) acc in
+  let acc = collect_self inst.compensated (fun k -> Wstate.key_comp iid (split k)) acc in
   let acc =
     Hashtbl.fold
       (fun key () acc ->
@@ -171,6 +198,8 @@ let wipe_subtree_mirror inst path =
   purge inst.chosen (fun k -> descendant k || k = p);
   purge inst.marks descendant;
   purge inst.repeats descendant;
+  purge inst.backoffs (fun k -> descendant k || k = p);
+  purge inst.compensated (fun k -> descendant k || k = p);
   let timer_pred key =
     match String.rindex_opt key '|' with
     | Some i ->
@@ -269,6 +298,8 @@ let trim_concluded inst =
   Hashtbl.reset inst.timers;
   Hashtbl.reset inst.timer_arms;
   Hashtbl.reset inst.timers_armed;
+  Hashtbl.reset inst.backoffs;
+  Hashtbl.reset inst.compensated;
   inst.index <- None;
   inst.pending <- Sched.no_dirty
 
@@ -312,6 +343,8 @@ let load_committed inst ~read ~keys =
             let set = String.sub remainder (j + 1) (String.length remainder - j - 1) in
             Hashtbl.replace inst.timers (kpath ^ "|" ^ set) ()
           | None -> ())
+        | "b" -> Hashtbl.replace inst.backoffs remainder (Wstate.decode_backoff (value ()))
+        | "comp" -> Hashtbl.replace inst.compensated remainder ()
         | "h" ->
           (* history rows are read on demand; track the counter *)
           (match int_of_string_opt remainder with

@@ -24,6 +24,10 @@ type t = {
       (** persisted deadlines; key = ["path|set"] *)
   timers_armed : (string, int) Hashtbl.t;
       (** volatile; value = attempt armed for *)
+  backoffs : (string, int * Sim.time) Hashtbl.t;
+      (** pending policy backoffs: attempt waiting, absolute fire time *)
+  compensated : (string, unit) Hashtbl.t;
+      (** aborted paths whose compensation is durably recorded *)
   mutable callbacks : (Wstate.status -> unit) list;
   mutable hseq : int;  (** next persistent-history index *)
   mutable dirty : bool;
@@ -59,6 +63,19 @@ val get_marks : t -> Wstate.path -> (string * (string * Value.obj) list) list
 val get_repeat : t -> Wstate.path -> (string * (string * Value.obj) list) option
 
 val timer_fired : t -> Wstate.path -> set:string -> bool
+
+val get_backoff : t -> Wstate.path -> (int * Sim.time) option
+(** The pending policy backoff of a path, if any (attempt, fire time). *)
+
+val set_backoff : t -> Wstate.path -> attempt:int -> fire_at:Sim.time -> unit
+
+val is_compensated : t -> Wstate.path -> bool
+
+val mark_compensated : t -> Wstate.path -> unit
+
+val pending_backoffs : t -> (Wstate.path * int * Sim.time) list
+(** All pending policy backoffs — recovery resumes each one's remaining
+    wait against the persisted attempt counter. *)
 
 val view : t -> effective:(Schema.task -> Sched.effective) -> Sched.view
 (** Snapshot view for the pure scheduler core. Build fresh per pass —

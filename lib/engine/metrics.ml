@@ -90,6 +90,9 @@ let record t ev =
   | Event.Task_dispatched _ -> incr t "engine.dispatches"
   | Event.Impl_completed _ -> incr t "engine.completions"
   | Event.Task_retried _ -> incr t "engine.system_retries"
+  | Event.Policy_retry _ -> incr t "engine.policy_retries"
+  | Event.Policy_substituted _ -> incr t "engine.policy_substitutions"
+  | Event.Policy_compensated _ -> incr t "engine.policy_compensations"
   | Event.Task_marked _ -> incr t "engine.marks"
   | Event.Wf_reconfigured _ -> incr t "engine.reconfigs"
   | Event.Recovery_replayed _ -> incr t "engine.recoveries"

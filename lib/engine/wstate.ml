@@ -58,6 +58,10 @@ let key_timer iid path ~set = Printf.sprintf "wf:%s:timer:%s:%s" iid (path_to_st
 let key_timer_arm iid path ~set =
   Printf.sprintf "wf:%s:timerarm:%s:%s" iid (path_to_string path) set
 
+let key_backoff iid path = Printf.sprintf "wf:%s:b:%s" iid (path_to_string path)
+
+let key_comp iid path = Printf.sprintf "wf:%s:comp:%s" iid (path_to_string path)
+
 let key_history iid n = Printf.sprintf "wf:%s:h:%09d" iid n
 
 let task_prefix iid = Printf.sprintf "wf:%s:" iid
@@ -170,6 +174,17 @@ let decode_repeat s =
       let output = Wire.d_string d in
       let objects = dec_objects d in
       (output, objects))
+    s
+
+(* a pending policy-backoff: which attempt waits, and when it fires *)
+let encode_backoff (attempt, fire_at) = Wire.int attempt ^ Wire.int fire_at
+
+let decode_backoff s =
+  Wire.decode
+    (fun d ->
+      let attempt = Wire.d_int d in
+      let fire_at = Wire.d_int d in
+      (attempt, fire_at))
     s
 
 let encode_history (at, kind, detail) = Wire.int at ^ Wire.string kind ^ Wire.string detail

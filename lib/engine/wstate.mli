@@ -14,6 +14,8 @@
     - [wf:I:r:P] — the last repeat outcome of the task at [P]
     - [wf:I:timer:P:S] — the timeout of input set [S] has fired
     - [wf:I:timerarm:P:S] — deadline of the armed timer of input set [S]
+    - [wf:I:b:P] — pending recovery-policy backoff of the task at [P]
+    - [wf:I:comp:P] — the abort of [P] has been compensated (one-shot)
 
     A path [P] is the [/]-joined chain of task names from the root. *)
 
@@ -76,6 +78,21 @@ val key_repeat : string -> path -> string
 val key_timer : string -> path -> set:string -> string
 
 val key_timer_arm : string -> path -> set:string -> string
+
+val key_backoff : string -> path -> string
+(** [wf:I:b:P] — a policy retry of [P] is waiting out its backoff;
+    valued with {!encode_backoff}. Written in the same transaction as
+    the attempt bump, so a crash mid-backoff recovers the remaining
+    budget and the remaining wait, never a reset. *)
+
+val key_comp : string -> path -> string
+(** [wf:I:comp:P] — the compensation for [P]'s abort has been recorded;
+    written atomically with the abort completion (exactly-once). *)
+
+val encode_backoff : int * Sim.time -> string
+(** attempt waiting, absolute virtual-time fire deadline. *)
+
+val decode_backoff : string -> int * Sim.time
 
 val key_history : string -> int -> string
 (** [wf:I:h:N] — N-th persistent history event of the instance. *)

@@ -214,7 +214,7 @@ let schedules budget sc points ~makespan =
 
 let judge_plan sc ~reference plan =
   match sc.Scenario.sc_run plan None with
-  | obs -> Oracle.failures (Oracle.judge ~reference obs)
+  | obs -> Oracle.failures (sc.Scenario.sc_judge ~reference obs)
   | exception e ->
     [
       {
@@ -258,7 +258,7 @@ let explore_scenario ?(log = fun (_ : string) -> ()) ?(jobs = 1) budget sc =
   log (Printf.sprintf "[%s] reference run" sc.Scenario.sc_name);
   let c = Decision.collector () in
   let reference = sc.Scenario.sc_run [] (Some c) in
-  (match Oracle.failures (Oracle.judge ~reference reference) with
+  (match Oracle.failures (sc.Scenario.sc_judge ~reference reference) with
   | [] -> ()
   | bad ->
     failwith

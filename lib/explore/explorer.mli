@@ -61,8 +61,9 @@ type report = { rp_mode : string; rp_scenarios : scenario_report list }
 
 val judge_plan :
   Scenario.t -> reference:Oracle.obs -> Fault.t -> Oracle.verdict list
-(** Run one plan and return the {e failing} verdicts (empty = survived).
-    A raised exception becomes a failing ["no-exception"] verdict. *)
+(** Run one plan and return the {e failing} verdicts of the scenario's
+    own judge (empty = survived). A raised exception becomes a failing
+    ["no-exception"] verdict. *)
 
 val explore_scenario :
   ?log:(string -> unit) -> ?jobs:int -> budget -> Scenario.t -> scenario_report

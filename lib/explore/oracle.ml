@@ -19,6 +19,10 @@ type obs = {
   o_directory : (string * string) list;  (* router cache iid -> engine *)
   o_owned : (string * string) list;  (* iid -> engine actually holding it *)
   o_drained : bool;  (* simulator ran out of events before the horizon *)
+  o_recovery : (string * string * string) list;
+      (* (iid, kind, detail) durable rows driving the policy-conformance
+         oracle: the policy-* rows plus the completions they refer to,
+         in per-instance history order *)
 }
 
 type verdict = { v_oracle : string; v_ok : bool; v_detail : string }
@@ -41,6 +45,16 @@ let count_by_key keys =
     keys;
   List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tally [])
 
+let recovery_rows histories =
+  List.sort (fun (a, _) (b, _) -> compare a b) histories
+  |> List.concat_map (fun (iid, rows) ->
+         List.filter_map
+           (fun (_, kind, detail) ->
+             if kind = "complete" || String.starts_with ~prefix:"policy-" kind then
+               Some (iid, kind, detail)
+             else None)
+           rows)
+
 let observe ~statuses ~histories ~participants ~managers ~placements ~directory
     ~owned ~drained () =
   {
@@ -61,6 +75,7 @@ let observe ~statuses ~histories ~participants ~managers ~placements ~directory
     o_directory = List.sort compare directory;
     o_owned = List.sort compare owned;
     o_drained = drained;
+    o_recovery = recovery_rows histories;
   }
 
 (* --- individual oracles --- *)
@@ -145,6 +160,132 @@ let directory_consistency obs =
     v_detail = String.concat "; " problems;
   }
 
+(* --- declarative-recovery conformance --- *)
+
+(* What the scenario's script declared for one task path; the oracle
+   holds the engine's durable policy rows against it. The scenario owns
+   the spec because only it knows the script it built — the history rows
+   alone cannot reveal the declared budget. *)
+type policy_spec = {
+  ps_path : string;  (* instance-relative path, e.g. "flow/work" *)
+  ps_max_attempts : int;  (* grand-total attempt ceiling (all bands) *)
+  ps_codes : string list;  (* codes failure-driven band advance may reach *)
+  ps_substitute : string option;  (* code reachable only through a timeout *)
+  ps_compensate : string option;  (* handler owed exactly once per abort *)
+  ps_abort_output : string option;  (* completion output marking an abort *)
+}
+
+let parse_int_prefix s =
+  let n = String.length s in
+  let rec stop i = if i < n && s.[i] >= '0' && s.[i] <= '9' then stop (i + 1) else i in
+  let i = stop 0 in
+  if i = 0 then None else int_of_string_opt (String.sub s 0 i)
+
+(* "CODE (cause)" -> (CODE, cause); a row without a cause tag keeps "" *)
+let split_cause s =
+  match String.index_opt s ' ' with
+  | Some i when i + 2 < String.length s && s.[i + 1] = '(' && s.[String.length s - 1] = ')' ->
+    (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 3))
+  | _ -> (s, "")
+
+let strip_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let conformance_problems spec rows =
+  let retries =
+    List.filter_map
+      (fun (kind, detail) ->
+        if kind <> "policy-retry" then None
+        else
+          Option.bind
+            (strip_prefix ~prefix:(spec.ps_path ^ " (attempt ") detail)
+            parse_int_prefix)
+      rows
+  in
+  let substitutions =
+    List.filter_map
+      (fun (kind, detail) ->
+        if kind <> "policy-substitute" then None
+        else Option.map split_cause (strip_prefix ~prefix:(spec.ps_path ^ " -> ") detail))
+      rows
+  in
+  let compensations =
+    List.filter_map
+      (fun (kind, detail) ->
+        if kind <> "policy-compensate" then None
+        else strip_prefix ~prefix:(spec.ps_path ^ " -> ") detail)
+      rows
+  in
+  let aborts =
+    match spec.ps_abort_output with
+    | None -> 0
+    | Some out ->
+      List.length
+        (List.filter
+           (fun (kind, detail) -> kind = "complete" && detail = spec.ps_path ^ " -> " ^ out)
+           rows)
+  in
+  let over_budget = List.filter (fun n -> n > spec.ps_max_attempts) retries in
+  (if over_budget = [] then []
+   else
+     [
+       Printf.sprintf "%s: retries beyond the declared budget (attempt %d > %d)" spec.ps_path
+         (List.fold_left max 0 over_budget) spec.ps_max_attempts;
+     ])
+  @ List.concat_map
+      (fun (code, cause) ->
+        let allowed_by_failure = List.mem code spec.ps_codes in
+        let is_substitute = spec.ps_substitute = Some code in
+        if (not allowed_by_failure) && not is_substitute then
+          [ Printf.sprintf "%s: substitution to undeclared code %s" spec.ps_path code ]
+        else if is_substitute && cause <> "timeout" then
+          [
+            Printf.sprintf "%s: substitute %s reached without a timeout (cause %S)"
+              spec.ps_path code cause;
+          ]
+        else [])
+      substitutions
+  @ (match List.filter (fun t -> Some t <> spec.ps_compensate) compensations with
+    | [] -> []
+    | bad ->
+      [
+        Printf.sprintf "%s: compensation ran undeclared handler(s) %s" spec.ps_path
+          (String.concat ", " bad);
+      ])
+  @
+  let n_comp = List.length compensations in
+  if aborts = 0 && n_comp > 0 then
+    [ Printf.sprintf "%s: compensation ran %d time(s) without an abort" spec.ps_path n_comp ]
+  else if aborts > 0 && n_comp <> 1 then
+    [
+      Printf.sprintf "%s: compensation ran %d time(s) for an aborted scope (want exactly 1)"
+        spec.ps_path n_comp;
+    ]
+  else []
+
+let policy_conformance ~specs obs =
+  let iids =
+    List.sort_uniq compare (List.map (fun (iid, _, _) -> iid) obs.o_recovery)
+  in
+  let problems =
+    List.concat_map
+      (fun iid ->
+        let rows =
+          List.filter_map
+            (fun (i, kind, detail) -> if i = iid then Some (kind, detail) else None)
+            obs.o_recovery
+        in
+        List.concat_map (fun spec -> conformance_problems spec rows) specs)
+      iids
+  in
+  {
+    v_oracle = "policy-conformance";
+    v_ok = problems = [];
+    v_detail = String.concat "; " problems;
+  }
+
 let judge ~reference obs =
   [
     outcome_equivalence ~reference obs;
@@ -154,5 +295,8 @@ let judge ~reference obs =
     no_orphaned_locks obs;
     directory_consistency obs;
   ]
+
+let judge_with ~policy ~reference obs =
+  judge ~reference obs @ [ policy_conformance ~specs:policy obs ]
 
 let failures verdicts = List.filter (fun v -> not v.v_ok) verdicts

@@ -17,6 +17,10 @@ type obs = {
   o_directory : (string * string) list;  (** router's cached directory *)
   o_owned : (string * string) list;  (** iid -> engine actually holding it *)
   o_drained : bool;  (** the simulator drained before the horizon *)
+  o_recovery : (string * string * string) list;
+      (** (iid, kind, detail) durable rows for the policy-conformance
+          oracle: every [policy-*] history row plus the [complete] rows
+          they refer to, in per-instance history order *)
 }
 
 type verdict = { v_oracle : string; v_ok : bool; v_detail : string }
@@ -63,6 +67,42 @@ val directory_consistency : obs -> verdict
 
 val judge : reference:obs -> obs -> verdict list
 (** The full battery, in a stable order. *)
+
+(** {1 Declarative-recovery conformance}
+
+    What a scenario's script declared for one task path. The spec comes
+    from the scenario, not the run: the durable rows alone cannot reveal
+    the declared budget, so the scenario that built the script states
+    it, and the oracle holds the engine's policy rows against it. *)
+type policy_spec = {
+  ps_path : string;  (** instance-relative path, e.g. ["flow/work"] *)
+  ps_max_attempts : int;
+      (** grand-total attempt ceiling across every code band — no
+          [policy-retry] row may record a later attempt *)
+  ps_codes : string list;
+      (** codes a {e failure-driven} band advance may legally reach *)
+  ps_substitute : string option;
+      (** code reachable only through a [timeout ... then substitute]
+          jump — a substitution row naming it must carry the timeout
+          cause *)
+  ps_compensate : string option;
+      (** handler owed exactly once per abort of [ps_path] (and never
+          without one) *)
+  ps_abort_output : string option;
+      (** the completion output marking an abort of [ps_path]; [None]
+          means the spec expects no abort, hence no compensation *)
+}
+
+val policy_conformance : specs:policy_spec list -> obs -> verdict
+(** Observed retries stay within the declared budget, substitution to
+    the timeout substitute happens only after a timeout (and only to
+    declared codes), and compensation runs exactly once per aborted
+    scope — judged from the durable [o_recovery] rows of every
+    instance. *)
+
+val judge_with : policy:policy_spec list -> reference:obs -> obs -> verdict list
+(** {!judge} plus {!policy_conformance} — the battery recovery
+    scenarios install as their per-scenario judge. *)
 
 val failures : verdict list -> verdict list
 (** Just the verdicts that failed. *)

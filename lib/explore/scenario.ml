@@ -11,6 +11,9 @@ type t = {
   sc_crash_nodes : string list;  (* nodes schedules may crash/restart *)
   sc_nodes : string list;  (* full population (partition peers incl. repo) *)
   sc_run : Fault.t -> Decision.t option -> Oracle.obs;
+  sc_judge : reference:Oracle.obs -> Oracle.obs -> Oracle.verdict list;
+      (* the oracle battery for this scenario; recovery scenarios extend
+         the stock [Oracle.judge] with policy conformance *)
 }
 
 (* Generous retry/deadline budget: with restarts always following
@@ -70,6 +73,7 @@ let chain =
     sc_crash_nodes = [ "n0"; "h1" ];
     sc_nodes = [ "n0"; "h1" ];
     sc_run;
+    sc_judge = Oracle.judge;
   }
 
 let supply =
@@ -96,6 +100,7 @@ let supply =
     sc_crash_nodes = [ "n0" ];
     sc_nodes = [ "n0" ];
     sc_run;
+    sc_judge = Oracle.judge;
   }
 
 let cluster3 =
@@ -129,8 +134,84 @@ let cluster3 =
     sc_crash_nodes = [ "e1"; "e2"; "e3" ];
     sc_nodes = [ "e1"; "e2"; "e3"; "repo" ];
     sc_run;
+    sc_judge = Oracle.judge;
   }
+
+(* --- declarative-recovery scenarios ---
+
+   One scenario per recovery construct, each judged by the stock battery
+   {e plus} the policy-conformance oracle holding the engine's durable
+   policy rows against the spec the script declared. The work leaf is
+   pinned to [h1], so crash and partition schedules land on the
+   dispatch/report message boundaries of the recovering task itself. *)
+
+let recovery_scenario ~name ~build ~specs =
+  let sc_run plan collect =
+    let tb = Testbed.make ~engine_config ~nodes:[ "n0"; "h1" ] () in
+    subscribe_opt tb.Testbed.sim collect;
+    Workloads.register_recovery tb.Testbed.registry;
+    Testbed.apply_faults tb plan;
+    let script, root = build ~host:"h1" in
+    (match
+       Testbed.launch_and_run ~until:horizon tb ~script ~root ~inputs:Workloads.seed_inputs
+     with
+    | Ok _ -> ()
+    | Error e -> failwith (name ^ " launch failed: " ^ e));
+    let statuses, histories = engine_obs tb.Testbed.engines in
+    Oracle.observe ~statuses ~histories ~participants:tb.Testbed.participants
+      ~managers:tb.Testbed.managers ~placements:[] ~directory:[] ~owned:[]
+      ~drained:(Sim.pending tb.Testbed.sim = 0) ()
+  in
+  {
+    sc_name = name;
+    sc_multi_engine = false;
+    sc_crash_nodes = [ "n0"; "h1" ];
+    sc_nodes = [ "n0"; "h1" ];
+    sc_run;
+    sc_judge = Oracle.judge_with ~policy:specs;
+  }
+
+let spec ?(codes = []) ?substitute ?compensate ?abort_output ~max_attempts () =
+  {
+    Oracle.ps_path = "flow/work";
+    ps_max_attempts = max_attempts;
+    ps_codes = codes;
+    ps_substitute = substitute;
+    ps_compensate = compensate;
+    ps_abort_output = abort_output;
+  }
+
+(* [retry 8]: 1 + 8 attempts on the single code *)
+let recovery_retry =
+  recovery_scenario ~name:"recovery-retry" ~build:Workloads.recovery_retry
+    ~specs:[ spec ~codes:[ "r.flaky" ] ~max_attempts:9 () ]
+
+(* no [retry] clause: each band gets the config default budget, and the
+   substitute band doubles the grand total *)
+let recovery_timeout =
+  recovery_scenario ~name:"recovery-timeout" ~build:Workloads.recovery_timeout
+    ~specs:
+      [
+        spec ~codes:[ "r.hang" ] ~substitute:"r.sub"
+          ~max_attempts:(2 * engine_config.Engine.system_max_attempts) ();
+      ]
+
+(* [retry 4] over primary + one alternative: 5 attempts per band *)
+let recovery_alternative =
+  recovery_scenario ~name:"recovery-alternative" ~build:Workloads.recovery_alternative
+    ~specs:[ spec ~codes:[ "r.dead"; "r.alive" ] ~max_attempts:10 () ]
+
+let recovery_compensate =
+  recovery_scenario ~name:"recovery-compensate" ~build:Workloads.recovery_compensate
+    ~specs:
+      [
+        spec ~codes:[ "r.abort" ] ~compensate:"undo" ~abort_output:"failed"
+          ~max_attempts:engine_config.Engine.system_max_attempts ();
+      ]
+
+let recovery_all =
+  [ recovery_retry; recovery_timeout; recovery_alternative; recovery_compensate ]
 
 let all = [ chain; supply; cluster3 ]
 
-let by_name name = List.find_opt (fun s -> s.sc_name = name) all
+let by_name name = List.find_opt (fun s -> s.sc_name = name) (all @ recovery_all)

@@ -17,6 +17,10 @@ type t = {
   sc_run : Fault.t -> Decision.t option -> Oracle.obs;
       (** run one schedule; pass a {!Decision.collector} to harvest
           decision points (reference runs only) *)
+  sc_judge : reference:Oracle.obs -> Oracle.obs -> Oracle.verdict list;
+      (** the oracle battery judging this scenario's runs: the stock
+          {!Oracle.judge} for the classic workloads, extended with
+          {!Oracle.policy_conformance} for the recovery family *)
 }
 
 val engine_config : Engine.config
@@ -38,6 +42,35 @@ val cluster3 : t
 (** Three engines + repository, six 4-step chains placed round-robin —
     exercises placement-directory writes and cross-engine isolation. *)
 
+(** {1 Declarative-recovery scenarios}
+
+    One scenario per [recovery { ... }] construct — the work leaf is
+    pinned to host [h1] so crash and partition schedules land on the
+    recovering task's own message boundaries, and each is judged with
+    {!Oracle.judge_with} against the policy spec its script declared. *)
+
+val recovery_retry : t
+(** [retry 8 backoff 5 max 40] over an implementation that crashes on
+    its first two attempts. *)
+
+val recovery_timeout : t
+(** [timeout 50 then substitute "r.sub"] over an implementation that
+    computes far past the deadline. *)
+
+val recovery_alternative : t
+(** [retry 4; alternative "r.alive"] over a dead primary — the band
+    advance reaches the alternative by failure, never by timeout. *)
+
+val recovery_compensate : t
+(** [compensate undo] on a task that terminates in an abort outcome;
+    the sibling handler is owed exactly one durable compensation
+    record. *)
+
+val recovery_all : t list
+
 val all : t list
+(** The classic workloads only — the stock exploration population (the
+    recovery family is opted into via {!recovery_all} / {!by_name}). *)
 
 val by_name : string -> t option
+(** Resolves both {!all} and {!recovery_all} members. *)

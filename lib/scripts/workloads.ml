@@ -171,6 +171,114 @@ taskclass Flaky {
 |};
   (Buffer.contents b, "alt")
 
+(* --- declarative-recovery workloads ---
+
+   One small script per recovery construct, all sharing the shape
+   flow { work [ ; undo ] }: the interesting behaviour is concentrated
+   in [work]'s recovery section and its deliberately misbehaving
+   implementation. Every leaf is pinned to [host] so dispatches and
+   completion reports cross the network — crash and partition schedules
+   can land on the message boundaries. *)
+
+let recovery_preamble =
+  {|
+class Data;
+taskclass Step {
+    inputs { input main { data of class Data } };
+    outputs { outcome done { data of class Data } }
+};
+taskclass Flow {
+    inputs { input main { data of class Data } };
+    outputs { outcome finished { data of class Data }; outcome cancelled { } }
+};
+|}
+
+let recovery_flow ~host ~code ~recovery ~tail ~outputs =
+  ( Printf.sprintf
+      {|%s%s
+compoundtask flow of taskclass Flow {
+    task work of taskclass %s {
+        implementation { "code" is %S, "location" is %S };
+        recovery { %s };
+        inputs { input main { inputobject data from { data of task flow if input main } } }
+    };
+%s    outputs { %s }
+}
+|}
+      recovery_preamble
+      (if tail = "" then ""
+       else
+         {|
+taskclass Risky {
+    inputs { input main { data of class Data } };
+    outputs { outcome done { data of class Data }; abort outcome failed { } }
+};
+|})
+      (if tail = "" then "Step" else "Risky")
+      code host recovery tail
+      outputs,
+    "flow" )
+
+let finished_from_work =
+  "outcome finished { outputobject data from { data of task work if output done } }"
+
+(* Budgets are sized like Scenario.engine_config's generous globals:
+   every crash-with-restart or healing-partition schedule must still be
+   able to finish inside the declared budget (a wedged run would be a
+   finding), while staying small enough that the conformance ceiling
+   means something. A blocked attempt costs one watchdog period, so the
+   spare attempts below cover several fault windows. *)
+let recovery_retry ~host =
+  recovery_flow ~host ~code:"r.flaky" ~recovery:"retry 8 backoff 5 max 40" ~tail:""
+    ~outputs:finished_from_work
+
+let recovery_timeout ~host =
+  recovery_flow ~host ~code:"r.hang" ~recovery:{|timeout 50 then substitute "r.sub"|} ~tail:""
+    ~outputs:finished_from_work
+
+let recovery_alternative ~host =
+  recovery_flow ~host ~code:"r.dead" ~recovery:{|retry 4; alternative "r.alive"|} ~tail:""
+    ~outputs:finished_from_work
+
+let recovery_compensate ~host =
+  let undo =
+    Printf.sprintf
+      {|    task undo of taskclass Step {
+        implementation { "code" is "r.undo", "location" is %S };
+        inputs { input main { inputobject data from { data of task work if output done } } }
+    };
+|}
+      host
+  in
+  recovery_flow ~host ~code:"r.abort" ~recovery:"compensate undo" ~tail:undo
+    ~outputs:
+      (finished_from_work
+      ^ "; outcome cancelled { notification from { task work if output failed } }")
+
+let register_recovery ?(work = Sim.ms 5) reg =
+  let payload (ctx : Registry.context) =
+    match ctx.Registry.inputs with
+    | (_, { Value.payload; _ }) :: _ -> payload
+    | [] -> Value.Unit
+  in
+  let done_ ctx = Registry.finish ~work "done" [ ("data", payload ctx) ] in
+  (* succeeds on the third attempt: two declared retries are consumed *)
+  let flaky (ctx : Registry.context) =
+    if ctx.Registry.attempt < 3 then failwith "flaky" else done_ ctx
+  in
+  (* computes far past the declared 50ms timeout: only the watchdog and
+     the substitute can conclude the task *)
+  let hang ctx = Registry.finish ~work:(Sim.ms 200) "done" [ ("data", payload ctx) ] in
+  let dead _ctx = failwith "dead" in
+  let abort _ctx = Registry.finish ~work "failed" [] in
+  Registry.bind reg ~code:"r.flaky" flaky;
+  Registry.bind reg ~code:"r.hang" hang;
+  Registry.bind reg ~code:"r.sub" done_;
+  Registry.bind reg ~code:"r.dead" dead;
+  Registry.bind reg ~code:"r.alive" done_;
+  Registry.bind reg ~code:"r.abort" abort;
+  Registry.bind reg ~code:"r.undo" done_
+
 let register ?(work = Sim.ms 1) reg =
   let step (ctx : Registry.context) =
     let v =

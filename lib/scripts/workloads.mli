@@ -28,6 +28,37 @@ val alternatives : k:int -> alive:int -> string * string
     others finish in an outcome that carries nothing (application-level
     fault masking, §3). Codes: [w.dead], [w.step]. *)
 
+(** {1 Declarative-recovery workloads}
+
+    One small script per [recovery { ... }] construct, all of the shape
+    [flow { work [; undo] }] with the leaf pinned to [host] so the
+    recovering task's dispatches and reports cross the network. The
+    misbehaviour lives in the implementations bound by
+    {!register_recovery}. *)
+
+val recovery_retry : host:string -> string * string
+(** [work] declares [retry 8 backoff 5 max 40]; its implementation
+    [r.flaky] crashes on attempts 1–2 and succeeds on attempt 3 — the
+    spare budget absorbs attempts wasted by crash/partition windows. *)
+
+val recovery_timeout : host:string -> string * string
+(** [work] declares [timeout 50 then substitute "r.sub"]; [r.hang]
+    computes for 200ms, so only the watchdog-triggered substitute can
+    conclude the task. *)
+
+val recovery_alternative : host:string -> string * string
+(** [work] declares [retry 4; alternative "r.alive"]; the primary
+    [r.dead] always crashes, so the failure-driven band advance must
+    reach the alternative. *)
+
+val recovery_compensate : host:string -> string * string
+(** [work] declares [compensate undo] and always terminates in its
+    abort outcome; the sibling [undo] must run exactly once, and the
+    flow concludes through its [cancelled] outcome. *)
+
+val register_recovery : ?work:Sim.time -> Registry.t -> unit
+(** Bind the [r.*] implementations the recovery workloads name. *)
+
 val register : ?work:Sim.time -> Registry.t -> unit
 (** Bind [w.step], [w.join] and [w.dead]. *)
 

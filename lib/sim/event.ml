@@ -23,6 +23,9 @@ type t =
   | Impl_completed of { path : string; output : string }
   | Watchdog_fired of { path : string }
   | Timer_fired of { path : string; set : string }
+  | Policy_retry of { path : string; attempt : int; delay_ms : int }
+  | Policy_substituted of { path : string; code : string }
+  | Policy_compensated of { path : string; task : string }
   | User_aborted of { path : string }
   | Recovery_replayed of { instances : int }
   | Recovery_error of { detail : string }
@@ -56,6 +59,9 @@ let name = function
   | Impl_completed _ -> "impl-completed"
   | Watchdog_fired _ -> "watchdog-fired"
   | Timer_fired _ -> "timer-fired"
+  | Policy_retry _ -> "policy-retry"
+  | Policy_substituted _ -> "policy-substituted"
+  | Policy_compensated _ -> "policy-compensated"
   | User_aborted _ -> "user-aborted"
   | Recovery_replayed _ -> "recovery-replayed"
   | Recovery_error _ -> "recovery-error"
@@ -101,8 +107,9 @@ let to_trace = function
     Some ("recovery", Printf.sprintf "%d instance(s)" instances)
   | Recovery_error { detail } -> Some ("recovery-error", detail)
   | Txn_failed { detail } -> Some ("txn-failed", detail)
-  | Txn_resolved _ | Txn_one_phase _ | Txn_readonly_elided _ | Rpc_sent _ | Rpc_retried _
-  | Rpc_timed_out _ | Rpc_reply_evicted _ | Rpc_loopback _ | Persist_batched _ ->
+  | Policy_retry _ | Policy_substituted _ | Policy_compensated _ | Txn_resolved _
+  | Txn_one_phase _ | Txn_readonly_elided _ | Rpc_sent _ | Rpc_retried _ | Rpc_timed_out _
+  | Rpc_reply_evicted _ | Rpc_loopback _ | Persist_batched _ ->
     None
 
 type subscriber = at:int -> src:string -> t -> unit

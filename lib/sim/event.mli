@@ -47,6 +47,16 @@ type t =
           emitted before the completion is made durable. *)
   | Watchdog_fired of { path : string }
   | Timer_fired of { path : string; set : string }
+  | Policy_retry of { path : string; attempt : int; delay_ms : int }
+      (** A declared recovery policy scheduled a retry; [delay_ms] is
+          the backoff wait (0 = immediate). Never emitted for the
+          config-seeded default policy. *)
+  | Policy_substituted of { path : string; code : string }
+      (** A declared recovery policy switched the execution to the next
+          ranked alternative, or to the [substitute] code on timeout. *)
+  | Policy_compensated of { path : string; task : string }
+      (** A declared recovery policy launched the compensation [task]
+          after an abort outcome (once per aborted scope). *)
   | User_aborted of { path : string }
   | Recovery_replayed of { instances : int }
   | Recovery_error of { detail : string }

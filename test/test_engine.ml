@@ -328,6 +328,76 @@ let test_engine_crash_recovery_completes () =
       (Engine.status tb.Testbed.engine iid = Some status)
   | Error e -> Alcotest.failf "launch: %s" e
 
+(* Declared retry budgets are durable: crash the engine while a policy
+   backoff is pending and verify the remaining wait and the remaining
+   budget are recovered — the attempt counter never restarts. *)
+let backoff_script =
+  {|
+class Data;
+taskclass Step {
+    inputs { input main { data of class Data } };
+    outputs { outcome done { data of class Data } }
+};
+taskclass Flow {
+    inputs { input main { data of class Data } };
+    outputs { outcome finished { data of class Data } }
+};
+compoundtask flow of taskclass Flow {
+    task work of taskclass Step {
+        implementation { "code" is "t.flaky" };
+        recovery { retry 5 backoff 60 max 60 };
+        inputs { input main { inputobject data from { data of task flow if input main } } }
+    };
+    outputs { outcome finished { outputobject data from { data of task work if output done } } }
+}
+|}
+
+let test_policy_backoff_survives_crash () =
+  let tb = Testbed.make ~engine_config:fast_engine () in
+  let observed = ref [] in
+  let flaky (ctx : Registry.context) =
+    observed := (Sim.now tb.Testbed.sim, ctx.Registry.attempt) :: !observed;
+    if ctx.Registry.attempt < 3 then failwith "flaky"
+    else Registry.finish ~work:(Sim.ms 5) "done" [ ("data", Value.Str "ok") ]
+  in
+  Registry.bind tb.Testbed.registry ~code:"t.flaky" flaky;
+  (* attempt 1 fails by ~15ms, then a 60ms backoff is pending; the crash
+     at 40ms lands inside that wait *)
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 40) (fun () -> Testbed.crash tb "n0"));
+  ignore (Sim.schedule tb.Testbed.sim ~delay:(Sim.ms 150) (fun () -> Testbed.recover tb "n0"));
+  match
+    Testbed.launch_and_run tb ~script:backoff_script ~root:"flow" ~inputs:Workloads.seed_inputs
+  with
+  | Error e -> Alcotest.failf "launch: %s" e
+  | Ok (iid, status) ->
+    ignore (expect_done ~output:"finished" status);
+    check "engine recovered" true (Engine.recoveries_total tb.Testbed.engine >= 1);
+    check "policy retries counted" true (Engine.policy_retries_total tb.Testbed.engine >= 2);
+    let attempts = List.rev_map snd !observed in
+    (* strictly increasing: the persisted counter carried over the crash,
+       it was never reset to 1 *)
+    let rec increasing = function
+      | a :: (b :: _ as rest) -> a < b && increasing rest
+      | _ -> true
+    in
+    check "attempts strictly increasing across the crash" true (increasing attempts);
+    check "succeeded on a later attempt" true (List.exists (fun a -> a >= 3) attempts);
+    (* budget ceiling: 1 primary + 5 declared retries *)
+    check "never exceeded the declared budget" true (List.for_all (fun a -> a <= 6) attempts);
+    (* the pre-crash failure scheduled the backoff before the crash; the
+       next attempt only ran after recovery, i.e. the wait was resumed,
+       not discarded *)
+    let retries =
+      List.filter_map
+        (fun (at, kind, _) -> if kind = "policy-retry" then Some at else None)
+        (Engine.history tb.Testbed.engine iid)
+    in
+    check "first policy retry recorded before the crash" true
+      (match retries with at :: _ -> at < Sim.ms 40 | [] -> false);
+    (match List.rev !observed with
+    | (_, 1) :: (at2, 2) :: _ -> check "attempt 2 waited out the recovery" true (at2 >= Sim.ms 150)
+    | _ -> Alcotest.fail "expected attempt 1 then attempt 2")
+
 let test_lossy_network_still_completes () =
   let config = { Network.default_config with Network.loss = 0.25 } in
   let tb = Testbed.make ~config ~engine_config:fast_engine ~seed:7L ~nodes:[ "n0"; "n1" ] () in
@@ -1365,6 +1435,7 @@ let () =
         [
           Alcotest.test_case "host crash redispatch" `Quick test_remote_host_crash_redispatch;
           Alcotest.test_case "engine crash recovery" `Quick test_engine_crash_recovery_completes;
+          Alcotest.test_case "policy backoff survives crash" `Quick test_policy_backoff_survives_crash;
           Alcotest.test_case "lossy network" `Quick test_lossy_network_still_completes;
           Alcotest.test_case "abort auto-retry" `Quick test_abort_auto_retry;
           Alcotest.test_case "crash during launch commit" `Quick test_crash_during_launch_commit;

@@ -254,6 +254,90 @@ let test_pinned_crash_pair () =
   in
   ()
 
+(* --- declarative-recovery conformance (pinned) --- *)
+
+(* Each recovery construct holds up under a crash and under a partition:
+   the scenario's own judge (stock battery + policy conformance) must
+   return only passing verdicts. *)
+let conformance_under sc =
+  let reference = sc.Scenario.sc_run [] None in
+  let judge name plan =
+    let obs = sc.Scenario.sc_run plan None in
+    let verdicts = sc.Scenario.sc_judge ~reference obs in
+    check_int (sc.Scenario.sc_name ^ " battery includes conformance") 7 (List.length verdicts);
+    check
+      (sc.Scenario.sc_name ^ " conformance verdict present") true
+      (List.exists (fun v -> v.Oracle.v_oracle = "policy-conformance") verdicts);
+    List.iter
+      (fun v ->
+        if not v.Oracle.v_ok then
+          Alcotest.failf "%s under %s: %s failed: %s" sc.Scenario.sc_name name v.Oracle.v_oracle
+            v.Oracle.v_detail)
+      verdicts
+  in
+  judge "crash" (Fault.crash_restart ~node:"h1" ~at:(Sim.ms 20) ~down_for:(Sim.ms 40));
+  judge "partition" (Fault.partition ~a:"n0" ~b:"h1" ~at:(Sim.ms 20) ~heal_after:(Sim.ms 120))
+
+let test_recovery_conformance_retry () = conformance_under Scenario.recovery_retry
+
+let test_recovery_conformance_timeout () = conformance_under Scenario.recovery_timeout
+
+let test_recovery_conformance_alternative () = conformance_under Scenario.recovery_alternative
+
+let test_recovery_conformance_compensate () = conformance_under Scenario.recovery_compensate
+
+(* The oracle has teeth: hold each scenario's fault-free run against a
+   deliberately mis-specified policy and it must object. *)
+let conformance_fails sc spec ~expect =
+  let obs = sc.Scenario.sc_run [] None in
+  let v = Oracle.policy_conformance ~specs:[ spec ] obs in
+  if v.Oracle.v_ok then
+    Alcotest.failf "%s: mis-specified policy went unnoticed (%s)" sc.Scenario.sc_name expect;
+  check (sc.Scenario.sc_name ^ " names the violation") true (contains ~sub:expect v.Oracle.v_detail)
+
+let mis_spec ?(codes = []) ?substitute ?compensate ?abort_output ~max_attempts () =
+  {
+    Oracle.ps_path = "flow/work";
+    ps_max_attempts = max_attempts;
+    ps_codes = codes;
+    ps_substitute = substitute;
+    ps_compensate = compensate;
+    ps_abort_output = abort_output;
+  }
+
+let test_oracle_catches_budget_overrun () =
+  (* claim a budget of 2 attempts: the third attempt that actually
+     succeeds becomes a violation *)
+  conformance_fails Scenario.recovery_retry
+    (mis_spec ~codes:[ "r.flaky" ] ~max_attempts:2 ())
+    ~expect:"attempt"
+
+let test_oracle_catches_undeclared_substitute () =
+  (* omit the substitute from the spec: the watchdog's jump to r.sub is
+     an unauthorised code *)
+  conformance_fails Scenario.recovery_timeout
+    (mis_spec ~codes:[ "r.hang" ] ~max_attempts:400 ())
+    ~expect:"r.sub"
+
+let test_oracle_catches_unranked_alternative () =
+  (* omit r.alive from the ranked codes: the failure-driven band advance
+     lands on a code the spec never allowed *)
+  conformance_fails Scenario.recovery_alternative
+    (mis_spec ~codes:[ "r.dead" ] ~max_attempts:10 ())
+    ~expect:"r.alive"
+
+let test_oracle_catches_unexpected_compensation () =
+  (* a spec that declares no abort outcome expects zero compensations;
+     the durable policy-compensate row is a violation *)
+  conformance_fails Scenario.recovery_compensate
+    (mis_spec ~codes:[ "r.abort" ] ~compensate:"undo" ~max_attempts:200 ())
+    ~expect:"compensat"
+
+let test_oracle_catches_wrong_compensation_target () =
+  conformance_fails Scenario.recovery_compensate
+    (mis_spec ~codes:[ "r.abort" ] ~compensate:"other" ~abort_output:"failed" ~max_attempts:200 ())
+    ~expect:"undo"
+
 (* --- end to end --- *)
 
 let test_explore_chain_end_to_end () =
@@ -333,6 +417,24 @@ let () =
         [
           Alcotest.test_case "relaunch-orphan race" `Quick test_pinned_relaunch_orphan_race;
           Alcotest.test_case "crash pair" `Quick test_pinned_crash_pair;
+        ] );
+      ( "recovery-policy",
+        [
+          Alcotest.test_case "retry conforms under faults" `Quick test_recovery_conformance_retry;
+          Alcotest.test_case "timeout conforms under faults" `Quick test_recovery_conformance_timeout;
+          Alcotest.test_case "alternative conforms under faults" `Quick
+            test_recovery_conformance_alternative;
+          Alcotest.test_case "compensate conforms under faults" `Quick
+            test_recovery_conformance_compensate;
+          Alcotest.test_case "catches budget overrun" `Quick test_oracle_catches_budget_overrun;
+          Alcotest.test_case "catches undeclared substitute" `Quick
+            test_oracle_catches_undeclared_substitute;
+          Alcotest.test_case "catches unranked alternative" `Quick
+            test_oracle_catches_unranked_alternative;
+          Alcotest.test_case "catches unexpected compensation" `Quick
+            test_oracle_catches_unexpected_compensation;
+          Alcotest.test_case "catches wrong compensation target" `Quick
+            test_oracle_catches_wrong_compensation_target;
         ] );
       ( "end-to-end",
         [

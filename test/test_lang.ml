@@ -621,6 +621,230 @@ let test_subtype_cycle () =
   expect_validation_error ~containing:"cycle"
     "class A extends B; class B extends C; class C extends A"
 
+(* --- recovery clauses: parse, round-trip, validation, compilation --- *)
+
+let recovery_task_script =
+  {|
+task t of taskclass T {
+    implementation { "code" is "c1" };
+    recovery {
+        retry 3 backoff 5 max 40;
+        timeout 50 then substitute "c2";
+        alternative "a1", "a2";
+        compensate undo
+    }
+}
+|}
+
+let test_parse_recovery_clauses () =
+  match parse_ok recovery_task_script with
+  | [ Ast.D_task td ] ->
+    let r = td.Ast.td_recovery in
+    check_int "four clauses" 4 (List.length r);
+    check "retry clause" true (Ast.recovery_retry r = Some (3, Some 5, Some 40));
+    check "timeout clause" true (Ast.recovery_timeout r = Some (50, Ast.Ta_substitute "c2"));
+    Alcotest.(check (list string)) "ranked alternatives" [ "a1"; "a2" ] (Ast.recovery_alternatives r);
+    check "compensate clause" true (Ast.recovery_compensate r = Some "undo")
+  | _ -> Alcotest.fail "expected one task"
+
+let test_parse_recovery_on_compound () =
+  let src =
+    {|
+compoundtask c of taskclass T {
+    recovery { retry 1; timeout 9 then abort };
+    task inner of taskclass U { implementation { "code" is "x" } };
+    outputs { outcome done { notification from { task inner if output ok } } }
+}
+|}
+  in
+  match parse_ok src with
+  | [ Ast.D_compound cd ] ->
+    check "retry on compound" true (Ast.recovery_retry cd.Ast.cd_recovery = Some (1, None, None));
+    check "abort action" true (Ast.recovery_timeout cd.Ast.cd_recovery = Some (9, Ast.Ta_abort))
+  | _ -> Alcotest.fail "expected one compoundtask"
+
+let test_recovery_words_stay_identifiers () =
+  (* 'retry', 'timeout', ... are contextual: plain identifiers outside a
+     recovery block (the paper's scripts use such names freely) *)
+  match parse_ok "task retry of taskclass timeout { }" with
+  | [ Ast.D_task td ] ->
+    Alcotest.(check string) "task named retry" "retry" td.Ast.td_name;
+    Alcotest.(check string) "class named timeout" "timeout" td.Ast.td_class
+  | _ -> Alcotest.fail "expected one task"
+
+let norm_recovery =
+  List.map (function
+    | Ast.R_retry { count; backoff; max; _ } -> `Retry (count, backoff, max)
+    | Ast.R_timeout { ms; action; _ } -> `Timeout (ms, action)
+    | Ast.R_alternative { codes; _ } -> `Alternative codes
+    | Ast.R_compensate { task; _ } -> `Compensate task)
+
+let reparse_recovery printed =
+  match Parser.script_result printed with
+  | Ok [ Ast.D_task td ] -> td.Ast.td_recovery
+  | Ok _ -> Alcotest.failf "pretty output is not one task:\n%s" printed
+  | Error (msg, loc) ->
+    Alcotest.failf "pretty output does not reparse: %s (%s)\n%s" msg (Loc.to_string loc) printed
+
+let test_recovery_roundtrip_fixed () =
+  match parse_ok recovery_task_script with
+  | [ Ast.D_task td ] ->
+    let printed = Pretty.to_string [ Ast.D_task td ] in
+    check "round-trips to equal clauses" true
+      (norm_recovery (reparse_recovery printed) = norm_recovery td.Ast.td_recovery)
+  | _ -> Alcotest.fail "expected one task"
+
+(* Property: any generated recovery section pretty-prints to a script
+   that reparses to the same clauses. *)
+let dummy_task_with_recovery r =
+  {
+    Ast.td_name = "t";
+    td_class = "T";
+    td_impl = [ ("code", "c") ];
+    td_recovery = r;
+    td_inputs = [];
+    td_loc = Loc.dummy;
+  }
+
+let gen_code = QCheck.Gen.(map (Printf.sprintf "c%d") (int_bound 99))
+
+let gen_clause =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map
+            (fun (count, backoff, max) ->
+              Ast.R_retry { count; backoff; max; loc = Loc.dummy })
+            (triple (int_bound 9) (opt (int_range 1 99)) (opt (int_range 1 999))) );
+        ( 3,
+          map
+            (fun (ms, action) -> Ast.R_timeout { ms; action; loc = Loc.dummy })
+            (pair (int_range 1 999)
+               (oneof
+                  [
+                    return Ast.Ta_alternative;
+                    map (fun c -> Ast.Ta_substitute c) gen_code;
+                    return Ast.Ta_abort;
+                  ])) );
+        ( 2,
+          map
+            (fun codes -> Ast.R_alternative { codes; loc = Loc.dummy })
+            (list_size (int_range 1 3) gen_code) );
+        ( 1,
+          map
+            (fun task -> Ast.R_compensate { task; loc = Loc.dummy })
+            (map (Printf.sprintf "t%d") (int_bound 99)) );
+      ])
+
+let gen_recovery = QCheck.Gen.(list_size (int_range 1 4) gen_clause)
+
+let recovery_qcheck =
+  QCheck.Test.make ~name:"generated recovery sections round-trip" ~count:300
+    (QCheck.make gen_recovery
+       ~print:(fun r -> Pretty.to_string [ Ast.D_task (dummy_task_with_recovery r) ]))
+    (fun r ->
+      let td = dummy_task_with_recovery r in
+      let printed = Pretty.to_string [ Ast.D_task td ] in
+      match Parser.script_result printed with
+      | Ok [ Ast.D_task td' ] -> norm_recovery td'.Ast.td_recovery = norm_recovery r
+      | Ok _ | Error _ -> false)
+
+(* validation of recovery sections: contradictory clauses are located
+   errors *)
+
+let recovery_script ?(impl = {|"code" is "c"|}) ?(tail = "") recovery =
+  prelude
+  ^ Printf.sprintf
+      {|
+compoundtask root of taskclass Consumer {
+    task t of taskclass Consumer {
+        implementation { %s };
+        recovery { %s };
+        inputs { input main { inputobject x from { x of task root if input main } } }
+    };
+%s    outputs { outcome done { notification from { task t if output done } } }
+}
+|}
+      impl recovery tail
+
+let test_recovery_retry_zero_backoff () =
+  expect_validation_error ~containing:"retry 0 cannot take a backoff"
+    (recovery_script "retry 0 backoff 5")
+
+let test_recovery_max_without_backoff () =
+  expect_validation_error ~containing:"max requires a backoff base" (recovery_script "retry 2 max 10")
+
+let test_recovery_cap_below_base () =
+  expect_validation_error ~containing:"below the base delay"
+    (recovery_script "retry 2 backoff 10 max 5")
+
+let test_recovery_then_alternative_without_alternatives () =
+  expect_validation_error ~containing:"requires an alternative clause"
+    (recovery_script "timeout 50 then alternative")
+
+let test_recovery_timeout_below_duration () =
+  expect_validation_error ~containing:"shorter than the declared duration"
+    (recovery_script ~impl:{|"code" is "c", "duration" is "80"|} "timeout 50 then abort")
+
+let test_recovery_compensate_undeclared () =
+  expect_validation_error ~containing:"compensate names undeclared task"
+    (recovery_script "compensate ghost")
+
+let test_recovery_compensate_self () =
+  expect_validation_error ~containing:"cannot compensate itself" (recovery_script "compensate t")
+
+let test_recovery_duplicate_clause () =
+  expect_validation_error ~containing:"duplicate timeout clause"
+    (recovery_script "timeout 5 then abort; timeout 6 then abort")
+
+let compensate_tail =
+  {|    task u of taskclass Consumer {
+        implementation { "code" is "u" };
+        inputs { input main { inputobject x from { x of task root if input main } } }
+    };
+|}
+
+let test_recovery_valid_section_is_clean () =
+  let src =
+    recovery_script ~tail:compensate_tail
+      {|retry 2 backoff 5 max 40; timeout 50 then alternative; alternative "c2"; compensate u|}
+  in
+  let ast = parse_ok src in
+  let expanded =
+    match Template.expand ast with Ok a -> a | Error (m, _) -> Alcotest.failf "expand: %s" m
+  in
+  Alcotest.(check (list string))
+    "no errors" []
+    (List.map
+       (fun (i : Validate.issue) -> i.Validate.msg)
+       (Validate.errors_only (Validate.check expanded)))
+
+let test_recovery_compiles_to_schema_policy () =
+  let src =
+    recovery_script ~tail:compensate_tail
+      {|retry 2 backoff 5 max 40; timeout 50 then substitute "c9"; alternative "c2"; compensate u|}
+  in
+  let ast = load_ok src in
+  match Schema.of_script ast ~root:"root" with
+  | Error msg -> Alcotest.failf "schema: %s" msg
+  | Ok root -> (
+    match Schema.find_child root "t" with
+    | None -> Alcotest.fail "no child t"
+    | Some t ->
+      let p = t.Schema.policy in
+      check "declared" true p.Schema.p_declared;
+      check "retry" true (p.Schema.p_retry = Some 2);
+      check_int "backoff" 5 p.Schema.p_backoff_ms;
+      check "cap" true (p.Schema.p_backoff_max_ms = Some 40);
+      check "timeout" true (p.Schema.p_timeout_ms = Some 50);
+      check "substitute" true (p.Schema.p_on_timeout = Ast.Ta_substitute "c9");
+      Alcotest.(check (list string)) "alternatives" [ "c2" ] p.Schema.p_alternatives;
+      check "compensate" true (p.Schema.p_compensate = Some "u");
+      (match Schema.find_child root "u" with
+      | Some u -> check "sibling policy undeclared" true (not u.Schema.policy.Schema.p_declared)
+      | None -> Alcotest.fail "no child u"))
+
 (* --- schema resolution --- *)
 
 let test_schema_of_process_order () =
@@ -710,6 +934,25 @@ let () =
           Alcotest.test_case "paper scripts parse" `Quick test_paper_scripts_parse;
         ] );
       ("pretty", [ Alcotest.test_case "round trip" `Quick test_roundtrip_paper_scripts ]);
+      ( "recovery",
+        [
+          Alcotest.test_case "parse clauses" `Quick test_parse_recovery_clauses;
+          Alcotest.test_case "parse on compound" `Quick test_parse_recovery_on_compound;
+          Alcotest.test_case "contextual keywords" `Quick test_recovery_words_stay_identifiers;
+          Alcotest.test_case "round trip" `Quick test_recovery_roundtrip_fixed;
+          QCheck_alcotest.to_alcotest recovery_qcheck;
+          Alcotest.test_case "retry 0 backoff" `Quick test_recovery_retry_zero_backoff;
+          Alcotest.test_case "max without backoff" `Quick test_recovery_max_without_backoff;
+          Alcotest.test_case "cap below base" `Quick test_recovery_cap_below_base;
+          Alcotest.test_case "then alternative needs alternatives" `Quick
+            test_recovery_then_alternative_without_alternatives;
+          Alcotest.test_case "timeout below duration" `Quick test_recovery_timeout_below_duration;
+          Alcotest.test_case "compensate undeclared" `Quick test_recovery_compensate_undeclared;
+          Alcotest.test_case "compensate self" `Quick test_recovery_compensate_self;
+          Alcotest.test_case "duplicate clause" `Quick test_recovery_duplicate_clause;
+          Alcotest.test_case "valid section clean" `Quick test_recovery_valid_section_is_clean;
+          Alcotest.test_case "compiles to policy" `Quick test_recovery_compiles_to_schema_policy;
+        ] );
       ( "templates",
         [
           Alcotest.test_case "substitution" `Quick test_template_expansion_substitutes;

@@ -63,7 +63,7 @@ let gen_task_decl =
   QCheck.Gen.(
     map3
       (fun td_name (td_class, td_impl) td_inputs ->
-        { Ast.td_name; td_class; td_impl; td_inputs; td_loc = Loc.dummy })
+        { Ast.td_name; td_class; td_impl; td_recovery = []; td_inputs; td_loc = Loc.dummy })
       gen_name (pair gen_cname gen_impl)
       (list_size (int_range 0 2) gen_input_set_spec))
 
@@ -120,6 +120,7 @@ let gen_compound_decl =
           Ast.cd_name;
           cd_class;
           cd_impl = [];
+          cd_recovery = [];
           cd_inputs;
           cd_constituents = List.map (fun td -> Ast.C_task td) constituents;
           cd_outputs;
@@ -414,6 +415,7 @@ let risky_task ~retries =
     Schema.name = "t";
     klass = "Risky";
     impl = [ ("code", "w.t"); ("retries", string_of_int retries) ];
+    policy = Schema.no_policy;
     inputs =
       [
         {
