@@ -686,9 +686,9 @@ let bench_cluster () =
   let instances = 12 in
   let overhead = Sim.ms 2 in
   let engine_config = { Engine.default_config with Engine.dispatch_overhead = overhead } in
-  let cluster_run n =
+  let cluster_run ?repo_replicas n =
     let engines = List.init n (fun i -> Printf.sprintf "e%d" (i + 1)) in
-    let c = Cluster.make ~engine_config ~engines () in
+    let c = Cluster.make ?repo_replicas ~engine_config ~engines () in
     Supply_chain.register ~scenario:Supply_chain.smooth (Cluster.registry c);
     let makespan = ref 0 in
     for _ = 1 to instances do
@@ -732,6 +732,24 @@ let bench_cluster () =
   let run_a = cluster_run 2 and run_b = cluster_run 2 in
   let deterministic = run_a = run_b in
   if not deterministic then failwith "bench_cluster: same-seed runs diverged";
+  (* the consensus-replicated directory must stay off the data path:
+     placement writes commit by quorum asynchronously, so task
+     throughput with a 3-replica repository must stay within 10% of the
+     single-node run at the same engine count *)
+  let rep_placed, rep_makespan, rep_drain, rep_dispatches, rep_throughput, _ =
+    cluster_run ~repo_replicas:3 2
+  in
+  if List.length rep_placed <> instances then
+    failwith "bench_cluster: replicated launches went missing";
+  let replication_ratio = rep_throughput /. throughput_of 2 in
+  Printf.printf "%8s %14d %12d %22.1f   (3 replicas, ratio %.3f)\n" "2r" rep_makespan
+    rep_dispatches rep_throughput replication_ratio;
+  if replication_ratio < 0.9 then
+    failwith
+      (Printf.sprintf
+         "bench_cluster: replicated throughput ratio %.3f below the 0.9 gate" replication_ratio);
+  let rep_a = cluster_run ~repo_replicas:3 2 and rep_b = cluster_run ~repo_replicas:3 2 in
+  if rep_a <> rep_b then failwith "bench_cluster: same-seed replicated runs diverged";
   let run_json (n, makespan, drain, dispatches, throughput, per_engine) =
     Printf.sprintf
       "    { \"engines\": %d, \"makespan_us\": %d, \"drain_us\": %d, \"dispatches\": %d, \
@@ -743,22 +761,27 @@ let bench_cluster () =
   let json =
     Printf.sprintf
       "{\n\
-      \  \"schema\": \"rdal-bench-cluster/1\",\n\
+      \  \"schema\": \"rdal-bench-cluster/2\",\n\
       \  \"workload\": { \"script\": \"supply_chain\", \"instances\": %d, \
        \"dispatch_overhead_us\": %d, \"placement\": \"round_robin\" },\n\
       \  \"runs\": [\n%s\n  ],\n\
       \  \"speedup_4_over_1\": %.2f,\n\
+      \  \"replication\": { \"engines\": 2, \"repo_replicas\": 3, \"makespan_us\": %d, \
+       \"drain_us\": %d, \"dispatches\": %d, \"throughput_per_vsec\": %.1f, \
+       \"throughput_ratio_vs_single\": %.3f },\n\
       \  \"deterministic\": %b\n\
        }\n"
       instances overhead
       (String.concat ",\n" (List.map run_json runs))
-      speedup deterministic
+      speedup rep_makespan rep_drain rep_dispatches rep_throughput replication_ratio
+      deterministic
   in
   let oc = open_out "BENCH_cluster.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "wrote BENCH_cluster.json (4-engine speedup %.2fx, deterministic %b)\n" speedup
-    deterministic
+  Printf.printf
+    "wrote BENCH_cluster.json (4-engine speedup %.2fx, replication ratio %.3f, deterministic %b)\n"
+    speedup replication_ratio deterministic
 
 let run_benchmarks () =
   header "Part 2: wall-clock benchmarks (Bechamel, monotonic clock)";

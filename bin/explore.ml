@@ -22,7 +22,8 @@ let usage () =
      \  --jobs N          explore across N domains (default: available cores)\n\
      \  --workload NAME   only this scenario (chain | supply-chain | cluster3 |\n\
      \                    recovery-retry | recovery-timeout | recovery-alternative |\n\
-     \                    recovery-compensate, or the family alias 'recovery');\n\
+     \                    recovery-compensate | repo-failover | repo-election, or a\n\
+     \                    family alias: 'recovery', 'replication');\n\
      \                    repeatable, default: the classic three\n\
      \  --out FILE        report path (default EXPLORE.json)\n\
      \  --quiet           no per-scenario progress on stderr\n"
@@ -54,12 +55,16 @@ let () =
     | "--workload" :: "recovery" :: rest ->
       workloads := !workloads @ Scenario.recovery_all;
       parse rest
+    | "--workload" :: "replication" :: rest ->
+      workloads := !workloads @ Scenario.replication_all;
+      parse rest
     | "--workload" :: name :: rest ->
       (match Scenario.by_name name with
       | Some sc -> workloads := !workloads @ [ sc ]
       | None ->
         Printf.eprintf
-          "unknown workload %s (chain | supply-chain | cluster3 | recovery | recovery-*)\n"
+          "unknown workload %s (chain | supply-chain | cluster3 | recovery | recovery-* | \
+           replication | repo-*)\n"
           name;
         exit 2);
       parse rest

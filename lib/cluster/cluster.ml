@@ -12,10 +12,15 @@
 
 type policy = Round_robin | Hash_iid
 
+(* One repository node, or a consensus-replicated set of them. *)
+type backend =
+  | Single of Repository.t
+  | Replicated of Repo_group.t
+
 type t = {
   tb : Testbed.t;
-  repo : Repository.t;
-  repo_id : string;
+  repo : backend;
+  repo_ids : string list;
   policy : policy;
   metrics : Metrics.t;
   directory : (string, string) Hashtbl.t;  (* iid -> engine node; router's cache *)
@@ -96,27 +101,46 @@ let ensure_assigned t ~iid ~eid =
   else assign_direct t ~iid ~eid
 
 let make ?config ?engine_config ?seed ?(policy = Round_robin) ?(hosts = [])
-    ?(repo_node = "repo") ~engines () =
+    ?(repo_node = "repo") ?(repo_replicas = 1) ~engines () =
   if engines = [] then invalid_arg "Cluster.make: need at least one engine";
-  if List.mem repo_node engines || List.mem repo_node hosts then
-    invalid_arg ("Cluster.make: node id " ^ repo_node ^ " is reserved for the repository");
-  let nodes = engines @ hosts @ [ repo_node ] in
+  if repo_replicas < 1 then invalid_arg "Cluster.make: repo_replicas must be >= 1";
+  let repo_ids =
+    if repo_replicas = 1 then [ repo_node ]
+    else List.init repo_replicas (fun i -> Printf.sprintf "%s%d" repo_node (i + 1))
+  in
+  List.iter
+    (fun id ->
+      if List.mem id engines || List.mem id hosts then
+        invalid_arg ("Cluster.make: node id " ^ id ^ " is reserved for the repository"))
+    repo_ids;
+  let nodes = engines @ hosts @ repo_ids in
   let tb = Testbed.make ?config ?engine_config ?seed ~nodes ~engines () in
-  let repo = Repository.create ~rpc:tb.Testbed.rpc ~node:(Testbed.node tb repo_node) in
+  let repo =
+    if repo_replicas = 1 then
+      Single (Repository.create ~rpc:tb.Testbed.rpc ~node:(Testbed.node tb repo_node))
+    else
+      Replicated
+        (Repo_group.create ~rpc:tb.Testbed.rpc
+           ~nodes:(List.map (Testbed.node tb) repo_ids))
+  in
   let metrics = Metrics.create () in
   Metrics.attach_labelled metrics (Sim.events tb.Testbed.sim);
-  let clients =
-    List.map
-      (fun (eid, _) ->
-        (eid, Repo_client.create ~rpc:tb.Testbed.rpc ~src:eid ~repo_node))
-      tb.Testbed.engines
+  let client_for src =
+    match repo with
+    | Single _ -> Repo_client.create ~rpc:tb.Testbed.rpc ~src ~repo_node
+    | Replicated _ ->
+      Repo_client.create_replicated ~rpc:tb.Testbed.rpc ~src ~replicas:repo_ids ()
   in
+  let clients = List.map (fun (eid, _) -> (eid, client_for eid)) tb.Testbed.engines in
   let t =
-    { tb; repo; repo_id = repo_node; policy; metrics; directory = Hashtbl.create 32; clients;
+    { tb; repo; repo_ids; policy; metrics; directory = Hashtbl.create 32; clients;
       owner_clients = Hashtbl.create 4; seq = 0; pending_assigns = []; assign_armed = false;
       batch_assigns =
         (match engine_config with Some c -> c.Engine.incremental | None -> true) }
   in
+  (* every engine answers wf.admin.* on its own node, so consoles (and
+     the routed policy-budget query below) can reach any shard *)
+  List.iter (fun (_, e) -> Admin.serve e) tb.Testbed.engines;
   (* an engine crash can swallow in-flight placement writes (the caller
      died, so nobody retries): re-assert every assignment the router
      believes the engine owns once its node comes back *)
@@ -137,7 +161,14 @@ let rpc t = t.tb.Testbed.rpc
 
 let registry t = t.tb.Testbed.registry
 
-let repository t = t.repo
+let repository t =
+  match t.repo with
+  | Single r -> r
+  | Replicated g -> Repo_group.authoritative g
+
+let repo_group t = match t.repo with Single _ -> None | Replicated g -> Some g
+
+let repo_nodes t = t.repo_ids
 
 let metrics t = t.metrics
 
@@ -195,11 +226,23 @@ let owner_rpc t ~src ~iid k =
     match Hashtbl.find_opt t.owner_clients src with
     | Some c -> c
     | None ->
-      let c = Repo_client.create ~rpc:(rpc t) ~src ~repo_node:t.repo_id in
+      let c =
+        match t.repo with
+        | Single _ -> Repo_client.create ~rpc:(rpc t) ~src ~repo_node:(List.hd t.repo_ids)
+        | Replicated _ -> Repo_client.create_replicated ~rpc:(rpc t) ~src ~replicas:t.repo_ids ()
+      in
       Hashtbl.replace t.owner_clients src c;
       c
   in
-  Repo_client.owner client ~iid k
+  Repo_client.owner client ~iid (function
+    | Ok o -> k (Ok o)
+    | Error e ->
+      (* connection failure: drop the cached client so the next lookup
+         starts from a clean leader guess instead of retrying a dead
+         node forever *)
+      Repo_client.invalidate client;
+      Hashtbl.remove t.owner_clients src;
+      k (Error e))
 
 let placements t =
   Hashtbl.fold (fun iid eid acc -> (iid, eid) :: acc) t.directory [] |> List.sort compare
@@ -217,6 +260,19 @@ let cancel t iid ~reason k =
   match owner t iid with
   | None -> k (Error ("no such instance " ^ iid))
   | Some eid -> Engine.cancel (engine t eid) iid ~reason k
+
+let policy_budgets t iid =
+  match with_owner t iid (fun e -> Engine.policy_budgets e iid) with
+  | Some budgets -> budgets
+  | None -> []
+
+let policy_budgets_rpc t ~src ~iid k =
+  owner_rpc t ~src ~iid (function
+    | Error e -> k (Error e)
+    | Ok None -> k (Error ("no owner recorded for " ^ iid))
+    | Ok (Some eid) ->
+      let admin = Admin.Client.create ~rpc:(rpc t) ~src ~engine_node:eid in
+      Admin.Client.policy_budgets admin ~iid k)
 
 let instances_of t eid = Engine.instances (engine t eid)
 

@@ -23,14 +23,19 @@ val make :
   ?policy:policy ->
   ?hosts:string list ->
   ?repo_node:string ->
+  ?repo_replicas:int ->
   engines:string list ->
   unit ->
   t
 (** [engines] names the engine nodes (one engine each). [hosts] adds
     pure task-host nodes; every node hosts tasks for every engine. The
-    repository service lives on [repo_node] (default ["repo"]).
-    [policy] defaults to [Round_robin]. Same seed + same calls =
-    identical placement and results. *)
+    repository service lives on [repo_node] (default ["repo"]) — or,
+    with [repo_replicas = n >= 2], on a consensus-replicated group of
+    [n] nodes named [<repo_node>1 .. <repo_node>n] ({!Repo_group}):
+    placement writes then commit by quorum and the directory survives
+    any minority of repository crashes, with engine clients failing
+    over to the elected leader. [policy] defaults to [Round_robin].
+    Same seed + same calls = identical placement and results. *)
 
 val sim : t -> Sim.t
 
@@ -41,6 +46,14 @@ val rpc : t -> Rpc.t
 val registry : t -> Registry.t
 
 val repository : t -> Repository.t
+(** The repository's durable state: the single node's store, or — when
+    replicated — the most advanced replica's ({!Repo_group.authoritative}). *)
+
+val repo_group : t -> Repo_group.t option
+(** The consensus-replicated repository, when [repo_replicas >= 2]. *)
+
+val repo_nodes : t -> string list
+(** The repository node id(s): [[repo_node]] or the replica set. *)
 
 val metrics : t -> Metrics.t
 (** Cluster-wide registry: unlabelled totals plus
@@ -93,6 +106,21 @@ val status : t -> string -> Wstate.status option
 val on_complete : t -> string -> (Wstate.status -> unit) -> unit
 
 val cancel : t -> string -> reason:string -> ((unit, string) result -> unit) -> unit
+
+val policy_budgets : t -> string -> Engine.policy_budget list
+(** Recovery-policy budget counters of the owning engine's instance
+    (attempts used, backoff remaining, compensations fired); empty when
+    the instance is unknown. *)
+
+val policy_budgets_rpc :
+  t ->
+  src:string ->
+  iid:string ->
+  ((Engine.policy_budget list, string) result -> unit) ->
+  unit
+(** The same counters resolved entirely over the fabric: the owner is
+    looked up in the repository's placement directory, then the owning
+    engine's [wf.admin.policy] service answers. *)
 
 val instances_of : t -> string -> string list
 (** Instance ids owned by the engine on the given node. *)

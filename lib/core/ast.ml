@@ -61,9 +61,17 @@ type timeout_action =
   | Ta_abort  (** give up: fail the task through its abort path *)
 
 type recovery_clause =
-  | R_retry of { count : int; backoff : int option; max : int option; loc : Loc.t }
-      (** [retry n [backoff b [max m]]] — up to [n] re-dispatches per
-          implementation code, delayed b*2^(attempt-1) ms capped at m. *)
+  | R_retry of {
+      count : int;
+      backoff : int option;
+      jitter : int option;
+      max : int option;
+      loc : Loc.t;
+    }
+      (** [retry n [backoff b [jitter j] [max m]]] — up to [n]
+          re-dispatches per implementation code, delayed b*2^(attempt-1)
+          ms capped at m, plus a deterministic seed-derived jitter in
+          [0, j) ms to de-synchronise retry storms. *)
   | R_timeout of { ms : int; action : timeout_action; loc : Loc.t }
       (** [timeout t then ...] — per-attempt watchdog deadline in ms. *)
   | R_alternative of { codes : string list; loc : Loc.t }
@@ -174,6 +182,9 @@ let recovery_clause_loc = function
 
 let recovery_retry rc =
   List.find_map (function R_retry r -> Some (r.count, r.backoff, r.max) | _ -> None) rc
+
+let recovery_retry_jitter rc =
+  List.find_map (function R_retry r -> r.jitter | _ -> None) rc
 
 let recovery_timeout rc =
   List.find_map (function R_timeout t -> Some (t.ms, t.action) | _ -> None) rc

@@ -79,9 +79,17 @@ type timeout_action =
     recovery strategy (REL line of work), kept separate from the
     functional specification but compiled with it. *)
 type recovery_clause =
-  | R_retry of { count : int; backoff : int option; max : int option; loc : Loc.t }
-      (** [retry n [backoff b [max m]]] — up to [n] re-dispatches per
-          implementation code, delayed b*2^(attempt-1) ms capped at m. *)
+  | R_retry of {
+      count : int;
+      backoff : int option;
+      jitter : int option;
+      max : int option;
+      loc : Loc.t;
+    }
+      (** [retry n [backoff b [jitter j] [max m]]] — up to [n]
+          re-dispatches per implementation code, delayed b*2^(attempt-1)
+          ms capped at m, plus a deterministic seed-derived jitter in
+          [0, j) ms to de-synchronise retry storms. *)
   | R_timeout of { ms : int; action : timeout_action; loc : Loc.t }
       (** [timeout t then ...] — per-attempt watchdog deadline in ms. *)
   | R_alternative of { codes : string list; loc : Loc.t }
@@ -184,6 +192,9 @@ val recovery_clause_loc : recovery_clause -> Loc.t
 
 val recovery_retry : recovery -> (int * int option * int option) option
 (** The [retry] clause as [(count, backoff, max)], if declared. *)
+
+val recovery_retry_jitter : recovery -> int option
+(** The [jitter] slot of the [retry] clause, if declared. *)
 
 val recovery_timeout : recovery -> (int * timeout_action) option
 (** The [timeout] clause as [(ms, action)], if declared. *)

@@ -164,6 +164,13 @@ let recovery_clause st =
       end
       else None
     in
+    let jitter =
+      if current st = Token.Ident "jitter" then begin
+        advance st;
+        Some (int_lit st)
+      end
+      else None
+    in
     let max =
       if current st = Token.Ident "max" then begin
         advance st;
@@ -171,7 +178,7 @@ let recovery_clause st =
       end
       else None
     in
-    Ast.R_retry { count; backoff; max; loc }
+    Ast.R_retry { count; backoff; jitter; max; loc }
   | Token.Ident "timeout" ->
     advance st;
     let ms = int_lit st in

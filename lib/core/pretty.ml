@@ -43,9 +43,10 @@ let pp_inputs_block ppf = function
   | sets -> fprintf ppf "@[<v>inputs %a@];@ " (pp_block pp_input_set_spec) sets
 
 let pp_recovery_clause ppf = function
-  | Ast.R_retry { count; backoff; max; _ } ->
+  | Ast.R_retry { count; backoff; jitter; max; _ } ->
     fprintf ppf "retry %d" count;
     (match backoff with Some b -> fprintf ppf " backoff %d" b | None -> ());
+    (match jitter with Some j -> fprintf ppf " jitter %d" j | None -> ());
     (match max with Some m -> fprintf ppf " max %d" m | None -> ())
   | Ast.R_timeout { ms; action; _ } -> (
     fprintf ppf "timeout %d then " ms;

@@ -40,6 +40,7 @@ type binding = {
 type policy = {
   p_retry : int option;  (* extra attempts per implementation code *)
   p_backoff_ms : int;  (* base delay before a policy retry; 0 = immediate *)
+  p_jitter_ms : int;  (* seed-derived spread added to each backoff; 0 = none *)
   p_backoff_max_ms : int option;  (* cap on the exponential backoff *)
   p_timeout_ms : int option;  (* per-attempt watchdog deadline *)
   p_on_timeout : Ast.timeout_action;  (* what the watchdog does *)
@@ -52,6 +53,7 @@ let no_policy =
   {
     p_retry = None;
     p_backoff_ms = 0;
+    p_jitter_ms = 0;
     p_backoff_max_ms = None;
     p_timeout_ms = None;
     p_on_timeout = Ast.Ta_abort;
@@ -69,6 +71,7 @@ let policy_of_recovery (rc : Ast.recovery) =
       p_retry = Option.map (fun (n, _, _) -> n) retry;
       p_backoff_ms =
         (match retry with Some (_, Some b, _) -> b | Some (_, None, _) | None -> 0);
+      p_jitter_ms = (match Ast.recovery_retry_jitter rc with Some j -> j | None -> 0);
       p_backoff_max_ms = (match retry with Some (_, _, m) -> m | None -> None);
       p_timeout_ms = Option.map fst timeout;
       p_on_timeout = (match timeout with Some (_, a) -> a | None -> Ast.Ta_abort);

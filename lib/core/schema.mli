@@ -48,6 +48,9 @@ type binding = {
 type policy = {
   p_retry : int option;  (** extra attempts per implementation code *)
   p_backoff_ms : int;  (** base delay before a policy retry; 0 = immediate *)
+  p_jitter_ms : int;
+      (** seed-derived spread in [0, j) ms added to each backoff delay;
+          0 = none *)
   p_backoff_max_ms : int option;  (** cap on the exponential backoff *)
   p_timeout_ms : int option;  (** per-attempt watchdog deadline *)
   p_on_timeout : Ast.timeout_action;  (** what the watchdog does *)

@@ -172,13 +172,20 @@ let check_recovery env site ~impl ~recovery ~self_loc:_ =
   dup_check ~what:"compensate" (function Ast.R_compensate _ -> true | _ -> false);
   let has_alternatives = Ast.recovery_alternatives recovery <> [] in
   let check_clause = function
-    | Ast.R_retry { count; backoff; max; loc } ->
+    | Ast.R_retry { count; backoff; jitter; max; loc } ->
       if count = 0 && backoff <> None then
         error env loc "retry 0 cannot take a backoff (there is no retry to delay)";
       (match (backoff, max) with
       | None, Some _ -> error env loc "max requires a backoff base"
       | Some b, Some m when m < b ->
         error env loc "backoff cap %d is below the base delay %d" m b
+      | _ -> ());
+      (match (backoff, jitter) with
+      | None, Some _ -> error env loc "jitter requires a backoff base"
+      | Some b, Some j when j >= b ->
+        error env loc
+          "jitter %d must be below the backoff base %d (the jitter spreads a delay, it must \
+           not dominate it)" j b
       | _ -> ())
     | Ast.R_timeout { ms; action; loc } -> (
       (if action = Ast.Ta_alternative && not has_alternatives then

@@ -6,6 +6,8 @@ let service_tasks = "wf.admin.tasks"
 
 let service_cancel = "wf.admin.cancel"
 
+let service_policy = "wf.admin.policy"
+
 let service_history = "wf.admin.history"
 
 let enc_status_opt = function
@@ -52,6 +54,17 @@ let serve engine =
       in
       Wire.(list (pair (pair int string) string))
         (List.map (fun ((at, kind), detail) -> ((at, kind), detail)) rows));
+  Node.serve node ~service:service_policy (fun ~src:_ body ->
+      let iid = Wire.(decode d_string) body in
+      let rows =
+        List.map
+          (fun b ->
+            Engine.
+              ( b.pb_path,
+                (b.pb_attempts, (b.pb_backoff_remaining, b.pb_compensated)) ))
+          (Engine.policy_budgets engine iid)
+      in
+      Wire.(list (pair string (pair int (pair int bool)))) rows);
   Node.serve node ~service:service_cancel (fun ~src:_ body ->
       let iid, reason = Wire.(decode (d_pair d_string d_string)) body in
       (* the cancel transaction is asynchronous; the remote caller gets
@@ -95,6 +108,19 @@ module Client = struct
                  let at, kind = d_pair d_int d_string d in
                  let detail = d_string d in
                  (at, kind, detail))))
+      k
+
+  let policy_budgets t ~iid k =
+    call t ~service:service_policy ~body:(Wire.string iid)
+      ~dec:
+        Wire.(
+          decode
+            (d_list (fun d ->
+                 let path, (attempts, (backoff, comp)) =
+                   d_pair d_string (d_pair d_int (d_pair d_int d_bool)) d
+                 in
+                 { Engine.pb_path = path; pb_attempts = attempts;
+                   pb_backoff_remaining = backoff; pb_compensated = comp })))
       k
 
   let cancel t ~iid ~reason k =

@@ -26,6 +26,11 @@ module Client : sig
   val task_states : t -> iid:string -> (((string * string) list, string) result -> unit) -> unit
   (** (path, printed state) pairs, sorted by path. *)
 
+  val policy_budgets :
+    t -> iid:string -> ((Engine.policy_budget list, string) result -> unit) -> unit
+  (** Per-task recovery-policy budget counters ({!Engine.policy_budgets})
+      over RPC: attempts used, backoff remaining, compensations fired. *)
+
   val cancel : t -> iid:string -> reason:string -> ((unit, string) result -> unit) -> unit
 
   val history :

@@ -56,6 +56,10 @@ type t = {
   tracer : Trace.t;
   metrics : Metrics.t;
   rng : Rng.t;  (* split once at creation to keep downstream seeds stable *)
+  jitter_salt : string;
+      (* engine-stable, seed-derived salt for backoff jitter: drawn once
+         at creation so the spread is a pure function of (seed, engine,
+         iid, path, attempt) — never of runtime interleaving *)
   insts : (string, Instate.t) Hashtbl.t;
   mutable inst_rev : string list;  (* launch order, newest first (O(1) append) *)
   compiled : (string, Schema.task) Hashtbl.t;
@@ -455,7 +459,11 @@ and retry_task t inst ~path ~task =
       else begin
         let now = Sim.now t.sim in
         let next = attempt + 1 in
-        let delay = Sim.ms (Sched.policy_backoff_ms rp ~attempt:next) in
+        let delay =
+          Sim.ms
+            (Sched.policy_backoff_jittered_ms rp ~salt:t.jitter_salt
+               ~iid:inst.Instate.iid ~path ~attempt:next)
+        in
         let fire_at = now + delay in
         let running =
           Wstate.Running
@@ -775,6 +783,7 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
           | Some (kind, detail) -> Trace.record tracer ~at ~kind detail
           | None -> ());
   Metrics.attach metrics ~src:own (Sim.events sim);
+  let rng = Rng.split (Sim.rng sim) in
   let t =
     {
       sim;
@@ -793,7 +802,10 @@ let create ?(config = default_config) ~rpc ~node ~mgr ~participant ~registry:reg
         };
       tracer;
       metrics;
-      rng = Rng.split (Sim.rng sim);
+      rng;
+      (* a copy, not another split: the root rng must advance exactly as
+         before so downstream components keep their seed streams *)
+      jitter_salt = own ^ "#" ^ Int64.to_string (Rng.next_int64 (Rng.copy rng));
       insts = Hashtbl.create 8;
       inst_rev = [];
       compiled = Hashtbl.create 8;
@@ -926,6 +938,45 @@ let task_states t iid =
   | Some inst ->
     let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) inst.Instate.states [] in
     List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+type policy_budget = {
+  pb_path : string;
+  pb_attempts : int;
+  pb_backoff_remaining : Sim.time;
+  pb_compensated : bool;
+}
+
+let policy_budgets t iid =
+  match Hashtbl.find_opt t.insts iid with
+  | None -> []
+  | Some inst ->
+    let now = Sim.now t.sim in
+    (* union of every path the policy machinery has touched: task states
+       (attempt counters), pending backoffs, recorded compensations *)
+    let paths = Hashtbl.create 16 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace paths k ()) inst.Instate.states;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace paths k ()) inst.Instate.backoffs;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace paths k ()) inst.Instate.compensated;
+    Hashtbl.fold
+      (fun key () acc ->
+        let attempts =
+          match Hashtbl.find_opt inst.Instate.states key with
+          | Some (Wstate.Waiting { attempt })
+          | Some (Wstate.Running { attempt; _ })
+          | Some (Wstate.Done { attempt; _ }) ->
+            attempt
+          | Some _ | None -> 0
+        in
+        let backoff_remaining =
+          match Hashtbl.find_opt inst.Instate.backoffs key with
+          | Some (_, fire_at) -> max 0 (fire_at - now)
+          | None -> 0
+        in
+        { pb_path = key; pb_attempts = attempts; pb_backoff_remaining = backoff_remaining;
+          pb_compensated = Hashtbl.mem inst.Instate.compensated key }
+        :: acc)
+      paths []
+    |> List.sort (fun a b -> String.compare a.pb_path b.pb_path)
 
 let marks_of t iid ~path =
   match Hashtbl.find_opt t.insts iid with None -> [] | Some inst -> Instate.get_marks inst path

@@ -143,6 +143,21 @@ val task_states : t -> string -> (string * Wstate.task_state) list
 val marks_of : t -> string -> path:string list -> (string * (string * Value.obj) list) list
 (** Marks emitted so far by the task at [path]. *)
 
+type policy_budget = {
+  pb_path : string;  (** "/"-joined task path *)
+  pb_attempts : int;  (** execution attempts used so far *)
+  pb_backoff_remaining : Sim.time;
+      (** µs until the pending policy retry fires; [0] when no backoff
+          is pending *)
+  pb_compensated : bool;  (** the compensation handler has fired *)
+}
+
+val policy_budgets : t -> string -> policy_budget list
+(** Per-task recovery-policy budget counters for one instance, sorted
+    by path: how much of each [retry]/[backoff] budget is spent and
+    which compensations have fired. Served remotely by
+    [Admin.service_policy]. *)
+
 val history : t -> string -> (Sim.time * string * string) list
 (** The instance's {e persistent} audit log (at, kind, detail), written
     in the same transactions as the state changes it describes — unlike

@@ -523,6 +523,7 @@ type rpolicy = {
   rp_base_total : int;  (* failure-driven ceiling: primary + alternatives *)
   rp_grand_total : int;  (* absolute ceiling, incl. the substitute band *)
   rp_backoff_ms : int;
+  rp_jitter_ms : int;
   rp_backoff_max_ms : int option;
   rp_timeout_ms : int option;
   rp_on_timeout : Ast.timeout_action;
@@ -539,6 +540,7 @@ let resolve_policy (task : Schema.task) ~primary ~default_max_attempts =
       rp_base_total = default_max_attempts;
       rp_grand_total = default_max_attempts;
       rp_backoff_ms = 0;
+      rp_jitter_ms = 0;
       rp_backoff_max_ms = None;
       rp_timeout_ms = None;
       rp_on_timeout = Ast.Ta_abort;
@@ -557,6 +559,7 @@ let resolve_policy (task : Schema.task) ~primary ~default_max_attempts =
       rp_base_total = per * List.length base;
       rp_grand_total = per * (List.length base + List.length substitute);
       rp_backoff_ms = p.Schema.p_backoff_ms;
+      rp_jitter_ms = p.Schema.p_jitter_ms;
       rp_backoff_max_ms = p.Schema.p_backoff_max_ms;
       rp_timeout_ms = p.Schema.p_timeout_ms;
       rp_on_timeout = p.Schema.p_on_timeout;
@@ -588,6 +591,32 @@ let policy_backoff_ms rp ~attempt =
     let d = rp.rp_backoff_ms * (1 lsl min 20 (pos - 2)) in
     match rp.rp_backoff_max_ms with Some m -> min m d | None -> d
   end
+
+(* The jitter is a pure hash of the identifying coordinates, NOT a draw
+   from a runtime rng: rng draws would depend on scheduling interleaving
+   and break same-seed reproducibility across schedules. [salt] is the
+   engine-stable seed component, so distinct engines (and distinct
+   seeds) spread differently while one run always reproduces itself. *)
+let policy_jitter_ms rp ~salt ~iid ~path ~attempt =
+  if rp.rp_jitter_ms <= 0 then 0
+  else begin
+    let h = ref 5381 in
+    let mix s = String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3FFFFFFF) s in
+    mix salt;
+    mix "\x00";
+    mix iid;
+    mix "\x00";
+    List.iter (fun seg -> mix seg; mix "/") path;
+    mix (string_of_int attempt);
+    !h mod rp.rp_jitter_ms
+  end
+
+(* Backoff plus its deterministic spread; the first attempt of a band is
+   still immediate (no delay to spread). *)
+let policy_backoff_jittered_ms rp ~salt ~iid ~path ~attempt =
+  match policy_backoff_ms rp ~attempt with
+  | 0 -> 0
+  | base -> base + policy_jitter_ms rp ~salt ~iid ~path ~attempt
 
 (* First attempt of the band after [attempt]'s (a timeout-alternative
    jump target); the caller checks it against [rp_base_total]. *)

@@ -163,6 +163,7 @@ type rpolicy = {
   rp_base_total : int;  (** failure-driven ceiling: primary + alternatives *)
   rp_grand_total : int;  (** absolute ceiling, incl. the substitute band *)
   rp_backoff_ms : int;
+  rp_jitter_ms : int;
   rp_backoff_max_ms : int option;
   rp_timeout_ms : int option;
   rp_on_timeout : Ast.timeout_action;
@@ -186,6 +187,18 @@ val policy_exhausted : rpolicy -> attempt:int -> bool
 val policy_backoff_ms : rpolicy -> attempt:int -> int
 (** Delay in ms before dispatching [attempt]: 0 for the first attempt
     of a band, else [min cap (base * 2^(k-1))] for the k-th retry. *)
+
+val policy_jitter_ms :
+  rpolicy -> salt:string -> iid:string -> path:string list -> attempt:int -> int
+(** Deterministic jitter in [0, rp_jitter_ms): a pure hash of
+    (salt, iid, path, attempt), never a runtime rng draw — so the same
+    seed reproduces the same spread regardless of scheduling
+    interleaving. 0 when the policy declares no [jitter]. *)
+
+val policy_backoff_jittered_ms :
+  rpolicy -> salt:string -> iid:string -> path:string list -> attempt:int -> int
+(** {!policy_backoff_ms} plus {!policy_jitter_ms}; immediate attempts
+    (backoff 0) stay immediate — there is no delay to spread. *)
 
 val policy_next_band_start : rpolicy -> attempt:int -> int
 (** First attempt of the band after [attempt]'s — the jump target of

@@ -26,6 +26,7 @@ let protocol_service service =
   String.starts_with ~prefix:"tx." service
   || String.starts_with ~prefix:"wf." service
   || String.starts_with ~prefix:"repo." service
+  || String.starts_with ~prefix:"cons." service
 
 let classify ~src ev =
   match ev with
@@ -39,6 +40,15 @@ let classify ~src ev =
   | Event.Wf_launched { iid; _ } -> Some ("launch", iid, None)
   | Event.Wf_relaunched { iid } -> Some ("relaunch", iid, None)
   | Event.Wf_concluded { iid; _ } -> Some ("conclude", iid, None)
+  | Event.Cons_election_started { node; term } ->
+    Some ("election", Printf.sprintf "%s@%d" node term, None)
+  | Event.Cons_leader_elected { node; term } ->
+    Some ("elected", Printf.sprintf "%s@%d" node term, None)
+  | Event.Cons_stepped_down { node; term } ->
+    Some ("step-down", Printf.sprintf "%s@%d" node term, None)
+  | Event.Cons_committed { node; index; _ } ->
+    Some ("cons-commit", Printf.sprintf "%s@%d" node index, None)
+  | Event.Cons_caught_up { node; _ } -> Some ("catch-up", node, None)
   | Event.Rpc_sent { src = _; dst; service } when protocol_service service ->
     Some ("rpc:" ^ service, dst, Some dst)
   | Event.Rpc_loopback { node = _; service } when protocol_service service ->

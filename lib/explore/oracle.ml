@@ -19,6 +19,12 @@ type obs = {
   o_directory : (string * string) list;  (* router cache iid -> engine *)
   o_owned : (string * string) list;  (* iid -> engine actually holding it *)
   o_drained : bool;  (* simulator ran out of events before the horizon *)
+  o_logs : (string * (int * string) list) list;
+      (* replica -> committed (term, payload) prefix of the replicated
+         repository log; empty when the repository is a single node *)
+  o_routed : (string * string) list;
+      (* iid -> owning engine as answered over the fabric (leader
+         discovery + redirects included); empty when not collected *)
   o_recovery : (string * string * string) list;
       (* (iid, kind, detail) durable rows driving the policy-conformance
          oracle: the policy-* rows plus the completions they refer to,
@@ -55,8 +61,8 @@ let recovery_rows histories =
              else None)
            rows)
 
-let observe ~statuses ~histories ~participants ~managers ~placements ~directory
-    ~owned ~drained () =
+let observe ?(logs = []) ?(routed = []) ~statuses ~histories ~participants ~managers
+    ~placements ~directory ~owned ~drained () =
   {
     o_statuses = List.sort compare statuses;
     o_effects =
@@ -75,6 +81,8 @@ let observe ~statuses ~histories ~participants ~managers ~placements ~directory
     o_directory = List.sort compare directory;
     o_owned = List.sort compare owned;
     o_drained = drained;
+    o_logs = List.sort compare logs;
+    o_routed = List.sort compare routed;
     o_recovery = recovery_rows histories;
   }
 
@@ -156,6 +164,61 @@ let directory_consistency obs =
   in
   {
     v_oracle = "directory-consistency";
+    v_ok = problems = [];
+    v_detail = String.concat "; " problems;
+  }
+
+(* A committed entry, once committed at an index, is committed at that
+   index on every replica that has learned it: across all replica pairs
+   the shorter committed prefix must be a prefix of the longer. Any
+   disagreement means a failover lost or reordered committed entries. *)
+let log_linearizability obs =
+  let rec common_prefix a b =
+    match (a, b) with
+    | x :: a', y :: b' when x = y -> common_prefix a' b'
+    | rest_a, rest_b -> (rest_a, rest_b)
+  in
+  let problems =
+    let rec pairs = function
+      | [] -> []
+      | (na, la) :: rest ->
+        List.filter_map
+          (fun (nb, lb) ->
+            match common_prefix la lb with
+            | [], _ | _, [] -> None
+            | (ta, pa) :: _, (tb, pb) :: _ ->
+              Some
+                (Printf.sprintf
+                   "%s and %s disagree on a committed entry: (term %d, %S) vs (term %d, %S)"
+                   na nb ta pa tb pb))
+          rest
+        @ pairs rest
+    in
+    pairs obs.o_logs
+  in
+  {
+    v_oracle = "log-linearizability";
+    v_ok = problems = [];
+    v_detail = String.concat "; " problems;
+  }
+
+(* Every durable placement must be resolvable over the fabric (leader
+   discovery, redirects and failover included) to the same owner. *)
+let routed_consistency obs =
+  let problems =
+    List.filter_map
+      (fun (iid, routed) ->
+        match List.assoc_opt iid obs.o_placements with
+        | Some owner when owner = routed -> None
+        | Some owner ->
+          Some
+            (Printf.sprintf "routed owner of %s is %s but the directory records %s" iid routed
+               owner)
+        | None -> Some (Printf.sprintf "routed owner of %s (%s) is not in the directory" iid routed))
+      obs.o_routed
+  in
+  {
+    v_oracle = "routed-consistency";
     v_ok = problems = [];
     v_detail = String.concat "; " problems;
   }
@@ -294,6 +357,8 @@ let judge ~reference obs =
     no_stuck_transactions obs;
     no_orphaned_locks obs;
     directory_consistency obs;
+    log_linearizability obs;
+    routed_consistency obs;
   ]
 
 let judge_with ~policy ~reference obs =

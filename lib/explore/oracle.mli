@@ -17,6 +17,12 @@ type obs = {
   o_directory : (string * string) list;  (** router's cached directory *)
   o_owned : (string * string) list;  (** iid -> engine actually holding it *)
   o_drained : bool;  (** the simulator drained before the horizon *)
+  o_logs : (string * (int * string) list) list;
+      (** replica -> committed (term, payload) prefix of the replicated
+          repository log; empty when the repository is a single node *)
+  o_routed : (string * string) list;
+      (** iid -> owning engine as answered over the fabric (leader
+          discovery and redirects included); empty when not collected *)
   o_recovery : (string * string * string) list;
       (** (iid, kind, detail) durable rows for the policy-conformance
           oracle: every [policy-*] history row plus the [complete] rows
@@ -31,6 +37,8 @@ val effects_of_history :
     durable history. *)
 
 val observe :
+  ?logs:(string * (int * string) list) list ->
+  ?routed:(string * string) list ->
   statuses:(string * string) list ->
   histories:(string * (Sim.time * string * string) list) list ->
   participants:(string * Participant.t) list ->
@@ -64,6 +72,17 @@ val no_orphaned_locks : obs -> verdict
 val directory_consistency : obs -> verdict
 (** Router cache, durable placement directory and the engines' actual
     instance lists agree (trivially true for single-engine runs). *)
+
+val log_linearizability : obs -> verdict
+(** No two replicas disagree on any committed log entry: across every
+    replica pair the shorter committed prefix is a prefix of the longer.
+    A violation means a failover lost or reordered committed entries.
+    Trivially true when [o_logs] is empty (single-node repository). *)
+
+val routed_consistency : obs -> verdict
+(** Every owner answered over the fabric ([o_routed]) matches the
+    durable placement directory — leader discovery, redirect-on-
+    [Not_leader] and failover must land on the recorded owner. *)
 
 val judge : reference:obs -> obs -> verdict list
 (** The full battery, in a stable order. *)

@@ -68,9 +68,31 @@ val recovery_compensate : t
 
 val recovery_all : t list
 
+(** {1 Replicated-repository scenarios}
+
+    Three-replica consensus repository under engines launching chains;
+    crash and partition schedules may hit the repository nodes
+    themselves. Observations feed the log-linearizability and
+    routed-consistency oracles with per-replica committed logs and
+    post-drain routed owner lookups. *)
+
+val repo_failover : t
+(** Engines + all three replicas crashable: repository-crash and
+    leader-partition schedules — killing the leader mid-placement-write
+    must lose no placements. *)
+
+val repo_election : t
+(** A {e scripted} crash of the bootstrap leader mid-run puts a
+    failover election into the reference run itself; schedules then aim
+    faults at the surviving replicas inside the election window
+    (election races). *)
+
+val replication_all : t list
+
 val all : t list
 (** The classic workloads only — the stock exploration population (the
-    recovery family is opted into via {!recovery_all} / {!by_name}). *)
+    recovery and replication families are opted into via
+    {!recovery_all} / {!replication_all} / {!by_name}). *)
 
 val by_name : string -> t option
-(** Resolves both {!all} and {!recovery_all} members. *)
+(** Resolves {!all}, {!recovery_all} and {!replication_all} members. *)

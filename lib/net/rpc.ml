@@ -12,12 +12,22 @@ type pending = {
   mutable timer : Sim.handle option;
 }
 
+type async_handler = src:string -> string -> reply:((string, string) result -> unit) -> unit
+
 type endpoint = {
   pending_calls : (string, pending) Hashtbl.t;  (** client side, volatile *)
   replies_cache : (string, string) Hashtbl.t;  (** server side, volatile *)
   reply_order : string Queue.t;
       (** request ids in insertion order; the eviction cursor of the
           bounded cache (ids are unique, so FIFO is LRU here) *)
+  async_services : (string, async_handler) Hashtbl.t;
+      (** services whose reply is produced later via a continuation *)
+  inflight : (string, unit) Hashtbl.t;
+      (** request ids whose async handler is running but has not replied
+          yet — duplicates arriving in the window are dropped (volatile,
+          so a crash re-admits the retry after recovery) *)
+  mutable epoch : int;
+      (** bumped on every crash; fences stale deferred replies *)
 }
 
 type t = {
@@ -72,14 +82,51 @@ let endpoint t node_id =
   | Some ep -> ep
   | None -> invalid_arg ("Rpc: node not attached: " ^ node_id)
 
+let cache_reply t ep ~node encoded req_id =
+  while Hashtbl.length ep.replies_cache >= t.reply_cache_cap do
+    let oldest = Queue.pop ep.reply_order in
+    Hashtbl.remove ep.replies_cache oldest;
+    t.reply_evictions <- t.reply_evictions + 1;
+    Sim.emit (Network.sim t.net) ~src:(Node.id node)
+      (Event.Rpc_reply_evicted { node = Node.id node })
+  done;
+  Hashtbl.replace ep.replies_cache req_id encoded;
+  Queue.add req_id ep.reply_order
+
 let handle_request t node ~src body =
   let req_id, service, payload = decode_req body in
   let ep = endpoint t (Node.id node) in
-  let result =
-    match Hashtbl.find_opt ep.replies_cache req_id with
-    | Some cached ->
-      t.dedup_hits <- t.dedup_hits + 1;
-      cached
+  let send encoded =
+    Network.send t.net ~src:(Node.id node) ~dst:src ~service:rsp_service ~body:encoded
+  in
+  (match Hashtbl.find_opt ep.replies_cache req_id with
+  | Some cached ->
+    t.dedup_hits <- t.dedup_hits + 1;
+    send cached
+  | None -> (
+    match Hashtbl.find_opt ep.async_services service with
+    | Some h ->
+      (* Deferred reply: the handler completes later via [reply]. A
+         duplicate arriving while the first invocation is still running
+         is dropped — the eventual reply answers the request id, which
+         every retry shares, so the caller still gets it. The epoch
+         fence suppresses replies produced by an invocation that
+         started before a crash: after recovery the retry re-runs the
+         handler, and only the fresh invocation may answer. *)
+      if Hashtbl.mem ep.inflight req_id then t.dedup_hits <- t.dedup_hits + 1
+      else begin
+        Hashtbl.replace ep.inflight req_id ();
+        let epoch = ep.epoch in
+        let reply outcome =
+          if ep.epoch = epoch && Node.up node && Hashtbl.mem ep.inflight req_id then begin
+            Hashtbl.remove ep.inflight req_id;
+            let encoded = encode_rsp (req_id, outcome) in
+            cache_reply t ep ~node encoded req_id;
+            send encoded
+          end
+        in
+        try h ~src payload ~reply with exn -> reply (Error (Printexc.to_string exn))
+      end
     | None ->
       let outcome =
         match Node.handler node ~service with
@@ -87,18 +134,8 @@ let handle_request t node ~src body =
         | Some h -> ( try Ok (h ~src payload) with exn -> Error (Printexc.to_string exn))
       in
       let encoded = encode_rsp (req_id, outcome) in
-      while Hashtbl.length ep.replies_cache >= t.reply_cache_cap do
-        let oldest = Queue.pop ep.reply_order in
-        Hashtbl.remove ep.replies_cache oldest;
-        t.reply_evictions <- t.reply_evictions + 1;
-        Sim.emit (Network.sim t.net) ~src:(Node.id node)
-          (Event.Rpc_reply_evicted { node = Node.id node })
-      done;
-      Hashtbl.replace ep.replies_cache req_id encoded;
-      Queue.add req_id ep.reply_order;
-      encoded
-  in
-  Network.send t.net ~src:(Node.id node) ~dst:src ~service:rsp_service ~body:result;
+      cache_reply t ep ~node encoded req_id;
+      send encoded));
   ""
 
 let handle_response t node ~src:_ body =
@@ -120,6 +157,9 @@ let attach t node =
         pending_calls = Hashtbl.create 16;
         replies_cache = Hashtbl.create 16;
         reply_order = Queue.create ();
+        async_services = Hashtbl.create 4;
+        inflight = Hashtbl.create 4;
+        epoch = 0;
       }
     in
     Hashtbl.replace t.endpoints id ep;
@@ -128,8 +168,14 @@ let attach t node =
     Node.on_crash node (fun () ->
         Hashtbl.reset ep.pending_calls;
         Hashtbl.reset ep.replies_cache;
-        Queue.clear ep.reply_order)
+        Queue.clear ep.reply_order;
+        Hashtbl.reset ep.inflight;
+        ep.epoch <- ep.epoch + 1)
   end
+
+let serve_async t node ~service handler =
+  let ep = endpoint t (Node.id node) in
+  Hashtbl.replace ep.async_services service handler
 
 let rec attempt t ~src ~req_id p =
   let body = encode_req (req_id, p.service, p.body) in
@@ -167,14 +213,29 @@ let deliver_loopback t ~src ~req_id node =
   match Hashtbl.find_opt ep.pending_calls req_id with
   | None -> () (* caller crashed since the call was made *)
   | Some p ->
-    Hashtbl.remove ep.pending_calls req_id;
-    if Node.up node then begin
-      let result =
-        match Node.handler node ~service:p.service with
-        | None -> Error ("no such service: " ^ p.service)
-        | Some h -> ( try Ok (h ~src p.body) with exn -> Error (Printexc.to_string exn))
-      in
-      p.callback result
+    if not (Node.up node) then Hashtbl.remove ep.pending_calls req_id
+    else begin
+      match Hashtbl.find_opt ep.async_services p.service with
+      | Some h ->
+        (* the pending entry stays until the deferred reply arrives, so
+           the usual crash fence (on_crash resets the table) applies to
+           the whole deferred window, not just the delivery hop *)
+        let reply outcome =
+          match Hashtbl.find_opt ep.pending_calls req_id with
+          | None -> ()
+          | Some p ->
+            Hashtbl.remove ep.pending_calls req_id;
+            p.callback outcome
+        in
+        (try h ~src p.body ~reply with exn -> reply (Error (Printexc.to_string exn)))
+      | None ->
+        Hashtbl.remove ep.pending_calls req_id;
+        let result =
+          match Node.handler node ~service:p.service with
+          | None -> Error ("no such service: " ^ p.service)
+          | Some h -> ( try Ok (h ~src p.body) with exn -> Error (Printexc.to_string exn))
+        in
+        p.callback result
     end
 
 let call t ~src ~dst ~service ~body ?(timeout = Sim.ms 10) ?(retries = 8) callback =

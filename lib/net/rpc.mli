@@ -37,6 +37,19 @@ val attach : t -> Node.t -> unit
 (** Install the RPC envelope service on a node. Must be called once per
     node before it can send or serve calls. *)
 
+val serve_async : t -> Node.t -> service:string -> (src:string -> string -> reply:((string, string) result -> unit) -> unit) -> unit
+(** Register a service whose reply is produced later: the handler
+    receives a [reply] continuation instead of returning a string, so
+    multi-round protocols (consensus appends, quorum waits) can answer
+    once their outcome is known. At most one invocation runs per request
+    id — duplicates arriving while the first is in flight are dropped,
+    and the eventual reply answers them all (retries share the id). The
+    reply is cached in the ordinary dedup cache once produced. A crash
+    fences outstanding invocations: their late [reply] calls are
+    discarded, and the client's retry after recovery re-runs the
+    handler, so async handlers need the same idempotence discipline as
+    crash-re-executed sync handlers. Requires {!attach} first. *)
+
 val call :
   t ->
   src:string ->

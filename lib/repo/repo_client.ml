@@ -1,29 +1,88 @@
-type t = { rpc : Rpc.t; src : string; repo_node : string }
+type target =
+  | Single of string  (* the classic one-node repository *)
+  | Group of Rlog_client.t  (* replica set behind the consensus log *)
 
-let create ~rpc ~src ~repo_node = { rpc; src; repo_node }
+type t = {
+  rpc : Rpc.t;
+  src : string;
+  target : target;
+  cid_prefix : string;
+  mutable cid_seq : int;
+}
+
+(* Client ids must be unique across every client instance of a run (two
+   clients on the same source node must not collide), and deterministic:
+   client creation order is part of the seeded setup. *)
+let instances = ref 0
+
+let fresh_prefix src =
+  incr instances;
+  Printf.sprintf "%s/%d" src !instances
+
+let create ~rpc ~src ~repo_node =
+  { rpc; src; target = Single repo_node; cid_prefix = fresh_prefix src; cid_seq = 0 }
+
+let create_replicated ~rpc ~src ~replicas () =
+  let rc = Rlog_client.create ~rpc ~src ~replicas () in
+  { rpc; src; target = Group rc; cid_prefix = fresh_prefix src; cid_seq = 0 }
+
+let replicated t = match t.target with Single _ -> false | Group _ -> true
+
+let invalidate t =
+  match t.target with Single _ -> () | Group rc -> Rlog_client.invalidate rc
+
+let leader_guess t =
+  match t.target with Single n -> Some n | Group rc -> Rlog_client.leader_guess rc
+
+let next_cid t =
+  t.cid_seq <- t.cid_seq + 1;
+  Printf.sprintf "%s#%d" t.cid_prefix t.cid_seq
 
 let dec_result dec body =
   let d = Wire.decoder body in
   if Wire.d_bool d then Ok (dec d) else Error (Wire.d_string d)
 
-let call t ~service ~body ~dec k =
-  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service ~body (function
+(* reads: plain RPC to the single node, or leader-first failover across
+   the replica set *)
+let read t ~service ~body k =
+  match t.target with
+  | Single dst -> Rpc.call t.rpc ~src:t.src ~dst ~service ~body k
+  | Group rc -> Rlog_client.read rc ~service ~body k
+
+(* writes: plain RPC, or a replicated append carrying the command *)
+let write t ~service ~body ~cmd k =
+  match t.target with
+  | Single dst -> Rpc.call t.rpc ~src:t.src ~dst ~service ~body (fun r ->
+        k (match r with Ok reply -> Ok reply | Error e -> Error ("rpc: " ^ e)))
+  | Group rc ->
+    Rlog_client.append rc ~payload:cmd (fun r ->
+        k (match r with Ok reply -> Ok reply | Error e -> Error ("rlog: " ^ e)))
+
+let call_result t ~service ~body ~cmd ~dec k =
+  write t ~service ~body ~cmd (function
     | Ok reply -> (
       match dec_result dec reply with v -> k v | exception Wire.Malformed m -> k (Error m))
-    | Error e -> k (Error ("rpc: " ^ e)))
+    | Error e -> k (Error e))
 
 let store t ~name ~source k =
-  call t ~service:Repository.service_store
+  let cid = next_cid t in
+  call_result t ~service:Repository.service_store
     ~body:(Wire.(pair string string) (name, source))
+    ~cmd:(Repository.cmd_store ~cid ~name ~source)
     ~dec:Wire.d_int k
 
 let fetch t ~name ?version k =
-  call t ~service:Repository.service_fetch
+  read t ~service:Repository.service_fetch
     ~body:(Wire.(pair string (option int)) (name, version))
-    ~dec:Wire.d_string k
+    (function
+      | Ok reply -> (
+        match dec_result Wire.d_string reply with
+        | v -> k v
+        | exception Wire.Malformed m -> k (Error m))
+      | Error e -> k (Error ("rpc: " ^ e)))
 
 let list_names t k =
-  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_list ~body:"" (function
+  read t ~service:Repository.service_list ~body:"" (function
     | Ok reply -> (
       match Wire.(decode (d_list d_string)) reply with
       | names -> k (Ok names)
@@ -39,25 +98,29 @@ let dec_summary d =
   { Repository.s_name; s_head; s_roots; s_task_count; s_warnings }
 
 let inspect t ~name k =
-  call t ~service:Repository.service_inspect ~body:(Wire.string name) ~dec:dec_summary k
+  read t ~service:Repository.service_inspect ~body:(Wire.string name) (function
+    | Ok reply -> (
+      match dec_result dec_summary reply with
+      | v -> k v
+      | exception Wire.Malformed m -> k (Error m))
+    | Error e -> k (Error ("rpc: " ^ e)))
 
 let assign t ~iid ~engine k =
-  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_assign
+  let cid = next_cid t in
+  write t ~service:Repository.service_assign
     ~body:(Wire.(pair string string) (iid, engine))
-    (function
-      | Ok _ -> k (Ok ())
-      | Error e -> k (Error ("rpc: " ^ e)))
+    ~cmd:(Repository.cmd_assign ~cid ~iid ~engine)
+    (function Ok _ -> k (Ok ()) | Error e -> k (Error e))
 
 let assign_many t ~pairs k =
-  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_assign_batch
+  let cid = next_cid t in
+  write t ~service:Repository.service_assign_batch
     ~body:(Wire.(list (pair string string)) pairs)
-    (function
-      | Ok _ -> k (Ok ())
-      | Error e -> k (Error ("rpc: " ^ e)))
+    ~cmd:(Repository.cmd_assign_batch ~cid ~pairs)
+    (function Ok _ -> k (Ok ()) | Error e -> k (Error e))
 
 let owner t ~iid k =
-  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_owner
-    ~body:(Wire.string iid) (function
+  read t ~service:Repository.service_owner ~body:(Wire.string iid) (function
     | Ok reply -> (
       match Wire.(decode (d_option d_string)) reply with
       | o -> k (Ok o)
@@ -65,8 +128,7 @@ let owner t ~iid k =
     | Error e -> k (Error ("rpc: " ^ e)))
 
 let placements t k =
-  Rpc.call t.rpc ~src:t.src ~dst:t.repo_node ~service:Repository.service_placements ~body:""
-    (function
+  read t ~service:Repository.service_placements ~body:"" (function
     | Ok reply -> (
       match Wire.(decode (d_list (d_pair d_string d_string))) reply with
       | l -> k (Ok l)

@@ -8,6 +8,26 @@ type t
 val create : rpc:Rpc.t -> src:string -> repo_node:string -> t
 (** [src] is the calling node; [repo_node] hosts the repository. *)
 
+val create_replicated : rpc:Rpc.t -> src:string -> replicas:string list -> unit -> t
+(** A client of a {!Repo_group} replica set: mutations become
+    replicated commands appended through the current leader (with
+    redirect-on-[Not_leader] and failover baked in, see
+    {!Rlog_client}), reads go leader-first and fail over to surviving
+    replicas. Every mutation carries a fresh client id, so a retry
+    that reaches a different leader after a crash applies exactly
+    once. *)
+
+val replicated : t -> bool
+
+val invalidate : t -> unit
+(** Forget the cached leader. Connection failures already invalidate it
+    internally — a dead node is never retried forever — this is the
+    out-of-band hook for callers that learn about failures elsewhere. *)
+
+val leader_guess : t -> string option
+(** Where the next call will be sent first ([Some repo_node] always,
+    for a single-node client). *)
+
 val store :
   t -> name:string -> source:string -> ((Repository.version, string) result -> unit) -> unit
 

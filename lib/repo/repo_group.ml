@@ -1,0 +1,69 @@
+(* A replica set of repositories over the consensus log. Each member
+   node hosts one bare repository backing ({!Repository.create_backing})
+   and one {!Rlog} replica whose state machine is that backing: every
+   mutation is a log entry, applied in commit order on all members, so
+   the schema store and the placement directory survive any minority of
+   repository-node crashes. Reads are served locally on every member
+   (the [repo.*] read services); writes arrive through [cons.append]
+   and commit by quorum. *)
+
+type t = {
+  nodes : string list;
+  members : (string * (Repository.t * Rlog.t)) list;
+}
+
+let create ~rpc ~nodes =
+  if nodes = [] then invalid_arg "Repo_group.create: need at least one replica";
+  let ids = List.sort_uniq compare (List.map Node.id nodes) in
+  let members =
+    List.map
+      (fun node ->
+        let repo = Repository.create_backing ~node in
+        let rlog =
+          Rlog.create ~rpc ~node ~peers:ids
+            ~apply:(fun cmd -> Repository.apply_command repo cmd)
+            ~reset:(fun () -> Repository.reset_state repo)
+            ()
+        in
+        Repository.install_read_services repo;
+        (Node.id node, (repo, rlog)))
+      nodes
+  in
+  { nodes = ids; members }
+
+let nodes t = t.nodes
+
+let replica t id =
+  match List.assoc_opt id t.members with
+  | Some (repo, _) -> repo
+  | None -> invalid_arg ("Repo_group.replica: no member " ^ id)
+
+let rlog t id =
+  match List.assoc_opt id t.members with
+  | Some (_, rlog) -> rlog
+  | None -> invalid_arg ("Repo_group.rlog: no member " ^ id)
+
+let leader t =
+  List.find_map
+    (fun (id, (_, rlog)) -> if Rlog.role rlog = Rlog.Leader then Some id else None)
+    t.members
+
+(* The member whose view is most advanced: highest term first (a deposed
+   leader may still call itself one), then highest commit, preferring an
+   actual leader on ties; node id order breaks what remains, keeping the
+   choice deterministic. *)
+let authoritative t =
+  let score (_, (_, rlog)) =
+    (Rlog.current_term rlog, Rlog.commit_index rlog, if Rlog.role rlog = Rlog.Leader then 1 else 0)
+  in
+  let best =
+    List.fold_left
+      (fun acc m -> match acc with None -> Some m | Some b -> if score m > score b then Some m else Some b)
+      None t.members
+  in
+  match best with
+  | Some (_, (repo, _)) -> repo
+  | None -> assert false (* members is non-empty by construction *)
+
+let logs t =
+  List.map (fun (id, (_, rlog)) -> (id, Rlog.committed rlog)) t.members

@@ -1,0 +1,32 @@
+(** Consensus-replicated repository: one {!Repository} backing plus one
+    {!Rlog} replica per member node. Mutations travel as replicated
+    commands and apply in commit order on every member; the read-only
+    [repo.*] services answer from each member's local state. See
+    {!Repo_client.create_replicated} for the matching client. *)
+
+type t
+
+val create : rpc:Rpc.t -> nodes:Node.t list -> t
+(** One replica per node. The group elects the lowest-ranked member at
+    bootstrap; thereafter leadership follows crashes and partitions. *)
+
+val nodes : t -> string list
+(** Sorted member node ids. *)
+
+val replica : t -> string -> Repository.t
+(** The local backing on one member — reads only; mutating it directly
+    would fork the replica. For tests, oracles and repair tooling. *)
+
+val rlog : t -> string -> Rlog.t
+
+val leader : t -> string option
+(** The member currently in the [Leader] role, if any. *)
+
+val authoritative : t -> Repository.t
+(** The most advanced member's backing (max term, then commit): what
+    "the repository's durable state" means once the group replaces a
+    single node. *)
+
+val logs : t -> (string * (int * string) list) list
+(** Per-member committed prefixes [(term, payload)] — the raw material
+    of the log-linearizability oracle. *)

@@ -1,6 +1,9 @@
 type t = {
   node : Node.t;
-  store : Kvstore.t;
+  mutable store : Kvstore.t;
+      (* mutable for replicated backings only: recovery swaps in a fresh
+         store and replays the consensus log, so a crash can never leave
+         a half-applied command visible *)
 }
 
 type version = int
@@ -180,17 +183,74 @@ let handle_owner t ~src:_ body =
 let handle_placements t ~src:_ _body =
   Wire.list (fun (iid, engine) -> Wire.string iid ^ Wire.string engine) (placements t)
 
-let create ~rpc ~node =
-  ignore rpc;
-  let t = { node; store = Kvstore.create ~name:("repo@" ^ Node.id node) } in
-  Node.serve node ~service:service_store (handle_store t);
+(* --- replicated command log (consensus backend) ---
+
+   Every mutation becomes one opaque command string in the replicated
+   log; [apply_command] decodes and executes it deterministically, so
+   identical logs yield identical repositories on every replica. Each
+   command carries a client-chosen id: a retry that lands on a new
+   leader after a failover may append a second copy, and the dedup row
+   makes the second application return the first reply instead of
+   re-executing (exactly-once above at-least-once). *)
+
+let key_cid cid = "cid:" ^ cid
+
+let cmd_store ~cid ~name ~source =
+  Wire.(run (b_pair b_string (b_pair b_string (b_pair b_string b_string))))
+    ("store", (cid, (name, source)))
+
+let cmd_assign ~cid ~iid ~engine =
+  Wire.(run (b_pair b_string (b_pair b_string (b_pair b_string b_string))))
+    ("assign", (cid, (iid, engine)))
+
+let cmd_assign_batch ~cid ~pairs =
+  Wire.(run (b_pair b_string (b_pair b_string (b_list (b_pair b_string b_string)))))
+    ("assign_batch", (cid, pairs))
+
+let apply_command t cmd =
+  let d = Wire.decoder cmd in
+  let tag = Wire.d_string d in
+  let cid = Wire.d_string d in
+  match Kvstore.get t.store (key_cid cid) with
+  | Some cached -> cached
+  | None ->
+    let reply =
+      match tag with
+      | "store" ->
+        let name, source = Wire.(d_pair d_string d_string) d in
+        enc_result Wire.int (store t ~name ~source)
+      | "assign" ->
+        let iid, engine = Wire.(d_pair d_string d_string) d in
+        assign t ~iid ~engine;
+        Wire.bool true
+      | "assign_batch" ->
+        let pairs = Wire.(d_list (d_pair d_string d_string)) d in
+        assign_many t ~pairs;
+        Wire.int (List.length pairs)
+      | other -> enc_result Wire.int (Error ("unknown repository command: " ^ other))
+    in
+    Kvstore.put t.store (key_cid cid) reply;
+    reply
+
+let install_read_services t =
+  let node = t.node in
   Node.serve node ~service:service_fetch (handle_fetch t);
   Node.serve node ~service:service_list (handle_list t);
   Node.serve node ~service:service_inspect (handle_inspect t);
+  Node.serve node ~service:service_owner (handle_owner t);
+  Node.serve node ~service:service_placements (handle_placements t)
+
+let create_backing ~node = { node; store = Kvstore.create ~name:("repo@" ^ Node.id node) }
+
+let reset_state t = t.store <- Kvstore.create ~name:("repo@" ^ Node.id t.node)
+
+let create ~rpc ~node =
+  ignore rpc;
+  let t = create_backing ~node in
+  Node.serve node ~service:service_store (handle_store t);
   Node.serve node ~service:service_assign (handle_assign t);
   Node.serve node ~service:service_assign_batch (handle_assign_batch t);
-  Node.serve node ~service:service_owner (handle_owner t);
-  Node.serve node ~service:service_placements (handle_placements t);
+  install_read_services t;
   Node.on_crash node (fun () -> Kvstore.crash t.store);
   Node.on_recover node (fun () -> Kvstore.recover t.store);
   t

@@ -11,7 +11,36 @@
 type t
 
 val create : rpc:Rpc.t -> node:Node.t -> t
-(** Installs the [repo.*] services and crash/recovery hooks. *)
+(** Installs the [repo.*] services and crash/recovery hooks — the
+    single-node flavour, where this store {e is} the repository. *)
+
+val create_backing : node:Node.t -> t
+(** A bare repository state machine: the store, no services, no hooks.
+    The consensus layer ({!Repo_group}) wraps one per replica, feeds it
+    committed commands through {!apply_command}, and wires its own
+    recovery (log replay into a {!reset_state}-fresh store). *)
+
+val install_read_services : t -> unit
+(** Serve the read-only [repo.*] services ([fetch]/[list]/[inspect]/
+    [owner]/[placements]) from this backing's local state. Mutations
+    are deliberately excluded — on a replica they must travel through
+    the log. *)
+
+val reset_state : t -> unit
+(** Discard the backing store (replicated recovery replays the log into
+    the fresh one). Single-node repositories never call this. *)
+
+val apply_command : t -> string -> string
+(** Execute one replicated command ({!cmd_store} & co.) and return the
+    wire-encoded reply. Deterministic, and deduplicated by the client
+    id embedded in the command: re-applying a command whose id was
+    already applied returns the original reply without re-executing. *)
+
+val cmd_store : cid:string -> name:string -> source:string -> string
+
+val cmd_assign : cid:string -> iid:string -> engine:string -> string
+
+val cmd_assign_batch : cid:string -> pairs:(string * string) list -> string
 
 val node_id : t -> string
 

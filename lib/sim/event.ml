@@ -39,6 +39,11 @@ type t =
   | Rpc_reply_evicted of { node : string }
   | Rpc_loopback of { node : string; service : string }
   | Persist_batched of { requests : int; writes : int }
+  | Cons_election_started of { node : string; term : int }
+  | Cons_leader_elected of { node : string; term : int }
+  | Cons_stepped_down of { node : string; term : int }
+  | Cons_committed of { node : string; index : int; term : int }
+  | Cons_caught_up of { node : string; upto : int }
 
 let name = function
   | Wf_launched _ -> "wf-launched"
@@ -75,6 +80,11 @@ let name = function
   | Rpc_reply_evicted _ -> "rpc-reply-evicted"
   | Rpc_loopback _ -> "rpc-loopback"
   | Persist_batched _ -> "persist-batched"
+  | Cons_election_started _ -> "cons-election-started"
+  | Cons_leader_elected _ -> "cons-leader-elected"
+  | Cons_stepped_down _ -> "cons-stepped-down"
+  | Cons_committed _ -> "cons-committed"
+  | Cons_caught_up _ -> "cons-caught-up"
 
 (* The legacy trace vocabulary predates the typed events; tests, the
    Gantt reconstruction and the CLI all read it, so the mapping must
@@ -109,7 +119,8 @@ let to_trace = function
   | Txn_failed { detail } -> Some ("txn-failed", detail)
   | Policy_retry _ | Policy_substituted _ | Policy_compensated _ | Txn_resolved _
   | Txn_one_phase _ | Txn_readonly_elided _ | Rpc_sent _ | Rpc_retried _ | Rpc_timed_out _
-  | Rpc_reply_evicted _ | Rpc_loopback _ | Persist_batched _ ->
+  | Rpc_reply_evicted _ | Rpc_loopback _ | Persist_batched _ | Cons_election_started _
+  | Cons_leader_elected _ | Cons_stepped_down _ | Cons_committed _ | Cons_caught_up _ ->
     None
 
 type subscriber = at:int -> src:string -> t -> unit

@@ -84,6 +84,19 @@ type t =
       (** One engine persist flush coalesced [requests] (>= 2) queued
           persist calls, [writes] total writes, into a single
           transaction. *)
+  | Cons_election_started of { node : string; term : int }
+      (** A consensus replica became a candidate for [term]. *)
+  | Cons_leader_elected of { node : string; term : int }
+      (** [node] won a quorum of votes and now leads [term]. *)
+  | Cons_stepped_down of { node : string; term : int }
+      (** A leader or candidate observed a higher [term] and reverted to
+          follower. *)
+  | Cons_committed of { node : string; index : int; term : int }
+      (** The replica's commit index advanced to [index] (leader: by
+          quorum count; follower: by the leader's commit watermark). *)
+  | Cons_caught_up of { node : string; upto : int }
+      (** A rejoining replica finished pulling the log suffix it missed
+          while down or partitioned. *)
 
 val name : t -> string
 (** Stable kebab-case tag of the constructor (metrics counter keys). *)

@@ -14,8 +14,8 @@ let must = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s"
 
 let chain_script, chain_root = Workloads.chain ~n:4
 
-let make_cluster ?policy ?hosts ?engine_config ?seed ?work ~engines () =
-  let c = Cluster.make ?policy ?hosts ?engine_config ?seed ~engines () in
+let make_cluster ?policy ?hosts ?engine_config ?seed ?work ?repo_replicas ~engines () =
+  let c = Cluster.make ?policy ?hosts ?engine_config ?seed ?repo_replicas ~engines () in
   Workloads.register ?work (Cluster.registry c);
   c
 
@@ -179,6 +179,66 @@ let test_shard_crash_recovery_isolated () =
         (Engine.recoveries_total (Cluster.engine c eid)))
     [ "e1"; "e3" ]
 
+(* --- the consensus-replicated repository behind the cluster --- *)
+
+let test_replicated_leader_kill_mid_launch () =
+  (* the acceptance schedule: the repository leader dies while the
+     launches' placement writes are in flight. Quorum commit plus
+     client-id dedup mean no placement is lost and no launch applies
+     twice; the client fails over to the new leader transparently. *)
+  let c = make_cluster ~repo_replicas:3 ~engines:[ "e1"; "e2"; "e3" ] () in
+  check "replica set named repo1..repo3" true
+    (Cluster.repo_nodes c = [ "repo1"; "repo2"; "repo3" ]);
+  let placed = List.init 6 (fun _ -> launch_chain c) in
+  Cluster.apply_faults c
+    (Fault.crash_restart ~node:"repo1" ~at:(Sim.ms 1) ~down_for:(Sim.ms 80));
+  Cluster.run c;
+  List.iter
+    (fun (iid, _) -> check (iid ^ " completed") true (is_done (Cluster.status c iid)))
+    placed;
+  check_int "no task effect duplicated: 6 instances x 4 steps" 24
+    (Cluster.completions_total c);
+  (* no placement lost: the durable directory agrees with the router *)
+  check "directory survived the leader crash" true
+    (Repository.placements (Cluster.repository c) = Cluster.placements c);
+  let group = Option.get (Cluster.repo_group c) in
+  check "the group has a leader after failover" true (Repo_group.leader group <> None);
+  (* the routed owner lookup works against the healed group, from a
+     node that runs no engine at all *)
+  let iid, eid = List.hd placed in
+  let got = ref None in
+  Cluster.owner_rpc c ~src:"e2" ~iid (fun r -> got := Some r);
+  Cluster.run c;
+  check "owner routed through the replica set" true (!got = Some (Ok (Some eid)))
+
+(* --- recovery-policy budget counters over the status RPC --- *)
+
+let test_policy_budgets_over_rpc () =
+  let c = make_cluster ~hosts:[ "h0" ] ~engines:[ "e1"; "e2" ] () in
+  let iid, _ = launch_chain c in
+  Cluster.run c;
+  check "instance done" true (is_done (Cluster.status c iid));
+  let local = Cluster.policy_budgets c iid in
+  check "counters non-empty" true (local <> []);
+  check "a completed step records its one attempt" true
+    (List.exists (fun b -> b.Engine.pb_attempts = 1) local);
+  check "no backoff pending, nothing compensated" true
+    (List.for_all
+       (fun b -> b.Engine.pb_backoff_remaining = 0 && not b.Engine.pb_compensated)
+       local);
+  (* the same rows, resolved entirely over the fabric from a node that
+     runs no engine: directory lookup, then the owner's admin service *)
+  let got = ref None in
+  Cluster.policy_budgets_rpc c ~src:"h0" ~iid (fun r -> got := Some r);
+  Cluster.run c;
+  check "rpc answer matches the local counters" true (!got = Some (Ok local));
+  (* unknown instances surface an error, not an empty budget list *)
+  let missing = ref None in
+  Cluster.policy_budgets_rpc c ~src:"h0" ~iid:"no-such" (fun r -> missing := Some r);
+  Cluster.run c;
+  check "unknown iid is an error" true
+    (match !missing with Some (Error _) -> true | _ -> false)
+
 let test_supply_chain_on_cluster () =
   (* the integration case study runs unchanged when sharded *)
   let c = Cluster.make ~engines:[ "e1"; "e2" ] () in
@@ -214,5 +274,14 @@ let () =
           Alcotest.test_case "shard crash recovery isolated" `Quick
             test_shard_crash_recovery_isolated;
           Alcotest.test_case "supply chain sharded" `Quick test_supply_chain_on_cluster;
+        ] );
+      ( "replicated",
+        [
+          Alcotest.test_case "leader killed mid-launch" `Quick
+            test_replicated_leader_kill_mid_launch;
+        ] );
+      ( "admin",
+        [
+          Alcotest.test_case "policy budgets over rpc" `Quick test_policy_budgets_over_rpc;
         ] );
     ]

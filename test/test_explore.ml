@@ -84,7 +84,7 @@ let reference () = Scenario.chain.Scenario.sc_run [] None
 let test_oracles_pass_on_reference () =
   let obs = reference () in
   let verdicts = Oracle.judge ~reference:obs obs in
-  check_int "six oracles" 6 (List.length verdicts);
+  check_int "eight oracles" 8 (List.length verdicts);
   List.iter
     (fun v -> check ("oracle " ^ v.Oracle.v_oracle ^ " passes") true v.Oracle.v_ok)
     verdicts;
@@ -264,7 +264,7 @@ let conformance_under sc =
   let judge name plan =
     let obs = sc.Scenario.sc_run plan None in
     let verdicts = sc.Scenario.sc_judge ~reference obs in
-    check_int (sc.Scenario.sc_name ^ " battery includes conformance") 7 (List.length verdicts);
+    check_int (sc.Scenario.sc_name ^ " battery includes conformance") 9 (List.length verdicts);
     check
       (sc.Scenario.sc_name ^ " conformance verdict present") true
       (List.exists (fun v -> v.Oracle.v_oracle = "policy-conformance") verdicts);
@@ -285,6 +285,52 @@ let test_recovery_conformance_timeout () = conformance_under Scenario.recovery_t
 let test_recovery_conformance_alternative () = conformance_under Scenario.recovery_alternative
 
 let test_recovery_conformance_compensate () = conformance_under Scenario.recovery_compensate
+
+(* --- replicated repository (pinned) --- *)
+
+(* The acceptance schedule spelled out in the issue: kill the
+   repository leader mid-launch — no placement may be lost, no task
+   effect duplicated, and the routed owner lookups must still land on
+   the recorded owners. Judged by the stock battery, which now includes
+   log-linearizability and routed-consistency. *)
+let test_pinned_repo_leader_crash () =
+  let sc = Scenario.repo_failover in
+  let reference = sc.Scenario.sc_run [] None in
+  check "reference drained" true reference.Oracle.o_drained;
+  check "replica logs observed" true (List.length reference.Oracle.o_logs = 3);
+  check "routed owners observed" true (reference.Oracle.o_routed <> []);
+  check "placements survive" true (List.length reference.Oracle.o_placements = 6);
+  let judge name plan =
+    let obs = sc.Scenario.sc_run plan None in
+    List.iter
+      (fun v ->
+        if not v.Oracle.v_ok then
+          Alcotest.failf "repo-failover under %s: %s failed: %s" name v.Oracle.v_oracle
+            v.Oracle.v_detail)
+      (sc.Scenario.sc_judge ~reference obs)
+  in
+  (* the bootstrap leader dies while the first placement writes are in
+     flight, then while it is down a second fault partitions a survivor *)
+  judge "leader crash mid-launch"
+    (Fault.crash_restart ~node:"repo1" ~at:(Sim.ms 1) ~down_for:(Sim.ms 60));
+  judge "leader partition"
+    (Fault.partition ~a:"repo1" ~b:"repo2" ~at:(Sim.ms 1) ~heal_after:(Sim.ms 80));
+  judge "follower crash"
+    (Fault.crash_restart ~node:"repo3" ~at:(Sim.ms 2) ~down_for:(Sim.ms 40))
+
+(* The scripted election scenario must put consensus decision points
+   into its own reference run — that is what lets schedules aim faults
+   inside the election window. *)
+let test_repo_election_reference_has_election () =
+  let sc = Scenario.repo_election in
+  let c = Decision.collector () in
+  let obs = sc.Scenario.sc_run [] (Some c) in
+  check "reference drained" true obs.Oracle.o_drained;
+  let kinds = List.map fst (Decision.by_kind (Decision.points c)) in
+  check "election harvested" true (List.mem "election" kinds);
+  check "elected harvested" true (List.mem "elected" kinds);
+  check "consensus traffic harvested" true
+    (List.exists (fun k -> contains ~sub:"cons." k) kinds)
 
 (* The oracle has teeth: hold each scenario's fault-free run against a
    deliberately mis-specified policy and it must object. *)
@@ -417,6 +463,9 @@ let () =
         [
           Alcotest.test_case "relaunch-orphan race" `Quick test_pinned_relaunch_orphan_race;
           Alcotest.test_case "crash pair" `Quick test_pinned_crash_pair;
+          Alcotest.test_case "repo leader crash" `Quick test_pinned_repo_leader_crash;
+          Alcotest.test_case "repo election in reference" `Quick
+            test_repo_election_reference_has_election;
         ] );
       ( "recovery-policy",
         [

@@ -674,7 +674,7 @@ let test_recovery_words_stay_identifiers () =
 
 let norm_recovery =
   List.map (function
-    | Ast.R_retry { count; backoff; max; _ } -> `Retry (count, backoff, max)
+    | Ast.R_retry { count; backoff; jitter; max; _ } -> `Retry (count, backoff, jitter, max)
     | Ast.R_timeout { ms; action; _ } -> `Timeout (ms, action)
     | Ast.R_alternative { codes; _ } -> `Alternative codes
     | Ast.R_compensate { task; _ } -> `Compensate task)
@@ -714,9 +714,11 @@ let gen_clause =
       [
         ( 3,
           map
-            (fun (count, backoff, max) ->
-              Ast.R_retry { count; backoff; max; loc = Loc.dummy })
-            (triple (int_bound 9) (opt (int_range 1 99)) (opt (int_range 1 999))) );
+            (fun ((count, backoff, max), jitter) ->
+              Ast.R_retry { count; backoff; jitter; max; loc = Loc.dummy })
+            (pair
+               (triple (int_bound 9) (opt (int_range 1 99)) (opt (int_range 1 999)))
+               (opt (int_range 1 99))) );
         ( 3,
           map
             (fun (ms, action) -> Ast.R_timeout { ms; action; loc = Loc.dummy })
@@ -771,6 +773,36 @@ compoundtask root of taskclass Consumer {
 let test_recovery_retry_zero_backoff () =
   expect_validation_error ~containing:"retry 0 cannot take a backoff"
     (recovery_script "retry 0 backoff 5")
+
+let test_recovery_jitter_without_backoff () =
+  expect_validation_error ~containing:"jitter requires a backoff base"
+    (recovery_script "retry 2 jitter 3")
+
+let test_recovery_jitter_at_least_base () =
+  expect_validation_error ~containing:"must be below the backoff base"
+    (recovery_script "retry 2 backoff 5 jitter 5")
+
+let test_recovery_jitter_parses_and_compiles () =
+  let src = recovery_script "retry 2 backoff 10 jitter 4 max 40" in
+  let ast = load_ok src in
+  (match ast with
+  | _ :: _ ->
+    let all =
+      List.concat_map (function Ast.D_compound cd -> cd.Ast.cd_constituents | _ -> []) ast
+    in
+    let t = List.find_map (function Ast.C_task td when td.Ast.td_name = "t" -> Some td | _ -> None) all in
+    (match t with
+    | Some td ->
+      check "jitter parsed" true (Ast.recovery_retry_jitter td.Ast.td_recovery = Some 4)
+    | None -> Alcotest.fail "no task t")
+  | [] -> Alcotest.fail "empty script");
+  match Schema.of_script ast ~root:"root" with
+  | Error msg -> Alcotest.failf "schema: %s" msg
+  | Ok root -> (
+    match Schema.find_child root "t" with
+    | None -> Alcotest.fail "no child t"
+    | Some t ->
+      check_int "jitter compiled" 4 t.Schema.policy.Schema.p_jitter_ms)
 
 let test_recovery_max_without_backoff () =
   expect_validation_error ~containing:"max requires a backoff base" (recovery_script "retry 2 max 10")
@@ -943,6 +975,10 @@ let () =
           QCheck_alcotest.to_alcotest recovery_qcheck;
           Alcotest.test_case "retry 0 backoff" `Quick test_recovery_retry_zero_backoff;
           Alcotest.test_case "max without backoff" `Quick test_recovery_max_without_backoff;
+          Alcotest.test_case "jitter without backoff" `Quick test_recovery_jitter_without_backoff;
+          Alcotest.test_case "jitter at least base" `Quick test_recovery_jitter_at_least_base;
+          Alcotest.test_case "jitter parses and compiles" `Quick
+            test_recovery_jitter_parses_and_compiles;
           Alcotest.test_case "cap below base" `Quick test_recovery_cap_below_base;
           Alcotest.test_case "then alternative needs alternatives" `Quick
             test_recovery_then_alternative_without_alternatives;

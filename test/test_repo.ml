@@ -174,6 +174,73 @@ let test_launch_from_repo () =
   | Some (Error e) -> Alcotest.failf "launch: %s" e
   | None -> Alcotest.fail "launch never completed"
 
+(* --- the replicated repository --- *)
+
+let make_replicated () =
+  let tb = Testbed.make ~nodes:[ "n0"; "r1"; "r2"; "r3" ] () in
+  let group =
+    Repo_group.create ~rpc:tb.Testbed.rpc
+      ~nodes:(List.map (Testbed.node tb) [ "r1"; "r2"; "r3" ])
+  in
+  (* let the bootstrap election settle before the first client call *)
+  Testbed.run tb;
+  let client =
+    Repo_client.create_replicated ~rpc:tb.Testbed.rpc ~src:"n0"
+      ~replicas:[ "r1"; "r2"; "r3" ] ()
+  in
+  (tb, group, client)
+
+let test_replicated_corrupt_head_fails_loudly () =
+  (* the loud-corruption contract survives the move onto the replicated
+     log: a damaged head record raises on the damaged member and must
+     not be mistaken for "no such script" — while the other members,
+     whose backings are independent, keep answering *)
+  let tb, group, client = make_replicated () in
+  let stored = ref None in
+  Repo_client.store client ~name:"order" ~source:Paper_scripts.process_order (fun r ->
+      stored := Some r);
+  Testbed.run tb;
+  check "stored through the log" true (!stored = Some (Ok 1));
+  let leader =
+    match Repo_group.leader group with
+    | Some l -> l
+    | None -> Alcotest.fail "no leader after bootstrap"
+  in
+  let victim = Repo_group.replica group leader in
+  Kvstore.put (Repository.internal_store victim) "head:order" "not-a-number";
+  check "corrupt head raises on the damaged member" true
+    (match Repository.head victim ~name:"order" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  List.iter
+    (fun id ->
+      if id <> leader then
+        check ("head intact on " ^ id) true
+          (Repository.head (Repo_group.replica group id) ~name:"order" = Some 1))
+    (Repo_group.nodes group)
+
+let test_replicated_redirect_loop_bounded () =
+  (* majority down for good: no leader is electable, so the client's
+     leader-discovery / redirect loop must give up with an error and
+     leave no retry timers behind — not bounce between the survivors
+     forever *)
+  let tb, group, client = make_replicated () in
+  ignore group;
+  Testbed.crash tb "r1";
+  Testbed.crash tb "r2";
+  let assigned = ref None in
+  Repo_client.assign client ~iid:"wf-1" ~engine:"e1" (fun r -> assigned := Some r);
+  Testbed.run tb;
+  check "mutation bounded with an error" true
+    (match !assigned with Some (Error _) -> true | _ -> false);
+  check_int "simulator drained" 0 (Sim.pending tb.Testbed.sim);
+  (* reads need no quorum: the lone survivor still answers, and the
+     failed mutation left no trace in the directory *)
+  let owner = ref None in
+  Repo_client.owner client ~iid:"wf-1" (fun r -> owner := Some r);
+  Testbed.run tb;
+  check "read served by the survivor" true (!owner = Some (Ok None))
+
 let () =
   Alcotest.run "repo"
     [
@@ -196,5 +263,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_client_roundtrip;
           Alcotest.test_case "unknown name" `Quick test_client_error_for_unknown;
           Alcotest.test_case "launch from repo" `Quick test_launch_from_repo;
+        ] );
+      ( "replicated",
+        [
+          Alcotest.test_case "corrupt head fails loudly" `Quick
+            test_replicated_corrupt_head_fails_loudly;
+          Alcotest.test_case "redirect loop bounded without quorum" `Quick
+            test_replicated_redirect_loop_bounded;
         ] );
     ]

@@ -15,6 +15,8 @@
 
 let check = Alcotest.(check bool)
 
+let check_int = Alcotest.(check int)
+
 (* --- observing decision sequences from the event bus --- *)
 
 let decision_log sim =
@@ -221,6 +223,63 @@ let test_pointwise () =
   pointwise (Workloads.nested ~depth:4);
   pointwise (Workloads.alternatives ~k:3 ~alive:2)
 
+(* --- deterministic backoff jitter --- *)
+
+let jitter_policy =
+  {
+    Sched.rp_codes = [ "w.step" ];
+    rp_per_code = 8;
+    rp_base_total = 8;
+    rp_grand_total = 8;
+    rp_backoff_ms = 5;
+    rp_jitter_ms = 4;
+    rp_backoff_max_ms = Some 40;
+    rp_timeout_ms = None;
+    rp_on_timeout = Ast.Ta_abort;
+    rp_compensate = None;
+    rp_declared = true;
+  }
+
+let test_jitter_deterministic_and_bounded () =
+  let j ~salt ~iid ~attempt =
+    Sched.policy_jitter_ms jitter_policy ~salt ~iid ~path:[ "w"; "step" ] ~attempt
+  in
+  (* pure: the same coordinates always hash to the same offset *)
+  check "same inputs, same jitter" true
+    (List.for_all (fun a -> j ~salt:"s" ~iid:"wf-1" ~attempt:a = j ~salt:"s" ~iid:"wf-1" ~attempt:a)
+       [ 1; 2; 3; 7 ]);
+  (* bounded strictly below the declared jitter width *)
+  List.iter
+    (fun a ->
+      let v = j ~salt:"s" ~iid:"wf-1" ~attempt:a in
+      check (Printf.sprintf "attempt %d in [0, 4)" a) true (v >= 0 && v < 4))
+    [ 1; 2; 3; 4; 5; 6; 7 ];
+  (* the salt actually spreads: two engines (different salts) don't all
+     collide on the same offsets across a few attempts *)
+  let offsets salt = List.map (fun a -> j ~salt ~iid:"wf-1" ~attempt:a) [ 1; 2; 3; 4; 5; 6; 7 ] in
+  check "different salts give different spreads" true (offsets "s1" <> offsets "s2");
+  (* immediate attempts stay immediate: no jitter without a backoff *)
+  check "first attempt of a band has no delay" true
+    (Sched.policy_backoff_jittered_ms jitter_policy ~salt:"s" ~iid:"wf-1"
+       ~path:[ "w"; "step" ] ~attempt:1
+    = 0);
+  (* a delayed retry lands in [base, base + jitter) *)
+  let d =
+    Sched.policy_backoff_jittered_ms jitter_policy ~salt:"s" ~iid:"wf-1"
+      ~path:[ "w"; "step" ] ~attempt:2
+  in
+  check "second attempt in [5, 9)" true (d >= 5 && d < 9);
+  (* jitter off -> plain exponential backoff, bit for bit *)
+  let plain = { jitter_policy with Sched.rp_jitter_ms = 0 } in
+  List.iter
+    (fun a ->
+      check_int
+        (Printf.sprintf "no jitter = plain backoff (attempt %d)" a)
+        (Sched.policy_backoff_ms plain ~attempt:a)
+        (Sched.policy_backoff_jittered_ms plain ~salt:"s" ~iid:"wf-1" ~path:[ "w"; "step" ]
+           ~attempt:a))
+    [ 1; 2; 3; 4 ]
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_dags ]
 
 let () =
@@ -231,6 +290,11 @@ let () =
           Alcotest.test_case "workload families" `Quick test_families;
           Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
           Alcotest.test_case "pointwise scan_from" `Quick test_pointwise;
+        ] );
+      ( "jitter",
+        [
+          Alcotest.test_case "deterministic and bounded" `Quick
+            test_jitter_deterministic_and_bounded;
         ] );
       ("property", qsuite);
     ]
